@@ -1,0 +1,1 @@
+bench/ablate.ml: Config Engine Fun Jstar_apps Jstar_core Jstar_csv Jstar_sched List Printf Program Rule Schema Tuple Util Value

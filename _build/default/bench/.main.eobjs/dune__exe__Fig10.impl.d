@@ -1,0 +1,1 @@
+bench/fig10.ml: Fmt Jstar_apps Jstar_csv Jstar_disruptor List Util

@@ -1,0 +1,1 @@
+bench/fig11.ml: Jstar_apps List Printf Util

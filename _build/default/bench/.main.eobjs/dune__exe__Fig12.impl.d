@@ -1,0 +1,1 @@
+bench/fig12.ml: Jstar_apps List Printf Util

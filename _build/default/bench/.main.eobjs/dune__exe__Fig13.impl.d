@@ -1,0 +1,1 @@
+bench/fig13.ml: Jstar_apps List Printf Util

@@ -1,0 +1,1 @@
+bench/fig6.ml: Array Bytes Jstar_apps Jstar_csv List Printf String Util

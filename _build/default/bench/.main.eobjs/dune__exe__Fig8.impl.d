@@ -1,0 +1,1 @@
+bench/fig8.ml: Config Jstar_apps Jstar_core Jstar_csv List Util

@@ -1,0 +1,1 @@
+bench/sec62.ml: Jstar_apps Jstar_csv Util

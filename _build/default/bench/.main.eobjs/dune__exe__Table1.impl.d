@@ -1,0 +1,1 @@
+bench/table1.ml: Fmt Jstar_apps Jstar_csv Jstar_disruptor List Printf Util

@@ -1,0 +1,1 @@
+bench/util.ml: Domain Float Fmt Gc List Printf String Unix

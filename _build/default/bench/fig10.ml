@@ -1,0 +1,47 @@
+(* Figure 10: execution times of the Disruptor version of PvWatts
+   against the sequential JStar program, for the two input orderings.
+
+   Paper (i7-2600, 4 cores + HT): with 8 threads the Disruptor version
+   achieves 3.31x over sequential JStar on the default (month-major,
+   "unsorted") input and 2.52x on the day/hour-sorted input — the
+   sorted input speeds up both versions but gives the Disruptor less
+   headroom because its consumers are load-balanced either way. *)
+
+module D = Jstar_disruptor.Disruptor
+
+let run () =
+  let installations = Util.pvwatts_installations () in
+  let dataset ordering =
+    Jstar_csv.Pvwatts_data.to_bytes ~installations ~ordering
+  in
+  let sequential data =
+    Util.time (fun () ->
+        Jstar_apps.Pvwatts.run ~data (Jstar_apps.Pvwatts.config ~threads:1 ()))
+  in
+  let disruptor data consumers =
+    Util.time (fun () ->
+        Jstar_apps.Pvwatts_disruptor.run
+          ~options:{ D.pvwatts_options with D.num_consumers = consumers }
+          ~data ())
+  in
+  Util.heading "Fig 10: Disruptor PvWatts vs sequential JStar";
+  List.iter
+    (fun (label, ordering) ->
+      let data = dataset ordering in
+      let seq = sequential data in
+      Fmt.pr "  %-22s sequential jstar: %7.3fs@." label seq;
+      List.iter
+        (fun consumers ->
+          let t = disruptor data consumers in
+          Fmt.pr "  %-22s %2d consumer(s):   %7.3fs  (%.2fx over sequential)@."
+            label consumers t (seq /. t))
+        [ 1; 2; 3; 6; 12 ])
+    [
+      ("unsorted (month-major)", Jstar_csv.Pvwatts_data.Month_major);
+      ("sorted (round-robin)", Jstar_csv.Pvwatts_data.Round_robin);
+    ];
+  Util.note "paper: 3.31x (unsorted) and 2.52x (sorted) at 8 threads";
+  Util.note
+    "with only %d cores the producer and consumers share hardware threads, \
+     so gains cap early"
+    Util.cores

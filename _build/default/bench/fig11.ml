@@ -1,0 +1,21 @@
+(* Figure 11: speedup of the naive matrix multiplication with varying
+   fork/join pool size.  Paper: quad-CPU Xeon E7-8837 (32 cores), good
+   speedup to 20 cores — the program is embarrassingly parallel with a
+   high computation-to-communication ratio (one tuple per output row
+   through the Delta set). *)
+
+let run () =
+  let n = Util.matmul_n () in
+  let time variant threads =
+    Util.time ~repeats:2 (fun () -> Jstar_apps.Matmul.run ~n ~variant ~threads ())
+  in
+  Util.speedup_table
+    ~title:(Printf.sprintf "Fig 11: MatrixMult (%dx%d) speedup vs pool size" n n)
+    ~paper_note:
+      "paper: near-linear speedup to 20 cores on 32 (embarrassingly parallel)"
+    [
+      ( "unboxed (native arrays)",
+        List.map (time Jstar_apps.Matmul.Unboxed) Util.thread_counts );
+      ( "boxed (generic tuples)",
+        List.map (time Jstar_apps.Matmul.Boxed) Util.thread_counts );
+    ]

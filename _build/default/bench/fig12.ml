@@ -1,0 +1,20 @@
+(* Figure 12: speedup of Dijkstra's shortest path with varying pool
+   size.  Paper: dual-CPU Xeon W5590 (8 cores), mediocre speedup
+   topping out at 4.0x — millions of Estimate tuples contend on the
+   Delta tree, which "is still not sufficiently scalable to cope with
+   a large number of threads contending for the same branches". *)
+
+let run () =
+  let vertices = Util.dijkstra_vertices () in
+  let time threads =
+    Util.time ~repeats:2 (fun () ->
+        Jstar_apps.Shortest_path.run ~vertices ~threads ())
+  in
+  Util.speedup_table
+    ~title:
+      (Printf.sprintf "Fig 12: Dijkstra (%d vertices, %d edges) speedup vs pool size"
+         vertices (2 * vertices))
+    ~paper_note:
+      "paper: mediocre, max 4.0x on 8 cores (Delta-tree contention); expect \
+       the worst scaling of the four programs"
+    [ ("dijkstra", List.map time Util.thread_counts) ]

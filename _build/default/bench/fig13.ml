@@ -1,0 +1,15 @@
+(* Figure 13: speedup of median-finding with varying pool size.
+   Paper: quad-CPU Xeon E7-8837 (32 cores), 8.6x at 12 cores and a more
+   gradual climb to 14x at 32 — the partition passes are memory-bound
+   but nicely parallel, with a short sequential controller between
+   rounds. *)
+
+let run () =
+  let n = Util.median_n () in
+  let time threads =
+    Util.time ~repeats:2 (fun () -> Jstar_apps.Median.run ~n ~threads ())
+  in
+  Util.speedup_table
+    ~title:(Printf.sprintf "Fig 13: Median (%d doubles) speedup vs pool size" n)
+    ~paper_note:"paper: 8.6x at 12 cores, 14x at 32 cores"
+    [ ("median", List.map time Util.thread_counts) ]

@@ -1,0 +1,100 @@
+(* Bechamel micro-benchmarks of the substrate operations on the hot
+   paths of the engine: Delta tree insert/extract, skip list vs stdlib
+   Map, the sharded hash map, Chase-Lev deque operations, tuple
+   construction and timestamping, and byte-level CSV field parsing. *)
+
+open Bechamel
+open Toolkit
+open Jstar_core
+
+let fixture () =
+  let p = Program.create () in
+  let t =
+    Program.table p "T"
+      ~columns:Schema.[ int_col "step"; int_col "i" ]
+      ~orderby:Schema.[ Lit "Int"; Seq "step" ]
+      ()
+  in
+  (p, t)
+
+let tests () =
+  let _, schema = fixture () in
+  let p2, _ = fixture () in
+  let order = Program.order_rel p2 in
+  let counter = ref 0 in
+  let next () =
+    incr counter;
+    !counter land 0xFFFF
+  in
+  let tuple_of i = Tuple.make schema [| Value.Int i; Value.Int i |] in
+  let prebuilt = tuple_of 1 in
+  let csv_line = Bytes.of_string "2012,7,14,9,123,3500" in
+  let csv_fields = Array.make 6 0 in
+  let sl = Jstar_cds.Skiplist.create ~compare:Int.compare () in
+  let module IMap = Map.Make (Int) in
+  let imap = ref IMap.empty in
+  let chm : (int, int) Jstar_cds.Chashmap.t = Jstar_cds.Chashmap.create () in
+  let deque = Jstar_sched.Chase_lev.create () in
+  let delta = Delta.create ~mode:Delta.Concurrent ~nlits:2 () in
+  let delta_seq = Delta.create ~mode:Delta.Sequential ~nlits:2 () in
+  Test.make_grouped ~name:"substrates"
+    [
+      Test.make ~name:"tuple.make" (Staged.stage (fun () -> tuple_of (next ())));
+      Test.make ~name:"timestamp.of_tuple"
+        (Staged.stage (fun () -> Timestamp.of_tuple order prebuilt));
+      Test.make ~name:"csv.parse-record"
+        (Staged.stage (fun () ->
+             Jstar_csv.Parse.int_fields_into csv_line 0
+               (Bytes.length csv_line) csv_fields));
+      Test.make ~name:"skiplist.add+remove"
+        (Staged.stage (fun () ->
+             let k = next () in
+             ignore (Jstar_cds.Skiplist.add sl k k);
+             ignore (Jstar_cds.Skiplist.remove sl k)));
+      Test.make ~name:"stdlib-map.add+remove"
+        (Staged.stage (fun () ->
+             let k = next () in
+             imap := IMap.add k k !imap;
+             imap := IMap.remove k !imap));
+      Test.make ~name:"chashmap.set+remove"
+        (Staged.stage (fun () ->
+             let k = next () in
+             Jstar_cds.Chashmap.set chm k k;
+             ignore (Jstar_cds.Chashmap.remove chm k)));
+      Test.make ~name:"chase_lev.push+pop"
+        (Staged.stage (fun () ->
+             Jstar_sched.Chase_lev.push deque 1;
+             ignore (Jstar_sched.Chase_lev.pop deque)));
+      Test.make ~name:"delta.insert+extract (conc)"
+        (Staged.stage (fun () ->
+             let t = tuple_of (next ()) in
+             ignore (Delta.insert delta t (Timestamp.of_tuple order t));
+             ignore (Delta.extract_min_class delta)));
+      Test.make ~name:"delta.insert+extract (seq)"
+        (Staged.stage (fun () ->
+             let t = tuple_of (next ()) in
+             ignore (Delta.insert delta_seq t (Timestamp.of_tuple order t));
+             ignore (Delta.extract_min_class delta_seq)));
+    ]
+
+let run () =
+  Util.heading "Micro-benchmarks (Bechamel, ns per operation)";
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some [ ns ] ->
+          Fmt.pr "  %-32s %10.1f ns/op%s@." name ns
+            (match Analyze.OLS.r_square est with
+            | Some r2 when r2 < 0.9 -> Printf.sprintf "  (noisy, r2=%.2f)" r2
+            | _ -> "")
+      | _ -> Fmt.pr "  %-32s (no estimate)@." name)
+    (List.sort compare rows)

@@ -1,0 +1,47 @@
+(* Table 1: the Disruptor options used for the PvWatts redesign, and
+   the tuning alternatives considered. *)
+
+module D = Jstar_disruptor.Disruptor
+module W = Jstar_disruptor.Wait_strategy
+
+let run () =
+  let o = D.pvwatts_options in
+  Util.heading "Table 1: Disruptor options used for PvWatts";
+  let row cat param value = Fmt.pr "  %-12s %-28s %s@." cat param value in
+  row "Category" "Parameter" "Value";
+  row "RingBuffer" "Event" "PvWatts tuples";
+  row "RingBuffer" "Size of Ring Buffer" (string_of_int o.D.ring_size);
+  row "RingBuffer" "Wait Strategy" (W.name (W.create o.D.wait));
+  row "RingBuffer" "Claim Strategy" "SingleThreaded-ClaimStrategy";
+  row "Producer" "Total number of Producer" "1";
+  row "Producer" "Publish Strategy"
+    (Printf.sprintf "Claim slots in a batch of %d." o.D.batch);
+  row "Producer" "Task" "Read input, create PvWatts tuples, add to ring";
+  row "Consumer" "Total number of Consumer" (string_of_int o.D.num_consumers);
+  row "Consumer" "Task" "Process PvWatts tuples and add to local Gamma";
+  (* The alternatives the paper tuned over, measured on a small input. *)
+  let data =
+    Jstar_csv.Pvwatts_data.to_bytes
+      ~installations:(max 2 (Util.pvwatts_installations () / 4))
+      ~ordering:Jstar_csv.Pvwatts_data.Month_major
+  in
+  let time options =
+    Util.time ~repeats:2 (fun () ->
+        Jstar_apps.Pvwatts_disruptor.run ~options ~data ())
+  in
+  Util.heading "Table 1 alternatives: wait strategies and batch sizes";
+  List.iter
+    (fun wait ->
+      let t = time { o with D.wait; num_consumers = 3 } in
+      Fmt.pr "  wait=%-24s %7.3fs@." (W.name (W.create wait)) t)
+    [ W.Blocking; W.Yielding; W.Sleeping; W.Busy_spin ];
+  List.iter
+    (fun batch ->
+      let t = time { o with D.batch; num_consumers = 3 } in
+      Fmt.pr "  batch=%-23d %7.3fs@." batch t)
+    [ 1; 16; 256 ];
+  List.iter
+    (fun ring_size ->
+      let t = time { o with D.ring_size; num_consumers = 3 } in
+      Fmt.pr "  ring=%-24d %7.3fs@." ring_size t)
+    [ 256; 1024; 4096 ]

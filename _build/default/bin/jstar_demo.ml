@@ -1,0 +1,315 @@
+(* jstar-demo: command-line driver for the case-study programs.
+
+   This binary is the runtime analogue of the JStar compiler's flag
+   interface: the same declarative programs run under different
+   parallelisation strategies and data-structure choices selected purely
+   by options ("-sequential", "--threads=N", "-noDelta T", store
+   overrides), demonstrating the paper's central claim that none of
+   these choices require touching program text. *)
+
+open Cmdliner
+open Jstar_core
+
+let tune_runtime () =
+  (* The paper ran the JVM with a large heap (§6.2); the OCaml 5
+     analogue is a large per-domain minor heap.  Must precede any
+     domain spawn. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 }
+
+(* -- shared options -------------------------------------------------- *)
+
+let threads =
+  let doc = "Fork/join pool size; 1 runs sequentially on the caller." in
+  Arg.(value & opt int 2 & info [ "t"; "threads" ] ~docv:"N" ~doc)
+
+let trace =
+  let doc = "Log every execution step (equivalence class) to stderr." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let causality_check =
+  let doc = "Assert the law of causality dynamically at every put." in
+  Arg.(value & flag & info [ "check-causality" ] ~doc)
+
+let task_per_rule =
+  let doc = "One task per (tuple, rule) pair instead of per tuple (§5.2)." in
+  Arg.(value & flag & info [ "task-per-rule" ] ~doc)
+
+let show_stats =
+  let doc = "Print per-table usage statistics after the run." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let apply_common config ~trace ~causality_check ~task_per_rule =
+  {
+    config with
+    Config.trace;
+    runtime_causality_check = causality_check;
+    task_per_rule;
+  }
+
+let report ?(max_lines = 20) result show_stats =
+  let outputs = result.Engine.outputs in
+  let n = List.length outputs in
+  List.iteri
+    (fun i line -> if i < max_lines then Fmt.pr "%s@." line)
+    outputs;
+  if n > max_lines then Fmt.pr "... (%d more lines)@." (n - max_lines);
+  Fmt.pr "-- %.3fs, %d steps, %d tuples processed, %d delta inserts (%d dups)@."
+    result.Engine.elapsed result.Engine.steps result.Engine.tuples_processed
+    result.Engine.delta_inserted result.Engine.delta_deduped;
+  if show_stats then
+    Fmt.pr "%a" Table_stats.pp_snapshot (Table_stats.snapshot result.Engine.stats)
+
+(* -- pvwatts ---------------------------------------------------------- *)
+
+let pvwatts_cmd =
+  let installations =
+    Arg.(value & opt int 10 & info [ "installations" ] ~docv:"N"
+           ~doc:"Installations in the synthetic dataset (paper: 1000).")
+  in
+  let naive =
+    Arg.(value & flag & info [ "naive" ]
+           ~doc:"Disable -noDelta: route every PvWatts tuple through Delta.")
+  in
+  let store =
+    Arg.(value & opt (enum [ ("skiplist", Jstar_apps.Pvwatts.Default_store);
+                             ("hash", Jstar_apps.Pvwatts.Hash_store);
+                             ("month-array", Jstar_apps.Pvwatts.Month_array_store) ])
+           Jstar_apps.Pvwatts.Month_array_store
+         & info [ "store" ] ~docv:"KIND"
+             ~doc:"Gamma store for the PvWatts table: $(b,skiplist), $(b,hash) or $(b,month-array).")
+  in
+  let sorted =
+    Arg.(value & flag & info [ "sorted" ]
+           ~doc:"Round-robin input ordering (the paper's best case) instead of month-major.")
+  in
+  let disruptor =
+    Arg.(value & flag & info [ "disruptor" ]
+           ~doc:"Run the Disruptor redesign (§6.3) instead of the engine version.")
+  in
+  let consumers =
+    Arg.(value & opt int 12 & info [ "consumers" ] ~docv:"N"
+           ~doc:"Disruptor consumer count (Table 1 uses 12).")
+  in
+  let dot =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+           ~doc:"Write the program's dependency graph in Graphviz format.")
+  in
+  let run installations threads naive store sorted disruptor consumers dot
+      trace causality_check task_per_rule show_stats =
+    tune_runtime ();
+    let ordering =
+      if sorted then Jstar_csv.Pvwatts_data.Round_robin
+      else Jstar_csv.Pvwatts_data.Month_major
+    in
+    Fmt.pr "generating %d records...@."
+      (Jstar_csv.Pvwatts_data.record_count ~installations);
+    let data = Jstar_csv.Pvwatts_data.to_bytes ~installations ~ordering in
+    if disruptor then begin
+      let r =
+        Jstar_apps.Pvwatts_disruptor.run
+          ~options:
+            { Jstar_disruptor.Disruptor.pvwatts_options with num_consumers = consumers }
+          ~data ()
+      in
+      List.iter (Fmt.pr "%s@.") r.Jstar_apps.Pvwatts_disruptor.outputs;
+      Fmt.pr "-- producer %.3fs, total %.3fs, %d events@."
+        r.Jstar_apps.Pvwatts_disruptor.stats.Jstar_disruptor.Disruptor.elapsed_producer
+        r.Jstar_apps.Pvwatts_disruptor.stats.Jstar_disruptor.Disruptor.elapsed_total
+        r.Jstar_apps.Pvwatts_disruptor.stats.Jstar_disruptor.Disruptor.published
+    end
+    else begin
+      let app = Jstar_apps.Pvwatts.make ~data ~chunks:(max 2 (2 * threads)) () in
+      (match dot with
+      | Some path ->
+          Jstar_stats.Depgraph.write_dot
+            (Jstar_stats.Depgraph.of_program app.Jstar_apps.Pvwatts.program)
+            path;
+          Fmt.pr "dependency graph -> %s@." path
+      | None -> ());
+      let config =
+        apply_common ~trace ~causality_check ~task_per_rule
+          (Jstar_apps.Pvwatts.config ~threads ~no_delta:(not naive) ~store ())
+      in
+      report
+        (Engine.run_program ~init:app.Jstar_apps.Pvwatts.init
+           app.Jstar_apps.Pvwatts.program config)
+        show_stats
+    end
+  in
+  Cmd.v
+    (Cmd.info "pvwatts" ~doc:"Monthly solar-power averages (§6.2-6.3).")
+    Term.(
+      const run $ installations $ threads $ naive $ store $ sorted $ disruptor
+      $ consumers $ dot $ trace $ causality_check $ task_per_rule $ show_stats)
+
+(* -- matmul ----------------------------------------------------------- *)
+
+let matmul_cmd =
+  let n =
+    Arg.(value & opt int 400 & info [ "n" ] ~docv:"N"
+           ~doc:"Matrix dimension (paper: 1000).")
+  in
+  let boxed =
+    Arg.(value & flag & info [ "boxed" ]
+           ~doc:"Write results as boxed tuples through put (the slow XText path, §6.1).")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Check against the naive baseline.")
+  in
+  let run n threads boxed verify trace causality_check task_per_rule show_stats =
+    tune_runtime ();
+    ignore (trace, causality_check, task_per_rule);
+    let variant = if boxed then Jstar_apps.Matmul.Boxed else Jstar_apps.Matmul.Unboxed in
+    let t0 = Unix.gettimeofday () in
+    let result, get = Jstar_apps.Matmul.run ~n ~variant ~threads () in
+    Fmt.pr "C[0][0]=%d C[%d][%d]=%d@." (get 0 0) (n - 1) (n - 1)
+      (get (n - 1) (n - 1));
+    Fmt.pr "-- %.3fs (%s, %d threads)@."
+      (Unix.gettimeofday () -. t0)
+      (if boxed then "boxed" else "unboxed")
+      threads;
+    if verify then begin
+      let a = Jstar_apps.Matmul.generate_matrix 1 n
+      and b = Jstar_apps.Matmul.generate_matrix 2 n in
+      let want = Jstar_apps.Matmul.baseline_naive a b in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if get i j <> want.(i).(j) then ok := false
+        done
+      done;
+      Fmt.pr "verification: %s@." (if !ok then "ok" else "FAILED")
+    end;
+    if show_stats then
+      Fmt.pr "%a" Table_stats.pp_snapshot (Table_stats.snapshot result.Engine.stats)
+  in
+  Cmd.v
+    (Cmd.info "matmul" ~doc:"Naive matrix multiplication (§6.4).")
+    Term.(
+      const run $ n $ threads $ boxed $ verify $ trace $ causality_check
+      $ task_per_rule $ show_stats)
+
+(* -- dijkstra ---------------------------------------------------------- *)
+
+let dijkstra_cmd =
+  let vertices =
+    Arg.(value & opt int 100_000 & info [ "vertices" ] ~docv:"N"
+           ~doc:"Graph size; edges are ~2x this (paper: 1,000,000).")
+  in
+  let tasks =
+    Arg.(value & opt int 24 & info [ "gen-tasks" ] ~docv:"N"
+           ~doc:"Parallel graph-generation tasks (the paper split a serial rule into 24).")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Check against the binary-heap baseline.")
+  in
+  let run vertices threads tasks verify trace causality_check task_per_rule
+      show_stats =
+    tune_runtime ();
+    ignore (trace, causality_check, task_per_rule);
+    let result, app = Jstar_apps.Shortest_path.run ~tasks ~vertices ~threads () in
+    Fmt.pr "reached %d of %d vertices@."
+      (app.Jstar_apps.Shortest_path.reached_count ())
+      vertices;
+    List.iter
+      (fun v ->
+        match app.Jstar_apps.Shortest_path.distance_of v with
+        | Some d -> Fmt.pr "shortest path to %d is %d@." v d
+        | None -> Fmt.pr "vertex %d unreachable@." v)
+      [ 1; vertices / 2; vertices - 1 ];
+    Fmt.pr "-- %.3fs, %d steps@." result.Engine.elapsed result.Engine.steps;
+    if verify then begin
+      let want = Jstar_apps.Shortest_path.baseline ~tasks ~vertices () in
+      let ok = ref true in
+      for v = 0 to vertices - 1 do
+        if app.Jstar_apps.Shortest_path.distance_of v <> Some want.(v) then
+          ok := false
+      done;
+      Fmt.pr "verification: %s@." (if !ok then "ok" else "FAILED")
+    end;
+    if show_stats then
+      Fmt.pr "%a" Table_stats.pp_snapshot (Table_stats.snapshot result.Engine.stats)
+  in
+  Cmd.v
+    (Cmd.info "dijkstra" ~doc:"Single-source shortest paths (§6.5, Fig 5).")
+    Term.(
+      const run $ vertices $ threads $ tasks $ verify $ trace $ causality_check
+      $ task_per_rule $ show_stats)
+
+(* -- median ------------------------------------------------------------ *)
+
+let median_cmd =
+  let n =
+    Arg.(value & opt int 4_000_000 & info [ "n" ] ~docv:"N"
+           ~doc:"Array size (paper: 100,000,000).")
+  in
+  let regions =
+    Arg.(value & opt int 8 & info [ "regions" ] ~docv:"N"
+           ~doc:"Parallel partition regions per round.")
+  in
+  let run n threads regions trace causality_check task_per_rule show_stats =
+    tune_runtime ();
+    ignore (trace, causality_check, task_per_rule);
+    let result = Jstar_apps.Median.run ~regions ~n ~threads () in
+    report result show_stats
+  in
+  Cmd.v
+    (Cmd.info "median" ~doc:"Median of N random doubles (§6.6).")
+    Term.(
+      const run $ n $ threads $ regions $ trace $ causality_check
+      $ task_per_rule $ show_stats)
+
+(* -- ship -------------------------------------------------------------- *)
+
+let ship_cmd =
+  let run threads trace causality_check task_per_rule show_stats =
+    tune_runtime ();
+    let app = Jstar_apps.Spaceinvaders.make () in
+    let config =
+      apply_common ~trace ~causality_check ~task_per_rule
+        { Config.default with threads }
+    in
+    report
+      (Engine.run_program ~init:app.Jstar_apps.Spaceinvaders.init
+         app.Jstar_apps.Spaceinvaders.program config)
+      show_stats
+  in
+  Cmd.v
+    (Cmd.info "ship" ~doc:"The Space Invaders Ship example of §3 (Fig 2).")
+    Term.(const run $ threads $ trace $ causality_check $ task_per_rule $ show_stats)
+
+(* -- check ------------------------------------------------------------- *)
+
+let check_cmd =
+  let run () =
+    (* Run the causality checker over every case-study program. *)
+    let check name program =
+      let report = Jstar_causality.Check.check_program program in
+      Fmt.pr "@.%s:@.  %a" name Jstar_causality.Check.pp_report report;
+      let strata = Jstar_causality.Strata.analyse program in
+      if not (Jstar_causality.Strata.globally_stratified strata) then
+        Fmt.pr "  %a" Jstar_causality.Strata.pp strata
+    in
+    check "ship" (Jstar_apps.Spaceinvaders.make ()).Jstar_apps.Spaceinvaders.program;
+    let data = Jstar_csv.Pvwatts_data.to_bytes ~installations:1
+        ~ordering:Jstar_csv.Pvwatts_data.Month_major in
+    check "pvwatts" (Jstar_apps.Pvwatts.make ~data ~chunks:2 ()).Jstar_apps.Pvwatts.program;
+    let mm, _ = Jstar_apps.Matmul.make ~n:4 ~variant:Jstar_apps.Matmul.Unboxed () in
+    check "matmul" mm.Jstar_apps.Matmul.program;
+    let sp, _, _ = Jstar_apps.Shortest_path.make ~vertices:4 () in
+    check "dijkstra" sp.Jstar_apps.Shortest_path.program;
+    let md, _ = Jstar_apps.Median.make ~n:16 () in
+    check "median" md.Jstar_apps.Median.program
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Discharge the causality proof obligations of every case-study program (§4).")
+    Term.(const run $ const ())
+
+let main =
+  let doc = "JStar case-study programs under configurable parallelisation" in
+  Cmd.group
+    (Cmd.info "jstar-demo" ~version:"1.0.0" ~doc)
+    [ pvwatts_cmd; matmul_cmd; dijkstra_cmd; median_cmd; ship_cmd; check_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/life_demo.ml: Array Jstar_apps Jstar_core List Printf Sys

@@ -1,0 +1,1 @@
+examples/median_demo.ml: Array Fmt Jstar_apps Jstar_core Sys Unix

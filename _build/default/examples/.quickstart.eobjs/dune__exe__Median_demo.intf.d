@@ -1,0 +1,1 @@
+examples/median_demo.mli:

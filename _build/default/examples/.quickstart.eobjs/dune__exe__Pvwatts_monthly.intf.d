@@ -1,0 +1,1 @@
+examples/pvwatts_monthly.mli:

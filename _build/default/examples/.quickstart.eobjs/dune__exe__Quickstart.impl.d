@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Engine Fmt Jstar_apps Jstar_causality Jstar_core List

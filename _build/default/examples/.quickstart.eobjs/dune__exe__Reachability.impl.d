@@ -1,0 +1,1 @@
+examples/reachability.ml: Config Engine Fmt Jstar_core List Printf Program Query Rule Schema Spec Tuple Value

@@ -1,0 +1,1 @@
+examples/sensor_stream.ml: Config Engine Fmt Jstar_core List Printf Program Query Reducer Rule Schema Spec Store Tuple Value

@@ -1,0 +1,1 @@
+examples/shortest_path_demo.ml: Array Fmt Jstar_apps Jstar_core List Sys Unix

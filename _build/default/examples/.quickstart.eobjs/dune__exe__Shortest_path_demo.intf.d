@@ -1,0 +1,1 @@
+examples/shortest_path_demo.mli:

@@ -1,0 +1,1 @@
+examples/wordcount.ml: Config Engine Fmt Jstar_causality Jstar_core List Printf Program Query Rule Schema Spec String Tuple Value

@@ -1,0 +1,26 @@
+(* Median finding (§6.6): the explicitly parallel global-pivot
+   partitioning algorithm, against the sort and quickselect baselines.
+
+   Usage:
+     dune exec examples/median_demo.exe -- [n] [threads]                *)
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1_000_000 in
+  let threads = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 2 in
+  Fmt.pr "finding the median of %d random doubles with %d thread(s)@." n threads;
+  let result = Jstar_apps.Median.run ~n ~threads () in
+  (match result.Jstar_core.Engine.outputs with
+  | [ line ] ->
+      Fmt.pr "JStar:       %s  (%.3fs, %d steps)@." line
+        result.Jstar_core.Engine.elapsed result.Jstar_core.Engine.steps
+  | _ -> Fmt.pr "unexpected outputs@.");
+  let arr = Jstar_apps.Median.generate n in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let m_sort, t_sort = time (fun () -> Jstar_apps.Median.baseline_sort arr) in
+  let m_qs, t_qs = time (fun () -> Jstar_apps.Median.baseline_quickselect arr) in
+  Fmt.pr "sort:        median = %.9f  (%.3fs)@." m_sort t_sort;
+  Fmt.pr "quickselect: median = %.9f  (%.3fs)@." m_qs t_qs

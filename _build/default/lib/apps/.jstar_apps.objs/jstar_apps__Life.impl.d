@@ -1,0 +1,1 @@
+lib/apps/life.ml: Config Engine Hashtbl Jstar_core List Option Program Query Rule Schema Set Spec Store Tuple Value

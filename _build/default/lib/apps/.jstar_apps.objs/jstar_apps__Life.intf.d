@@ -1,0 +1,1 @@
+lib/apps/life.mli: Config Engine Jstar_core Program Schema Store Tuple

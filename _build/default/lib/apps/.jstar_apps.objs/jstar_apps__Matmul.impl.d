@@ -1,0 +1,1 @@
+lib/apps/matmul.ml: Array Config Engine Jstar_core Program Rule Schema Spec Store Tuple Value

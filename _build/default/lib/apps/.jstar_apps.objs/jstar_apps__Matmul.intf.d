@@ -1,0 +1,1 @@
+lib/apps/matmul.mli: Config Engine Jstar_core Program Schema Store Tuple

@@ -1,0 +1,1 @@
+lib/apps/median.ml: Array Config Engine Float Jstar_core List Printf Program Query Rule Schema Spec Store Tuple Value

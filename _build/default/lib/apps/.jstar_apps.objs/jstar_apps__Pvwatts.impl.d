@@ -1,0 +1,1 @@
+lib/apps/pvwatts.ml: Array Atomic Bytes Config Engine Fmt Hashtbl Jstar_core Jstar_csv List Mutex Program Query Reducer Rule Schema Spec Store String Tuple Value

@@ -1,0 +1,1 @@
+lib/apps/pvwatts.mli: Bytes Config Engine Jstar_core Program Schema Store Tuple

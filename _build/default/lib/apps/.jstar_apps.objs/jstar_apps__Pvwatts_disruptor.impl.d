@@ -1,0 +1,1 @@
+lib/apps/pvwatts_disruptor.ml: Array Bytes Jstar_cds Jstar_core Jstar_csv Jstar_disruptor List Pvwatts Reducer String

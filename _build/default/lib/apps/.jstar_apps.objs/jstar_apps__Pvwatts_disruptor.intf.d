@@ -1,0 +1,1 @@
+lib/apps/pvwatts_disruptor.mli: Bytes Jstar_disruptor

@@ -1,0 +1,1 @@
+lib/apps/shortest_path.ml: Array Atomic Config Engine Jstar_core List Printf Program Rule Schema Spec Store Tuple Value

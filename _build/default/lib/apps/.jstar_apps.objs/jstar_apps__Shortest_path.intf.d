@@ -1,0 +1,1 @@
+lib/apps/shortest_path.mli: Config Engine Jstar_core Program Store Tuple

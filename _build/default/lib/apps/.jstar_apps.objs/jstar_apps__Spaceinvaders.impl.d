@@ -1,0 +1,1 @@
+lib/apps/spaceinvaders.ml: Jstar_core List Printf Program Rule Schema Spec Tuple Value

@@ -1,0 +1,1 @@
+lib/apps/spaceinvaders.mli: Jstar_core Program Schema Tuple

@@ -1,0 +1,154 @@
+(* Conway's Game of Life as a JStar program — not one of the paper's
+   four case studies, but the style of program its introduction
+   motivates: simulation state that "changes over time" recorded as
+   immutable timestamped tuples (like the Ship of §3), stepped by rules
+   that read one generation and write the next.
+
+     table Cell(int gen, int x, int y)   orderby (Int, seq gen, Cell);
+     table Tick(int gen -> int left)     orderby (Int, seq gen, Tick);
+     order Cell < Tick;
+
+     foreach (Tick t) {
+       // aggregate query over generation t.gen (strictly earlier class)
+       put Cell(t.gen+1, x, y) for survivors and births;
+       if (t.left > 0) put Tick(t.gen+1, t.left-1);
+     }
+
+   The Cell < Tick literal ordering makes the whole of generation g
+   visible in Gamma before the tick that reads it executes — the same
+   stratification pattern as PvWatts < SumMonth.  Old generations can
+   be garbage collected with a windowed store (width 2), exactly the
+   Median program's lifetime hint. *)
+
+open Jstar_core
+
+type t = {
+  program : Program.t;
+  init : Tuple.t list;
+  cell : Schema.t;
+  alive_at : (Schema.t -> Store.t) -> int -> (int * int) list;
+      (* generation's live cells from a gamma accessor, sorted *)
+}
+
+let neighbours (x, y) =
+  [ (x-1, y-1); (x, y-1); (x+1, y-1); (x-1, y); (x+1, y);
+    (x-1, y+1); (x, y+1); (x+1, y+1) ]
+
+(* The reference implementation: one synchronous step on a set. *)
+let reference_step alive =
+  let module PS = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let live = PS.of_list alive in
+  let counts = Hashtbl.create 64 in
+  PS.iter
+    (fun c ->
+      List.iter
+        (fun n -> Hashtbl.replace counts n (1 + Option.value ~default:0 (Hashtbl.find_opt counts n)))
+        (neighbours c))
+    live;
+  Hashtbl.fold
+    (fun c n acc ->
+      if n = 3 || (n = 2 && PS.mem c live) then c :: acc else acc)
+    counts []
+  |> List.sort compare
+
+let reference ~generations alive =
+  let rec go g alive = if g = 0 then alive else go (g - 1) (reference_step alive) in
+  go generations (List.sort compare alive)
+
+let make ~generations ~alive () =
+  let p = Program.create () in
+  let cell =
+    Program.table p "Cell"
+      ~columns:Schema.[ int_col "gen"; int_col "x"; int_col "y" ]
+      ~orderby:Schema.[ Lit "Int"; Seq "gen"; Lit "Cell" ]
+      ()
+  in
+  let tick =
+    Program.table p "Tick"
+      ~columns:Schema.[ int_col "gen"; int_col "left" ]
+      ~key:1
+      ~orderby:Schema.[ Lit "Int"; Seq "gen"; Lit "Tick" ]
+      ()
+  in
+  Program.order p [ "Cell"; "Tick" ];
+  Program.rule p "step" ~trigger:tick
+    ~reads:
+      [
+        (* generation g is an earlier class than Tick(g): Cell < Tick *)
+        Spec.read ~kind:Spec.Aggregate "Cell"
+          ~ts:[ Spec.bind "gen" (Spec.Field "gen") ];
+      ]
+    ~puts:
+      [
+        Spec.put "Cell" ~ts:[ Spec.bind "gen" (Spec.Add (Spec.Field "gen", 1)) ];
+        Spec.put "Tick" ~ts:[ Spec.bind "gen" (Spec.Add (Spec.Field "gen", 1)) ]
+          ~when_:"left > 0";
+      ]
+    (fun ctx t ->
+      let gen = Tuple.int t "gen" and left = Tuple.int t "left" in
+      let live = Hashtbl.create 64 in
+      let counts = Hashtbl.create 256 in
+      Query.iter ctx cell ~prefix:[| Value.Int gen |] (fun c ->
+          let pos = (Tuple.int c "x", Tuple.int c "y") in
+          Hashtbl.replace live pos ();
+          List.iter
+            (fun n ->
+              Hashtbl.replace counts n
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts n)))
+            (neighbours pos));
+      if left > 0 then begin
+        Hashtbl.iter
+          (fun (x, y) n ->
+            if n = 3 || (n = 2 && Hashtbl.mem live (x, y)) then
+              ctx.Rule.put
+                (Tuple.make cell [| Value.Int (gen + 1); Value.Int x; Value.Int y |]))
+          counts;
+        ctx.Rule.put (Tuple.make tick [| Value.Int (gen + 1); Value.Int (left - 1) |])
+      end);
+  let init =
+    List.map
+      (fun (x, y) -> Tuple.make cell [| Value.Int 0; Value.Int x; Value.Int y |])
+      alive
+    @ [ Tuple.make tick [| Value.Int 0; Value.Int generations |] ]
+  in
+  {
+    program = p;
+    init;
+    cell;
+    alive_at =
+      (fun gamma_of gen ->
+        let acc = ref [] in
+        (gamma_of cell).Store.iter_prefix [| Value.Int gen |] (fun c ->
+            acc := (Tuple.int c "x", Tuple.int c "y") :: !acc);
+        List.sort compare !acc);
+  }
+
+(* Keep only the two generations the rules can still read — the
+   windowed lifetime hint; pass [retain_all:true] to keep history. *)
+let config ?(threads = 1) ?(retain_all = false) () =
+  {
+    Config.default with
+    threads;
+    stores =
+      (if retain_all then []
+       else
+         [ ("Cell", Store.Custom (Store.windowed ~field:"gen" ~width:2 (Store.hash_index ~prefix_len:1))) ]);
+  }
+
+let run ?threads ?retain_all ~generations ~alive () =
+  let app = make ~generations ~alive () in
+  let result, gamma_of =
+    Engine.run_with_gamma ~init:app.init
+      (Program.freeze app.program)
+      (config ?threads ?retain_all ())
+  in
+  (result, app.alive_at gamma_of generations)
+
+(* Classic patterns for tests and demos. *)
+let blinker = [ (1, 0); (1, 1); (1, 2) ]
+let block = [ (0, 0); (0, 1); (1, 0); (1, 1) ]
+let glider = [ (1, 0); (2, 1); (0, 2); (1, 2); (2, 2) ]

@@ -1,0 +1,39 @@
+(** Conway's Game of Life as a JStar program: generations as timestamps
+    (the §3 pattern), one tick rule reading the strictly-earlier
+    generation class, and a windowed Gamma keeping only the two live
+    generations. *)
+
+open Jstar_core
+
+type t = {
+  program : Program.t;
+  init : Tuple.t list;
+  cell : Schema.t;
+  alive_at : (Schema.t -> Store.t) -> int -> (int * int) list;
+}
+
+val neighbours : int * int -> (int * int) list
+
+val reference_step : (int * int) list -> (int * int) list
+(** One synchronous step, engine-free (the test oracle). *)
+
+val reference : generations:int -> (int * int) list -> (int * int) list
+
+val make : generations:int -> alive:(int * int) list -> unit -> t
+
+val config : ?threads:int -> ?retain_all:bool -> unit -> Config.t
+(** [retain_all:false] (default) applies the width-2 windowed store;
+    [true] keeps every generation queryable. *)
+
+val run :
+  ?threads:int ->
+  ?retain_all:bool ->
+  generations:int ->
+  alive:(int * int) list ->
+  unit ->
+  Engine.result * (int * int) list
+(** Run and return the final generation's live cells, sorted. *)
+
+val blinker : (int * int) list
+val block : (int * int) list
+val glider : (int * int) list

@@ -1,0 +1,43 @@
+(** The MatrixMult case study (§6.4): naive N x N integer matrix
+    multiplication, one fork/join task per output row, with the
+    "native-arrays" Gamma store for the matrices. *)
+
+open Jstar_core
+
+type variant =
+  | Boxed
+      (** results written as boxed tuples through [put] — the
+          XText-generated 21.9s code path of §6.1 *)
+  | Unboxed
+      (** results written through the typed native-array handle — the
+          hand-corrected 8.1s path *)
+
+type t = {
+  program : Program.t;
+  init : Tuple.t list;
+  result_handle : Store.int_array_handle;
+  matrix_table : Schema.t;
+}
+
+val generate_matrix : int -> int -> int array array
+(** [generate_matrix seed n]: deterministic pseudo-random n x n matrix
+    with entries in [0, 100). *)
+
+val make : n:int -> variant:variant -> unit -> t * Store.t
+(** The program plus the result matrix's native store (to be injected
+    via {!config}). *)
+
+val config : ?threads:int -> Store.t -> Config.t
+(** [-noDelta Matrix] (results never trigger rules), [-noGamma
+    RowRequest] (trigger-only), and the native store override. *)
+
+val run :
+  n:int -> variant:variant -> threads:int -> unit ->
+  Engine.result * (int -> int -> int)
+(** Run and return an accessor for C[i][j]. *)
+
+val baseline_naive : int array array -> int array array -> int array array
+(** The triple loop (7.5s in the paper's Java). *)
+
+val baseline_transposed : int array array -> int array array -> int array array
+(** With B transposed first for cache locality (1.0s in Java). *)

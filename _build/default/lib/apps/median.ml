@@ -1,0 +1,393 @@
+(* The Median-Finding case study (§6.6, Fig 13): find the median of a
+   large array of random doubles with an explicitly parallel algorithm:
+
+     "It chooses a global pivot value, divides the array into N
+      consecutive regions, partitions each of those regions using the
+      pivot value (similar to a Quicksort) and reports the size of
+      those partitions back to a central controller.  The controller
+      then repeats this process (each time focusing on the partitions
+      that must contain the median value) until only one value is left
+      in the partition, which is the median."
+
+   Tables (each iteration advances the [iter] timestamp, literals order
+   the phases within an iteration):
+
+     table Data(int iter, int index -> double value)
+                                 orderby (Int, seq iter, Data, seq index);
+     table GenTask(region,lo,hi)            orderby (Gen, par region);
+     table Pivot(iter -> pivot,size,k)      orderby (Int, seq iter, Ctrl);
+     table PartTask(iter,region,lo,hi,pivot) orderby (Int, seq iter, Task, par region);
+     table Counts(iter,region -> less,equal) orderby (Int, seq iter, Counts);
+     table Gather(iter)                     orderby (Int, seq iter, Gather);
+     table Compact(iter,region,src,len,dst) orderby (Int, seq iter, Cmp, par region);
+     order Gen < Int;  order Ctrl < Task < Counts < Gather < Cmp;
+
+   The Data table's Gamma uses the two-buffer native-array optimisation:
+   "a custom subclass that stored all the values in a 2D array
+   double[2][100000000], and used iter modulo 2 as the index for the
+   outer dimension" — rules only ever touch iter and iter+1, so two
+   copies suffice (a manual-lifetime Gamma garbage collection hint). *)
+
+open Jstar_core
+
+(* Deterministic pseudo-random doubles in [0, 1). *)
+let value_at ~seed i =
+  let x = (i + seed) * 2654435761 in
+  let x = x lxor (x lsr 16) in
+  let x = x * 2246822519 in
+  let x = x lxor (x lsr 13) in
+  float_of_int (x land 0xFFFFFF) /. 16777216.0
+
+let sequential_cutoff = 4096
+
+type t = {
+  program : Program.t;
+  init : Tuple.t list;
+  data_table : Schema.t;
+}
+
+let make ?(seed = 7) ?(regions = 8) ~n () =
+  if n < 1 then invalid_arg "Median.make: empty array";
+  let p = Program.create () in
+  let req =
+    Program.table p "MedianRequest" ~columns:Schema.[ int_col "n" ]
+      ~orderby:Schema.[ Lit "Req" ] ()
+  in
+  let gen =
+    Program.table p "GenTask"
+      ~columns:Schema.[ int_col "region"; int_col "lo"; int_col "hi" ]
+      ~orderby:Schema.[ Lit "Gen"; Par "region" ]
+      ()
+  in
+  let data =
+    Program.table p "Data"
+      ~columns:Schema.[ int_col "iter"; int_col "index"; float_col "value" ]
+      ~key:2
+      ~orderby:Schema.[ Lit "Int"; Seq "iter"; Lit "Data"; Seq "index" ]
+      ()
+  in
+  let pivot_t =
+    Program.table p "Pivot"
+      ~columns:Schema.[ int_col "iter"; int_col "size"; int_col "k" ]
+      ~key:1
+      ~orderby:Schema.[ Lit "Int"; Seq "iter"; Lit "Ctrl" ]
+      ()
+  in
+  let task =
+    Program.table p "PartTask"
+      ~columns:
+        Schema.
+          [
+            int_col "iter"; int_col "region"; int_col "lo"; int_col "hi";
+            float_col "pivot";
+          ]
+      ~orderby:Schema.[ Lit "Int"; Seq "iter"; Lit "Task"; Par "region" ]
+      ()
+  in
+  let counts =
+    Program.table p "Counts"
+      ~columns:
+        Schema.
+          [
+            int_col "iter"; int_col "region"; int_col "lo"; int_col "less";
+            int_col "equal"; int_col "total"; float_col "pivot";
+          ]
+      ~key:2
+      ~orderby:Schema.[ Lit "Int"; Seq "iter"; Lit "Counts" ]
+      ()
+  in
+  let gather =
+    Program.table p "Gather" ~columns:Schema.[ int_col "iter" ] ~key:1
+      ~orderby:Schema.[ Lit "Int"; Seq "iter"; Lit "Gather" ]
+      ()
+  in
+  let compact =
+    Program.table p "Compact"
+      ~columns:
+        Schema.
+          [
+            int_col "iter"; int_col "region"; int_col "src"; int_col "len";
+            int_col "dst";
+          ]
+      ~orderby:Schema.[ Lit "Int"; Seq "iter"; Lit "Cmp"; Par "region" ]
+      ()
+  in
+  Program.order p [ "Req"; "Gen"; "Int" ];
+  Program.order p [ "Ctrl"; "Task"; "Counts"; "Gather"; "Cmp" ];
+  (* The two-buffer Gamma for Data: double[2][n], outer index iter mod 2. *)
+  let bufs = [| Array.make n 0.0; Array.make n 0.0 |] in
+  let buf iter = bufs.(iter land 1) in
+  let data_store _schema =
+    {
+      Store.kind = "double[2][n]";
+      insert =
+        (fun t ->
+          (buf (Tuple.int_at t 0)).(Tuple.int_at t 1) <- Tuple.float_at t 2;
+          true);
+      mem = (fun _ -> false);
+      iter_prefix =
+        (fun prefix f ->
+          (* only prefix [iter] or [iter; index] queries are meaningful *)
+          match Array.length prefix with
+          | 2 ->
+              let iter = Value.to_int prefix.(0)
+              and i = Value.to_int prefix.(1) in
+              f
+                (Tuple.make data
+                   [| prefix.(0); prefix.(1); Value.Float (buf iter).(i) |])
+          | _ -> invalid_arg "Data store: query needs (iter, index)");
+      iter = (fun _ -> invalid_arg "Data store: full scans unsupported");
+      size = (fun () -> n);
+    }
+  in
+  let region_ranges size =
+    List.init regions (fun r ->
+        (r, r * size / regions, (r + 1) * size / regions))
+    |> List.filter (fun (_, lo, hi) -> lo < hi)
+  in
+  let v_int i = Value.Int i and v_flt x = Value.Float x in
+  let put_pivot ctx ~iter ~size ~k =
+    ctx.Rule.put (Tuple.make pivot_t [| v_int iter; v_int size; v_int k |])
+  in
+  (* median-of-three probe into the live buffer *)
+  let derive_pivot iter size =
+    let b = buf iter in
+    let a = b.(0) and m = b.(size / 2) and z = b.(size - 1) in
+    Float.max (Float.min a m) (Float.min (Float.max a m) z)
+  in
+  (* Request: fan out parallel data-generation tasks, then start the
+     controller at iteration 0 seeking rank k = (n-1)/2 (lower median). *)
+  Program.rule p "start" ~trigger:req
+    ~puts:[ Spec.put "GenTask" ]
+    (fun ctx r ->
+      let size = Tuple.int r "n" in
+      List.iter
+        (fun (reg, lo, hi) ->
+          ctx.Rule.put
+            (Tuple.make gen [| v_int reg; v_int lo; v_int hi |]))
+        (region_ranges size));
+  Program.rule p "generate" ~trigger:gen
+    ~puts:
+      [
+        Spec.put "Data" ~ts:[ Spec.bind "iter" (Spec.Const 0) ];
+        Spec.put "Pivot" ~ts:[ Spec.bind "iter" (Spec.Const 0) ];
+      ]
+    (fun ctx g ->
+      let lo = Tuple.int g "lo" and hi = Tuple.int g "hi" in
+      let b = buf 0 in
+      for i = lo to hi - 1 do
+        b.(i) <- value_at ~seed i
+      done;
+      (* the region starting at index 0 also seeds the controller (for
+         tiny n, low-numbered regions can be empty and filtered out) *)
+      if lo = 0 then put_pivot ctx ~iter:0 ~size:n ~k:((n - 1) / 2));
+  (* Controller: either finish sequentially or fan out partition tasks. *)
+  Program.rule p "control" ~trigger:pivot_t
+    ~puts:
+      [
+        Spec.put "PartTask" ~ts:[ Spec.bind "iter" (Spec.Field "iter") ]
+          ~when_:"size > cutoff";
+        Spec.put "Gather" ~ts:[ Spec.bind "iter" (Spec.Field "iter") ]
+          ~when_:"size > cutoff";
+      ]
+    (fun ctx pv ->
+      let iter = Tuple.int pv "iter"
+      and size = Tuple.int pv "size"
+      and k = Tuple.int pv "k" in
+      if size <= sequential_cutoff then begin
+        let slice = Array.sub (buf iter) 0 size in
+        Array.sort Float.compare slice;
+        ctx.Rule.println (Printf.sprintf "median = %.9f" slice.(k))
+      end
+      else begin
+        (* the buffer for this iteration is complete (generation or the
+           previous iteration's compaction class has run), so the pivot
+           probe is deterministic *)
+        let pivot = derive_pivot iter size in
+        List.iter
+          (fun (reg, lo, hi) ->
+            ctx.Rule.put
+              (Tuple.make task
+                 [| v_int iter; v_int reg; v_int lo; v_int hi; v_flt pivot |]))
+          (region_ranges size);
+        ctx.Rule.put (Tuple.make gather [| v_int iter |])
+      end);
+  (* Parallel three-way partition of one region, in place. *)
+  Program.rule p "partition" ~trigger:task
+    ~puts:[ Spec.put "Counts" ~ts:[ Spec.bind "iter" (Spec.Field "iter") ] ]
+    (fun ctx t ->
+      let iter = Tuple.int t "iter"
+      and reg = Tuple.int t "region"
+      and lo = Tuple.int t "lo"
+      and hi = Tuple.int t "hi"
+      and pivot = Tuple.float t "pivot" in
+      let b = buf iter in
+      (* Dutch national flag: [lo,lt) < pivot, [lt,gt) = pivot, [gt,hi) > *)
+      let lt = ref lo and gt = ref hi and i = ref lo in
+      while !i < !gt do
+        let x = b.(!i) in
+        if x < pivot then begin
+          b.(!i) <- b.(!lt);
+          b.(!lt) <- x;
+          incr lt;
+          incr i
+        end
+        else if x > pivot then begin
+          decr gt;
+          b.(!i) <- b.(!gt);
+          b.(!gt) <- x
+        end
+        else incr i
+      done;
+      ctx.Rule.put
+        (Tuple.make counts
+           [|
+             v_int iter; v_int reg; v_int lo; v_int (!lt - lo);
+             v_int (!gt - !lt); v_int (hi - lo); v_flt pivot;
+           |]));
+  (* Central controller gather: decide which side holds the median and
+     issue the compaction copies plus the next iteration's pivot. *)
+  Program.rule p "gather" ~trigger:gather
+    ~reads:
+      [
+        Spec.read ~kind:Spec.Aggregate "Counts"
+          ~ts:[ Spec.bind "iter" (Spec.Field "iter") ];
+        Spec.read "Pivot" ~ts:[ Spec.bind "iter" (Spec.Field "iter") ];
+      ]
+    ~puts:
+      [
+        Spec.put "Compact" ~ts:[ Spec.bind "iter" (Spec.Field "iter") ];
+        Spec.put "Pivot" ~ts:[ Spec.bind "iter" (Spec.Add (Spec.Field "iter", 1)) ];
+      ]
+    (fun ctx g ->
+      let iter = Tuple.int g "iter" in
+      let pv =
+        match Query.uniq ctx pivot_t ~prefix:[| v_int iter |] () with
+        | Some t -> t
+        | None -> failwith "gather: missing Pivot tuple"
+      in
+      let k = Tuple.int pv "k" in
+      let cs =
+        Query.list ctx counts ~prefix:[| v_int iter |] ()
+        |> List.sort (fun x y ->
+               compare (Tuple.int x "region") (Tuple.int y "region"))
+      in
+      let pivot =
+        match cs with
+        | c :: _ -> Tuple.float c "pivot"
+        | [] -> failwith "gather: no Counts tuples"
+      in
+      let total_less =
+        List.fold_left (fun acc c -> acc + Tuple.int c "less") 0 cs
+      in
+      let total_equal =
+        List.fold_left (fun acc c -> acc + Tuple.int c "equal") 0 cs
+      in
+      if k >= total_less && k < total_less + total_equal then
+        (* the median is the pivot itself *)
+        ctx.Rule.println (Printf.sprintf "median = %.9f" pivot)
+      else begin
+        let choose_less = k < total_less in
+        let dst = ref 0 in
+        List.iter
+          (fun c ->
+            let lo = Tuple.int c "lo"
+            and less = Tuple.int c "less"
+            and equal = Tuple.int c "equal"
+            and total = Tuple.int c "total" in
+            let src, len =
+              if choose_less then (lo, less)
+              else (lo + less + equal, total - less - equal)
+            in
+            if len > 0 then begin
+              ctx.Rule.put
+                (Tuple.make compact
+                   [|
+                     v_int iter; Tuple.get c 1; v_int src; v_int len; v_int !dst;
+                   |]);
+              dst := !dst + len
+            end)
+          cs;
+        let size' = !dst in
+        let k' = if choose_less then k else k - total_less - total_equal in
+        ctx.Rule.put
+          (Tuple.make pivot_t [| v_int (iter + 1); v_int size'; v_int k' |])
+      end);
+  (* Compaction copies run in parallel; they write iteration iter+1's
+     buffer, read iteration iter's. *)
+  Program.rule p "compact" ~trigger:compact
+    ~puts:[ Spec.put "Data" ~ts:[ Spec.bind "iter" (Spec.Add (Spec.Field "iter", 1)) ] ]
+    (fun _ctx c ->
+      let iter = Tuple.int c "iter" in
+      Array.blit (buf iter) (Tuple.int c "src")
+        (buf (iter + 1))
+        (Tuple.int c "dst") (Tuple.int c "len"));
+  let app =
+    {
+      program = p;
+      init = [ Tuple.make req [| v_int n |] ];
+      data_table = data;
+    }
+  in
+  (app, data_store data)
+
+(* Pivot and Gather tuples are real triggers whose class ordering drives
+   the controller, so they go through the Delta tree; Counts and Data
+   never trigger anything and bypass it; the task tables are
+   trigger-only and are never stored. *)
+let config ?(threads = 1) data_store =
+  {
+    Config.default with
+    threads;
+    no_delta = [ "Data"; "Counts" ];
+    no_gamma = [ "GenTask"; "PartTask"; "Compact" ];
+    stores = [ ("Data", Store.Custom (fun _ -> data_store)) ];
+  }
+
+let run ?seed ?regions ~n ~threads () =
+  let app, data_store = make ?seed ?regions ~n () in
+  Engine.run_program ~init:app.init app.program (config ~threads data_store)
+
+(* ------------------------------------------------------------------ *)
+(* Baselines (§6.1): full sort (the Java program, "Arrays.sort"), and a
+   sequential quickselect — "a median-specific variant of quicksort
+   that partitions the whole array, but then recurses only into the
+   half of the array that contains the median". *)
+
+let generate ?(seed = 7) n = Array.init n (fun i -> value_at ~seed i)
+
+let baseline_sort arr =
+  let copy = Array.copy arr in
+  Array.sort Float.compare copy;
+  copy.((Array.length copy - 1) / 2)
+
+let baseline_quickselect arr =
+  let a = Array.copy arr in
+  let k = (Array.length a - 1) / 2 in
+  let rec select lo hi k =
+    if hi - lo <= 1 then a.(lo)
+    else begin
+      let x = a.(lo) and m = a.((lo + hi) / 2) and z = a.(hi - 1) in
+      let pivot = Float.max (Float.min x m) (Float.min (Float.max x m) z) in
+      let lt = ref lo and gt = ref hi and i = ref lo in
+      while !i < !gt do
+        let v = a.(!i) in
+        if v < pivot then begin
+          a.(!i) <- a.(!lt);
+          a.(!lt) <- v;
+          incr lt;
+          incr i
+        end
+        else if v > pivot then begin
+          decr gt;
+          a.(!i) <- a.(!gt);
+          a.(!gt) <- v
+        end
+        else incr i
+      done;
+      if k < !lt - lo then select lo !lt k
+      else if k < !gt - lo then pivot
+      else select !gt hi (k - (!gt - lo))
+    end
+  in
+  select 0 (Array.length a) k

@@ -1,0 +1,36 @@
+(** The Median-Finding case study (§6.6): iterative global-pivot
+    partitioning — N parallel region partitions per round, a central
+    controller focusing on the side containing the median, and a
+    two-buffer [double[2][n]] Gamma for the Data table. *)
+
+open Jstar_core
+
+type t = {
+  program : Program.t;
+  init : Tuple.t list;
+  data_table : Schema.t;
+}
+
+val value_at : seed:int -> int -> float
+(** Deterministic pseudo-random double in [0, 1). *)
+
+val generate : ?seed:int -> int -> float array
+(** The array the program conceptually works on. *)
+
+val sequential_cutoff : int
+(** Below this size the controller finishes by sorting directly. *)
+
+val make : ?seed:int -> ?regions:int -> n:int -> unit -> t * Store.t
+(** The program plus the two-buffer Data store. *)
+
+val config : ?threads:int -> Store.t -> Config.t
+
+val run : ?seed:int -> ?regions:int -> n:int -> threads:int -> unit -> Engine.result
+(** Outputs a single ["median = %.9f"] line (the lower median). *)
+
+val baseline_sort : float array -> float
+(** Full sort (the paper's Java baseline — 13.4s via Arrays.sort). *)
+
+val baseline_quickselect : float array -> float
+(** Sequential three-way-partition selection (the strategy the JStar
+    program parallelises). *)

@@ -1,0 +1,109 @@
+(* The Disruptor redesign of PvWatts (§6.3, Fig 9, Table 1).
+
+   A single producer runs the whole CSV read loop, publishing PvWatts
+   records into the ring buffer and a sentinel at end of file.  Each
+   consumer claims every event (broadcast) but processes only the months
+   assigned to it — "we assign a separate month to each consumer" — and
+   keeps them in its own local Gamma store, so there is no shared-state
+   contention at all.  On the sentinel, the consumer processes its local
+   SumMonth work: running the Statistics reducer over its local store
+   and emitting the monthly means. *)
+
+open Jstar_core
+
+(* Mutable ring slot, written in place by the producer (the recycled
+   event objects of the Disruptor design). *)
+type event = {
+  mutable year : int;
+  mutable month : int;
+  mutable power : int;
+  mutable sentinel : bool;
+}
+
+let fresh_event () = { year = 0; month = 0; power = 0; sentinel = false }
+
+type result = {
+  outputs : string list; (* sorted month means, same format as Pvwatts *)
+  stats : Jstar_disruptor.Disruptor.stats;
+}
+
+(* A consumer's local Gamma: per-month growing buffers of raw powers.
+   Exactly Fig 9's "puts these tuples into its own Gamma database"; the
+   reducer loop then runs over it at sentinel time. *)
+type local_gamma = {
+  mutable store : int array array; (* month-1 -> values *)
+  mutable used : int array;
+}
+
+let make_gamma () =
+  { store = Array.init 12 (fun _ -> Array.make 1024 0); used = Array.make 12 0 }
+
+let gamma_add g month power =
+  let i = month - 1 in
+  let used = g.used.(i) in
+  let buf = g.store.(i) in
+  let buf =
+    if used >= Array.length buf then begin
+      let bigger = Array.make (2 * Array.length buf) 0 in
+      Array.blit buf 0 bigger 0 used;
+      g.store.(i) <- bigger;
+      bigger
+    end
+    else buf
+  in
+  buf.(used) <- power;
+  g.used.(i) <- used + 1
+
+let run ?(options = Jstar_disruptor.Disruptor.pvwatts_options) ~data () =
+  let num_consumers = options.Jstar_disruptor.Disruptor.num_consumers in
+  let gammas = Array.init num_consumers (fun _ -> make_gamma ()) in
+  let year_seen = Array.make num_consumers 0 in
+  let outputs = Jstar_cds.Treiber_stack.create () in
+  let fields = Array.make 6 0 in
+  let stats =
+    Jstar_disruptor.Disruptor.run ~options ~init:fresh_event
+      ~producer:(fun ~emit ->
+        (* the read loop: parse and publish, then the sentinel *)
+        Jstar_csv.Parse.iter_records data 0 (Bytes.length data) (fun s e ->
+            ignore (Jstar_csv.Parse.int_fields_into data s e fields);
+            let year = fields.(0)
+            and month = fields.(1)
+            and power = fields.(5) in
+            emit (fun ev ->
+                ev.year <- year;
+                ev.month <- month;
+                ev.power <- power;
+                ev.sentinel <- false));
+        emit (fun ev -> ev.sentinel <- true))
+      ~consumer:(fun me ev ->
+        if ev.sentinel then begin
+          (* local SumMonth phase: reduce each of my months *)
+          let g = gammas.(me) in
+          for i = 0 to 11 do
+            let month = i + 1 in
+            if (month - 1) mod num_consumers = me && g.used.(i) > 0 then begin
+              let stats = ref Reducer.Statistics.empty in
+              for j = 0 to g.used.(i) - 1 do
+                stats :=
+                  Reducer.Statistics.add !stats (float_of_int g.store.(i).(j))
+              done;
+              Jstar_cds.Treiber_stack.push outputs
+                (Pvwatts.format_mean year_seen.(me) month
+                   (Reducer.Statistics.mean !stats))
+            end
+          done;
+          false
+        end
+        else begin
+          if (ev.month - 1) mod num_consumers = me then begin
+            gamma_add gammas.(me) ev.month ev.power;
+            year_seen.(me) <- ev.year
+          end;
+          true
+        end)
+      ()
+  in
+  {
+    outputs = List.sort String.compare (Jstar_cds.Treiber_stack.pop_all outputs);
+    stats;
+  }

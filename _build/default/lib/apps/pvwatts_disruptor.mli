@@ -1,0 +1,22 @@
+(** The Disruptor redesign of PvWatts (§6.3, Fig 9): one producer runs
+    the CSV read loop and publishes records into a ring buffer; each
+    consumer handles the months assigned to it in its own local Gamma,
+    reducing them when the sentinel arrives. *)
+
+type event = {
+  mutable year : int;
+  mutable month : int;
+  mutable power : int;
+  mutable sentinel : bool;
+}
+
+type result = {
+  outputs : string list;
+      (** sorted monthly means, same format as {!Pvwatts.format_mean} *)
+  stats : Jstar_disruptor.Disruptor.stats;
+}
+
+val run :
+  ?options:Jstar_disruptor.Disruptor.options -> data:Bytes.t -> unit -> result
+(** Defaults to the Table 1 configuration (ring 1024, batch 256,
+    blocking waits, 12 consumers). *)

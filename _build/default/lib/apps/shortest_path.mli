@@ -1,0 +1,47 @@
+(** The ShortestPath case study (§6.5, Fig 5): Dijkstra's algorithm on
+    a random connected graph, with the Delta tree acting as the
+    priority queue (Estimate tuples ordered by distance). *)
+
+open Jstar_core
+
+type t = {
+  program : Program.t;
+  init : Tuple.t list;
+  distance_of : int -> int option;
+      (** final shortest distance per vertex (valid after the run) *)
+  reached_count : unit -> int;
+}
+
+val edges_for_task :
+  seed:int -> vertices:int -> lo:int -> hi:int -> (int * int * int) list
+(** The deterministic (from, to, weight) edges one generation task
+    produces: a tree edge into each vertex plus one random edge, with
+    weights 1..10.  Pure, so the JStar program and the baseline build
+    the same graph. *)
+
+val make :
+  ?seed:int ->
+  ?tasks:int ->
+  vertices:int ->
+  ?verbose:bool ->
+  unit ->
+  t * Store.t * Store.t
+(** The program plus the custom adjacency (Edge) and dense-array (Done)
+    stores.  [tasks] is the number of parallel graph-generation tasks
+    (the paper split a serial bottleneck into 24); [verbose] enables the
+    per-vertex "shortest path to v is d" output of Fig 5. *)
+
+val config : threads:int -> Store.t -> Store.t -> Config.t
+(** [-noDelta Edge/Done], [-noGamma Estimate/GenTask], custom stores. *)
+
+val run :
+  ?seed:int ->
+  ?tasks:int ->
+  vertices:int ->
+  threads:int ->
+  unit ->
+  Engine.result * t
+
+val baseline : ?seed:int -> ?tasks:int -> vertices:int -> unit -> int array
+(** Hand-coded Dijkstra with a binary heap (the Java PriorityQueue
+    program), on the identical graph. *)

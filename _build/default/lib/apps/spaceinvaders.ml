@@ -1,0 +1,80 @@
+(* The Space Invaders Ship example of §3 (Fig 2): a ship moves right
+   across the screen in 150-pixel jumps, descends twice, then moves back
+   left — all recorded as immutable timestamped tuples, one frame each.
+
+   This is the paper's introductory example of "recording data that
+   changes over time" by adding timestamps instead of mutating state:
+
+     table Ship(int frame -> int x, int y, int dx, int dy)
+         orderby (Int, seq frame)                                      *)
+
+open Jstar_core
+
+type t = { program : Program.t; init : Tuple.t list; ship : Schema.t }
+
+(* The exact trajectory of Fig 2. *)
+let expected_trajectory =
+  [
+    (0, 10, 10, 150, 0);
+    (1, 160, 10, 150, 0);
+    (2, 310, 10, 150, 0);
+    (3, 460, 10, 0, 10);
+    (4, 460, 20, 0, 10);
+    (5, 460, 30, -150, 0);
+    (6, 310, 30, -150, 0);
+    (7, 160, 30, -150, 0);
+  ]
+
+let make () =
+  let p = Program.create () in
+  let ship =
+    Program.table p "Ship"
+      ~columns:
+        Schema.
+          [ int_col "frame"; int_col "x"; int_col "y"; int_col "dx"; int_col "dy" ]
+      ~key:1
+      ~orderby:Schema.[ Lit "Int"; Seq "frame" ]
+      ()
+  in
+  Program.rule p "move" ~trigger:ship
+    ~puts:
+      [
+        Spec.put "Ship"
+          ~ts:[ Spec.bind "frame" (Spec.Add (Spec.Field "frame", 1)) ]
+          ~when_:"frame < 7";
+      ]
+    (fun ctx s ->
+      let frame = Tuple.int s "frame" in
+      if frame < 7 then begin
+        let x = Tuple.int s "x" + Tuple.int s "dx" in
+        let y = Tuple.int s "y" + Tuple.int s "dy" in
+        let dx, dy =
+          if x = 460 && y < 30 then (0, 10) (* hit the right wall: descend *)
+          else if y >= 30 && x > 160 then (-150, 0) (* low enough: go left *)
+          else (Tuple.int s "dx", Tuple.int s "dy")
+        in
+        ctx.Rule.put
+          (Tuple.make ship
+             [|
+               Value.Int (frame + 1); Value.Int x; Value.Int y; Value.Int dx;
+               Value.Int dy;
+             |])
+      end);
+  Program.output p ship (fun s ->
+      Printf.sprintf "%d %d %d %d %d" (Tuple.int s "frame") (Tuple.int s "x")
+        (Tuple.int s "y") (Tuple.int s "dx") (Tuple.int s "dy"));
+  let f0, x0, y0, dx0, dy0 = List.hd expected_trajectory in
+  {
+    program = p;
+    init =
+      [
+        Tuple.make ship
+          [| Value.Int f0; Value.Int x0; Value.Int y0; Value.Int dx0; Value.Int dy0 |];
+      ];
+    ship;
+  }
+
+let expected_outputs =
+  List.map
+    (fun (f, x, y, dx, dy) -> Printf.sprintf "%d %d %d %d %d" f x y dx dy)
+    expected_trajectory

@@ -1,0 +1,14 @@
+(** The Space Invaders Ship example of §3 (Fig 2): time-varying state
+    as immutable timestamped tuples. *)
+
+open Jstar_core
+
+type t = { program : Program.t; init : Tuple.t list; ship : Schema.t }
+
+val make : unit -> t
+
+val expected_trajectory : (int * int * int * int * int) list
+(** The (frame, x, y, dx, dy) rows of Fig 2. *)
+
+val expected_outputs : string list
+(** The same rows in the program's output format. *)

@@ -1,0 +1,1 @@
+lib/causality/check.ml: Fmt Jstar_core List Obligation Program Rule Schema Spec

@@ -1,0 +1,1 @@
+lib/causality/check.mli: Format Jstar_core

@@ -1,0 +1,1 @@
+lib/causality/dlsolver.ml: Array Fmt Hashtbl Jstar_core List Spec

@@ -1,0 +1,1 @@
+lib/causality/dlsolver.mli: Format Jstar_core Spec

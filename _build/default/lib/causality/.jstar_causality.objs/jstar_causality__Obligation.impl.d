@@ -1,0 +1,1 @@
+lib/causality/obligation.ml: Array Dlsolver Fmt Jstar_core List Order_rel Schema Spec

@@ -1,0 +1,1 @@
+lib/causality/obligation.mli: Format Jstar_core Order_rel Schema Spec

@@ -1,0 +1,1 @@
+lib/causality/strata.ml: Fmt Hashtbl Jstar_core List Program Rule Schema Spec String

@@ -1,0 +1,1 @@
+lib/causality/strata.mli: Format Jstar_core Program Spec

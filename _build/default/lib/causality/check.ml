@@ -1,0 +1,141 @@
+(* The per-rule causality check driver (§4).
+
+   For every rule, we discharge:
+   - one obligation per declared put:     orderby(trigger) <= orderby(put)
+   - one per negative/aggregate read:     orderby(read)   <  orderby(trigger)
+   - one per positive read:               orderby(read)   <= orderby(trigger)
+
+   A failed put obligation is a causality warning ("the programmer is
+   strongly recommended to change the program"); a failed
+   negative/aggregate obligation is a *stratification error*, the
+   condition under which the paper's SMT solvers report that a rule is
+   not (locally) stratified — e.g. the PvWatts program without
+   [order Req < PvWatts < SumMonth].
+
+   Rules without any declared metadata are reported as unchecked. *)
+
+open Jstar_core
+
+type severity = Stratification_error | Causality_warning | Unchecked_rule
+
+type finding = {
+  rule : string;
+  subject : string; (* "put Ship" / "aggregate read PvWatts" / ... *)
+  severity : severity;
+  message : string;
+}
+
+type report = {
+  findings : finding list;
+  rules_checked : int;
+  obligations : int;
+  proved : int;
+}
+
+let ok report =
+  List.for_all (fun f -> f.severity = Unchecked_rule) report.findings
+
+let errors report =
+  List.filter (fun f -> f.severity = Stratification_error) report.findings
+
+let pp_severity ppf = function
+  | Stratification_error -> Fmt.string ppf "STRATIFICATION ERROR"
+  | Causality_warning -> Fmt.string ppf "causality warning"
+  | Unchecked_rule -> Fmt.string ppf "unchecked"
+
+let pp_finding ppf f =
+  Fmt.pf ppf "[%a] rule %s, %s: %s" pp_severity f.severity f.rule f.subject
+    f.message
+
+let pp_report ppf r =
+  Fmt.pf ppf "causality: %d rule(s), %d obligation(s), %d proved@."
+    r.rules_checked r.obligations r.proved;
+  List.iter (fun f -> Fmt.pf ppf "  %a@." pp_finding f) r.findings
+
+let read_kind_name = function
+  | Spec.Positive -> "positive read"
+  | Spec.Negative -> "negative read"
+  | Spec.Aggregate -> "aggregate read"
+
+let check_rule order find_table (r : Rule.t) =
+  let trigger_ts = Obligation.of_trigger r.Rule.trigger in
+  let assumptions = r.Rule.assumes in
+  let findings = ref [] in
+  let obligations = ref 0 in
+  let proved = ref 0 in
+  let note subject severity message =
+    findings := { rule = r.Rule.name; subject; severity; message } :: !findings
+  in
+  if r.Rule.puts = [] && r.Rule.reads = [] then
+    note "rule body" Unchecked_rule
+      "no reads/puts metadata declared; causality not verified"
+  else begin
+    List.iter
+      (fun (p : Spec.put_spec) ->
+        incr obligations;
+        match find_table p.Spec.pt_table with
+        | None ->
+            note
+              ("put " ^ p.Spec.pt_table)
+              Causality_warning "puts into an undeclared table"
+        | Some schema -> (
+            let put_ts = Obligation.of_bindings schema p.Spec.pt_ts in
+            match
+              Obligation.prove_leq order assumptions ~strict:false trigger_ts
+                put_ts
+            with
+            | Obligation.Proved -> incr proved
+            | Obligation.Failed why ->
+                let why =
+                  match p.Spec.pt_when with
+                  | Some cond -> why ^ " (under condition " ^ cond ^ ")"
+                  | None -> why
+                in
+                note ("put " ^ p.Spec.pt_table) Causality_warning why))
+      r.Rule.puts;
+    List.iter
+      (fun (rd : Spec.read_spec) ->
+        incr obligations;
+        match find_table rd.Spec.rd_table with
+        | None ->
+            note
+              (read_kind_name rd.Spec.rd_kind ^ " " ^ rd.Spec.rd_table)
+              Causality_warning "reads an undeclared table"
+        | Some schema -> (
+            let read_ts = Obligation.of_bindings schema rd.Spec.rd_ts in
+            let strict =
+              match rd.Spec.rd_kind with
+              | Spec.Positive -> false
+              | Spec.Negative | Spec.Aggregate -> true
+            in
+            match
+              Obligation.prove_leq order assumptions ~strict read_ts trigger_ts
+            with
+            | Obligation.Proved -> incr proved
+            | Obligation.Failed why ->
+                let severity =
+                  if strict then Stratification_error else Causality_warning
+                in
+                note
+                  (read_kind_name rd.Spec.rd_kind ^ " " ^ rd.Spec.rd_table)
+                  severity why))
+      r.Rule.reads
+  end;
+  (List.rev !findings, !obligations, !proved)
+
+let check_program (p : Program.t) =
+  let order = Program.order_rel p in
+  let find_table name =
+    match Program.find_table p name with
+    | schema -> Some schema
+    | exception Schema.Schema_error _ -> None
+  in
+  let rules = Program.rules p in
+  let findings, obligations, proved =
+    List.fold_left
+      (fun (fs, obs, prs) r ->
+        let f, o, pr = check_rule order find_table r in
+        (fs @ f, obs + o, prs + pr))
+      ([], 0, 0) rules
+  in
+  { findings; rules_checked = List.length rules; obligations; proved }

@@ -1,0 +1,35 @@
+(** The per-rule causality check driver (§4): one obligation per
+    declared put (trigger <= put) and per read (read <= trigger,
+    strict for negative/aggregate reads). *)
+
+type severity =
+  | Stratification_error
+      (** an unprovable negative/aggregate read — the paper's
+          "Stratification error" *)
+  | Causality_warning  (** an unprovable put or positive read *)
+  | Unchecked_rule  (** no metadata was declared for the rule *)
+
+type finding = {
+  rule : string;
+  subject : string;
+  severity : severity;
+  message : string;
+}
+
+type report = {
+  findings : finding list;
+  rules_checked : int;
+  obligations : int;
+  proved : int;
+}
+
+val check_program : Jstar_core.Program.t -> report
+
+val ok : report -> bool
+(** No errors or warnings (unchecked rules are tolerated). *)
+
+val errors : report -> finding list
+(** The stratification errors only. *)
+
+val pp_report : Format.formatter -> report -> unit
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,105 @@
+open Jstar_core
+
+(* A decision procedure for integer difference logic — the fragment the
+   JStar causality proof obligations live in (§4).
+
+   Constraints have the form [x - y <= c] over integer variables, where
+   either side may be the distinguished [zero] variable (so bounds and
+   constants are expressible).  A conjunction of such constraints is
+   satisfiable iff the constraint graph (edge y --c--> x for x - y <= c)
+   has no negative cycle; we detect that with Bellman-Ford.
+
+   Entailment is decided by refutation: [assumptions |= x - y <= c] iff
+   [assumptions ∪ {y - x <= -c - 1}] is unsatisfiable (integers make the
+   negation's strictness exact). *)
+
+type atom = { x : string; y : string; c : int } (* x - y <= c *)
+
+let zero_var = "$0"
+
+let pp_atom ppf a =
+  if a.y = zero_var then Fmt.pf ppf "%s <= %d" a.x a.c
+  else if a.x = zero_var then Fmt.pf ppf "-%s <= %d" a.y a.c
+  else Fmt.pf ppf "%s - %s <= %d" a.x a.y a.c
+
+(* Bellman-Ford over the constraint graph; distances start at 0 for all
+   vertices (equivalent to a virtual source), so any negative cycle is
+   found regardless of connectivity. *)
+let satisfiable atoms =
+  let vars = Hashtbl.create 16 in
+  let intern v =
+    match Hashtbl.find_opt vars v with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length vars in
+        Hashtbl.replace vars v i;
+        i
+  in
+  ignore (intern zero_var);
+  let edges =
+    List.map (fun { x; y; c } -> (intern y, intern x, c)) atoms
+  in
+  let n = Hashtbl.length vars in
+  let dist = Array.make n 0 in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (u, v, w) ->
+        if dist.(u) + w < dist.(v) then begin
+          dist.(v) <- dist.(u) + w;
+          changed := true
+        end)
+      edges
+  done;
+  (* A relaxation in round n+1 means a negative cycle. *)
+  not !changed
+
+let entails assumptions { x; y; c } =
+  (* negation of x - y <= c  is  y - x <= -c - 1 *)
+  not (satisfiable ({ x = y; y = x; c = -c - 1 } :: assumptions))
+
+(* Convenience forms over Spec.iexpr (expressions in trigger fields). *)
+
+let var_of_field f = "f:" ^ f
+
+(* x <= y + k as atoms, where x and y are flattened expressions. *)
+let le_atom ex ey k =
+  match (Spec.flatten ex, Spec.flatten ey) with
+  | Spec.FUnknown, _ | _, Spec.FUnknown -> None
+  | Spec.FField (fx, ax), Spec.FField (fy, ay) ->
+      (* fx + ax <= fy + ay + k *)
+      Some { x = var_of_field fx; y = var_of_field fy; c = ay + k - ax }
+  | Spec.FField (fx, ax), Spec.FConst cy ->
+      Some { x = var_of_field fx; y = zero_var; c = cy + k - ax }
+  | Spec.FConst cx, Spec.FField (fy, ay) ->
+      Some { x = zero_var; y = var_of_field fy; c = ay + k - cx }
+  | Spec.FConst cx, Spec.FConst cy ->
+      (* constant fact: encode as 0 - 0 <= (satisfied?) *)
+      if cx <= cy + k then Some { x = zero_var; y = zero_var; c = 0 }
+      else Some { x = zero_var; y = zero_var; c = -1 }
+
+let atoms_of_constr = function
+  | Spec.Le (a, b) -> ( match le_atom a b 0 with Some x -> [ x ] | None -> [])
+  | Spec.Lt (a, b) -> ( match le_atom a b (-1) with Some x -> [ x ] | None -> [])
+  | Spec.Eq (a, b) -> (
+      match (le_atom a b 0, le_atom b a 0) with
+      | Some x, Some y -> [ x; y ]
+      | _ -> [])
+
+(* Entailment of expression comparisons under Spec constraints.
+   Unknown on either side is never entailed. *)
+let proves assumptions ~strict ea eb =
+  match le_atom ea eb (if strict then -1 else 0) with
+  | None -> false
+  | Some goal ->
+      let assumption_atoms = List.concat_map atoms_of_constr assumptions in
+      entails assumption_atoms goal
+
+let proves_le assumptions ea eb = proves assumptions ~strict:false ea eb
+let proves_lt assumptions ea eb = proves assumptions ~strict:true ea eb
+
+let proves_eq assumptions ea eb =
+  proves_le assumptions ea eb && proves_le assumptions eb ea

@@ -1,0 +1,31 @@
+(** Integer difference-logic decision procedure: the "SMT solver" that
+    discharges JStar's causality proof obligations.
+
+    Constraints are conjunctions of [x - y <= c]; satisfiability is
+    negative-cycle detection (Bellman-Ford), and entailment is decided
+    by refuting the negated goal — sound *and complete* for this
+    fragment, which is all the obligations of §4 need. *)
+
+open Jstar_core
+
+type atom = { x : string; y : string; c : int }
+(** The constraint [x - y <= c]. *)
+
+val zero_var : string
+(** Distinguished variable fixed at 0, for encoding constants. *)
+
+val satisfiable : atom list -> bool
+val entails : atom list -> atom -> bool
+val pp_atom : Format.formatter -> atom -> unit
+
+val atoms_of_constr : Spec.constr -> atom list
+(** Translate a rule assumption; constraints touching
+    [Spec.Unknown] translate to no atoms (they assert nothing). *)
+
+val proves_le : Spec.constr list -> Spec.iexpr -> Spec.iexpr -> bool
+(** [proves_le assumptions a b]: does [a <= b] hold under the
+    assumptions, for every value of the trigger fields?  [Unknown]
+    expressions are never provable. *)
+
+val proves_lt : Spec.constr list -> Spec.iexpr -> Spec.iexpr -> bool
+val proves_eq : Spec.constr list -> Spec.iexpr -> Spec.iexpr -> bool

@@ -1,0 +1,100 @@
+(* Symbolic timestamp comparison: the proof obligations of §4.
+
+   A symbolic timestamp is the orderby list of a table with each seq/par
+   field bound to an integer expression over the *trigger* tuple's
+   fields.  The trigger's own timestamp binds each field to itself; a
+   put or read binds whatever the rule metadata declares, defaulting to
+   Unknown (which is never provable — producing the paper's warning).
+
+   Lexicographic proof of [a <= b] (or [a < b]): scan the levels;
+   - equal literals, or two par components, continue;
+   - provably-ordered literals or a strictly-provable seq comparison
+     settle the whole obligation;
+   - a seq comparison provable only non-strictly continues, demanding
+     the remainder prove the (possibly strict) relation under equality;
+   - exhaustion: the shorter timestamp orders strictly first.          *)
+
+open Jstar_core
+
+type sym_comp = SLit of string | SSeq of Spec.iexpr | SPar of Spec.iexpr
+
+type sym_ts = sym_comp array
+
+(* The timestamp of the trigger tuple itself. *)
+let of_trigger (schema : Schema.t) : sym_ts =
+  Array.map
+    (function
+      | Schema.Lit l -> SLit l
+      | Schema.Seq f -> SSeq (Spec.Field f)
+      | Schema.Par f -> SPar (Spec.Field f))
+    schema.Schema.orderby
+
+(* The timestamp of a put/read against [schema], with rule-supplied
+   bindings (field -> expression over trigger fields). *)
+let of_bindings (schema : Schema.t) (bindings : Spec.ts_binding list) : sym_ts =
+  let lookup f =
+    match
+      List.find_opt (fun b -> b.Spec.field = f) bindings
+    with
+    | Some b -> b.Spec.expr
+    | None -> Spec.Unknown
+  in
+  Array.map
+    (function
+      | Schema.Lit l -> SLit l
+      | Schema.Seq f -> SSeq (lookup f)
+      | Schema.Par f -> SPar (lookup f))
+    schema.Schema.orderby
+
+let pp_comp ppf = function
+  | SLit l -> Fmt.string ppf l
+  | SSeq e -> Fmt.pf ppf "seq %a" Spec.pp_iexpr e
+  | SPar e -> Fmt.pf ppf "par %a" Spec.pp_iexpr e
+
+let pp ppf (ts : sym_ts) =
+  Fmt.pf ppf "<%a>" (Fmt.array ~sep:(Fmt.any ", ") pp_comp) ts
+
+type verdict = Proved | Failed of string
+
+(* Prove [a <= b] ([a < b] when [strict]) under the rule's assumptions,
+   for all trigger-field values. *)
+let prove_leq order assumptions ~strict (a : sym_ts) (b : sym_ts) =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then
+      if strict then
+        Failed "the two timestamps can be equal, but a strict ordering is required"
+      else Proved
+    else if i >= la then Proved (* a exhausts first: strictly smaller *)
+    else if i >= lb then
+      Failed
+        "the target's orderby list exhausts first, so it orders strictly \
+         before the source"
+    else
+      match (a.(i), b.(i)) with
+      | SLit x, SLit y ->
+          if x = y then go (i + 1)
+          else if Order_rel.provably_less order x y then Proved
+          else if Order_rel.provably_less order y x then
+            Failed (Fmt.str "order declarations place %s before %s" y x)
+          else
+            Failed
+              (Fmt.str
+                 "literals %s and %s are not related by any order declaration"
+                 x y)
+      | SPar _, SPar _ ->
+          (* par levels are one equivalence class: equal by definition *)
+          go (i + 1)
+      | SSeq ea, SSeq eb ->
+          if Dlsolver.proves_lt assumptions ea eb then Proved
+          else if Dlsolver.proves_le assumptions ea eb then go (i + 1)
+          else
+            Failed
+              (Fmt.str "cannot prove %a <= %a at level %d" Spec.pp_iexpr ea
+                 Spec.pp_iexpr eb i)
+      | x, y ->
+          Failed
+            (Fmt.str "orderby lists disagree about level %d (%a vs %a)" i
+               pp_comp x pp_comp y)
+  in
+  go 0

@@ -1,0 +1,24 @@
+(** Symbolic timestamps and the lexicographic proof procedure behind
+    the §4 causality obligations. *)
+
+open Jstar_core
+
+type sym_comp = SLit of string | SSeq of Spec.iexpr | SPar of Spec.iexpr
+type sym_ts = sym_comp array
+
+val of_trigger : Schema.t -> sym_ts
+(** The trigger tuple's own timestamp: each orderby field bound to
+    itself. *)
+
+val of_bindings : Schema.t -> Spec.ts_binding list -> sym_ts
+(** A put/read timestamp: orderby fields bound per the rule metadata;
+    missing fields become [Unknown] (never provable). *)
+
+type verdict = Proved | Failed of string
+
+val prove_leq :
+  Order_rel.t -> Spec.constr list -> strict:bool -> sym_ts -> sym_ts -> verdict
+(** Prove [a <= b] (or [a < b] when [strict]) for all values of the
+    trigger fields, under the rule's assumed constraints. *)
+
+val pp : Format.formatter -> sym_ts -> unit

@@ -1,0 +1,131 @@
+(* Global stratification analysis over the table dependency graph.
+
+   Nodes are tables.  For every rule triggered by T that puts into P we
+   add edges T -> P (the trigger dependency) and R -> P for each
+   declared read R, labelled with the read kind.  A program is
+   *globally* stratifiable when no strongly connected component contains
+   a negative or aggregate edge; programs that are not (Dijkstra's
+   Estimate/Done recursion, for example) need *local* stratification —
+   the timestamp-based causality obligations checked by [Check].
+
+   This analysis feeds the same programmer workflow as the paper's
+   dependency-graph visualisation tools (stage 2 of §2). *)
+
+open Jstar_core
+
+type edge = {
+  src : string;
+  dst : string;
+  kind : Spec.read_kind; (* Positive for trigger edges *)
+  via_rule : string;
+}
+
+type t = {
+  tables : string list;
+  edges : edge list;
+  sccs : string list list; (* components with >1 node or a self-loop *)
+  needs_local : edge list; (* negative/aggregate edges inside an SCC *)
+}
+
+let edges_of_program p =
+  List.concat_map
+    (fun (r : Rule.t) ->
+      let trigger = r.Rule.trigger.Schema.name in
+      List.concat_map
+        (fun (put : Spec.put_spec) ->
+          let dst = put.Spec.pt_table in
+          { src = trigger; dst; kind = Spec.Positive; via_rule = r.Rule.name }
+          :: List.map
+               (fun (rd : Spec.read_spec) ->
+                 {
+                   src = rd.Spec.rd_table;
+                   dst;
+                   kind = rd.Spec.rd_kind;
+                   via_rule = r.Rule.name;
+                 })
+               r.Rule.reads)
+        r.Rule.puts)
+    (Program.rules p)
+
+(* Tarjan's strongly connected components. *)
+let sccs_of nodes edges =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let succs n =
+    List.filter_map (fun e -> if e.src = n then Some e.dst else None) edges
+  in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      components := pop [] :: !components
+    end
+  in
+  List.iter (fun n -> if not (Hashtbl.mem index n) then strongconnect n) nodes;
+  !components
+
+let analyse p =
+  let tables = List.map (fun s -> s.Schema.name) (Program.schemas p) in
+  let edges = edges_of_program p in
+  let all_sccs = sccs_of tables edges in
+  let self_loop n = List.exists (fun e -> e.src = n && e.dst = n) edges in
+  let cyclic =
+    List.filter
+      (fun c -> List.length c > 1 || (match c with [ n ] -> self_loop n | _ -> false))
+      all_sccs
+  in
+  let in_same_scc a b =
+    List.exists (fun c -> List.mem a c && List.mem b c) cyclic
+  in
+  let needs_local =
+    List.filter
+      (fun e -> e.kind <> Spec.Positive && in_same_scc e.src e.dst)
+      edges
+  in
+  { tables; edges; sccs = cyclic; needs_local }
+
+let globally_stratified t = t.needs_local = []
+
+let pp ppf t =
+  Fmt.pf ppf "dependency graph: %d table(s), %d edge(s)@."
+    (List.length t.tables) (List.length t.edges);
+  List.iter
+    (fun c -> Fmt.pf ppf "  recursive component: {%s}@." (String.concat ", " c))
+    t.sccs;
+  List.iter
+    (fun e ->
+      Fmt.pf ppf
+        "  requires local stratification: %s -> %s (%s, via rule %s)@." e.src
+        e.dst
+        (match e.kind with
+        | Spec.Negative -> "negation"
+        | Spec.Aggregate -> "aggregation"
+        | Spec.Positive -> "positive")
+        e.via_rule)
+    t.needs_local

@@ -1,0 +1,27 @@
+(** Global stratification analysis over the table dependency graph:
+    recursive components containing negative or aggregate edges need
+    *local* (timestamp) stratification — discharged by {!Check}. *)
+
+open Jstar_core
+
+type edge = {
+  src : string;
+  dst : string;
+  kind : Spec.read_kind;  (** [Positive] for plain trigger edges *)
+  via_rule : string;
+}
+
+type t = {
+  tables : string list;
+  edges : edge list;
+  sccs : string list list;  (** recursive components *)
+  needs_local : edge list;
+      (** negative/aggregate edges inside a recursive component *)
+}
+
+val analyse : Program.t -> t
+
+val globally_stratified : t -> bool
+(** No recursion through negation/aggregation at all. *)
+
+val pp : Format.formatter -> t -> unit

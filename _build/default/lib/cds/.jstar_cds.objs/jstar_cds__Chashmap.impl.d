@@ -1,0 +1,1 @@
+lib/cds/chashmap.ml: Array Fun Hashtbl Jstar_sched List Mutex

@@ -1,0 +1,1 @@
+lib/cds/chashmap.mli:

@@ -1,0 +1,1 @@
+lib/cds/cset.ml: List Option Skiplist

@@ -1,0 +1,1 @@
+lib/cds/cset.mli:

@@ -1,0 +1,1 @@
+lib/cds/ms_queue.mli:

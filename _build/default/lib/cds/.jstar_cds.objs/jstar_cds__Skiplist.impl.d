@@ -1,0 +1,1 @@
+lib/cds/skiplist.ml: Array Atomic Domain List Mutex Obj Option

@@ -1,0 +1,1 @@
+lib/cds/skiplist.mli:

@@ -1,0 +1,1 @@
+lib/cds/treiber_stack.ml: Atomic Jstar_sched List

@@ -1,0 +1,1 @@
+lib/cds/treiber_stack.mli:

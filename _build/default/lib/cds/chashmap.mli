@@ -1,0 +1,37 @@
+(** Sharded concurrent hash map (Java's [ConcurrentHashMap]).
+
+    Point operations lock a single shard; whole-map traversals visit
+    shards one at a time and are weakly consistent under concurrent
+    mutation. *)
+
+type ('k, 'v) t
+
+val create : ?shards:int -> ?hash:('k -> int) -> unit -> ('k, 'v) t
+(** [create ()] uses 64 shards (rounded up to a power of two) and
+    [Hashtbl.hash]. *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+val mem : ('k, 'v) t -> 'k -> bool
+
+val set : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite. *)
+
+val add_if_absent : ('k, 'v) t -> 'k -> 'v -> bool
+(** Atomic put-if-absent; [true] iff the binding was inserted. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** Atomically return the existing value or insert and return [mk ()].
+    [mk] runs under the shard lock and must not touch this map. *)
+
+val update : ('k, 'v) t -> 'k -> ('v option -> 'v option) -> unit
+(** Atomic read-modify-write of one binding; returning [None] deletes. *)
+
+val remove : ('k, 'v) t -> 'k -> bool
+val length : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+
+val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
+(** Weakly-consistent traversal; [f] may safely re-enter the map. *)
+
+val fold : ('k, 'v) t -> 'a -> ('a -> 'k -> 'v -> 'a) -> 'a
+val clear : ('k, 'v) t -> unit

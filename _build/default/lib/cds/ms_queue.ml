@@ -1,0 +1,57 @@
+(* Michael & Scott lock-free FIFO queue (PODC 1996), with the usual
+   helping rule: an enqueuer that finds the tail lagging swings it
+   forward before retrying, so every operation is lock-free. *)
+
+type 'a node = { value : 'a option; next : 'a node option Atomic.t }
+
+type 'a t = { head : 'a node Atomic.t; tail : 'a node Atomic.t }
+
+let create () =
+  let sentinel = { value = None; next = Atomic.make None } in
+  { head = Atomic.make sentinel; tail = Atomic.make sentinel }
+
+let push t v =
+  let node = { value = Some v; next = Atomic.make None } in
+  let backoff = Jstar_sched.Backoff.create () in
+  let rec go () =
+    let tail = Atomic.get t.tail in
+    match Atomic.get tail.next with
+    | None ->
+        if Atomic.compare_and_set tail.next None (Some node) then
+          (* Linearised; tail swing is best-effort. *)
+          ignore (Atomic.compare_and_set t.tail tail node)
+        else (
+          Jstar_sched.Backoff.once backoff;
+          go ())
+    | Some next ->
+        (* Help the lagging enqueuer, then retry. *)
+        ignore (Atomic.compare_and_set t.tail tail next);
+        go ()
+  in
+  go ()
+
+let pop t =
+  let backoff = Jstar_sched.Backoff.create () in
+  let rec go () =
+    let head = Atomic.get t.head in
+    match Atomic.get head.next with
+    | None -> None
+    | Some next ->
+        if Atomic.compare_and_set t.head head next then next.value
+        else (
+          Jstar_sched.Backoff.once backoff;
+          go ())
+  in
+  go ()
+
+let is_empty t = Atomic.get (Atomic.get t.head).next = None
+
+let drain t f =
+  let rec go () =
+    match pop t with
+    | None -> ()
+    | Some v ->
+        f v;
+        go ()
+  in
+  go ()

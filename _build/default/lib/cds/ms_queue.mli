@@ -1,0 +1,11 @@
+(** Michael-Scott lock-free FIFO queue. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+val is_empty : 'a t -> bool
+
+val drain : 'a t -> ('a -> unit) -> unit
+(** Pop until empty, applying the callback in FIFO order. *)

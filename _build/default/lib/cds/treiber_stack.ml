@@ -1,0 +1,34 @@
+(* Treiber's lock-free stack: the classic CAS-retry LIFO, used by the
+   engine for collecting per-step outputs from parallel rule firings. *)
+
+type 'a t = { head : 'a list Atomic.t }
+
+let create () = { head = Atomic.make [] }
+
+let push t v =
+  let backoff = Jstar_sched.Backoff.create () in
+  let rec go () =
+    let cur = Atomic.get t.head in
+    if Atomic.compare_and_set t.head cur (v :: cur) then ()
+    else (
+      Jstar_sched.Backoff.once backoff;
+      go ())
+  in
+  go ()
+
+let pop t =
+  let backoff = Jstar_sched.Backoff.create () in
+  let rec go () =
+    match Atomic.get t.head with
+    | [] -> None
+    | v :: rest as cur ->
+        if Atomic.compare_and_set t.head cur rest then Some v
+        else (
+          Jstar_sched.Backoff.once backoff;
+          go ())
+  in
+  go ()
+
+let pop_all t = Atomic.exchange t.head []
+let is_empty t = Atomic.get t.head = []
+let length t = List.length (Atomic.get t.head)

@@ -1,0 +1,15 @@
+(** Treiber's lock-free stack. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+
+val pop_all : 'a t -> 'a list
+(** Atomically take every element, newest first.  O(1). *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** O(n); intended for tests and reporting. *)

@@ -1,0 +1,1 @@
+lib/core/delta.ml: Array Atomic Domain Fun Hashtbl Jstar_cds List Map Mutex Option Schema Timestamp Tuple Value

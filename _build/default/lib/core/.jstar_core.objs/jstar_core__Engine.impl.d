@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Config Delta Fmt Fun Jstar_cds Jstar_sched List Order_rel Program Rule Schema Store String Table_stats Timestamp Tuple Unix

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Config Program Schema Store Table_stats Tuple

@@ -1,0 +1,1 @@
+lib/core/program.mli: Order_rel Rule Schema Spec Tuple

@@ -1,0 +1,1 @@
+lib/core/query.ml: List Reducer Rule Schema Tuple

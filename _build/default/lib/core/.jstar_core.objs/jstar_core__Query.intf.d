@@ -1,0 +1,1 @@
+lib/core/query.mli: Reducer Rule Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/core/rule.ml: Fmt Schema Spec Store Timestamp Tuple Value

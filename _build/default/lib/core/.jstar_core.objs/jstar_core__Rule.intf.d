@@ -1,0 +1,1 @@
+lib/core/rule.mli: Format Schema Spec Store Timestamp Tuple Value

@@ -1,0 +1,1 @@
+lib/core/table_stats.ml: Array Atomic Domain Fmt List

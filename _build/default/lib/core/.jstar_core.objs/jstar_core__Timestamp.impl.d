@@ -1,0 +1,1 @@
+lib/core/timestamp.ml: Array Fmt Order_rel Schema Stdlib Tuple Value

@@ -1,0 +1,1 @@
+lib/core/tuple.ml: Array Fmt List Schema Stdlib Value

@@ -1,0 +1,66 @@
+(* Runtime configuration: the JStar compiler flags, reproduced as runtime
+   options so that — exactly as the paper argues — parallelisation
+   strategy and data-structure choices change without touching the
+   program text. *)
+
+type data_structures =
+  | Auto (* sequential structures iff threads = 1 *)
+  | Sequential_ds (* TreeMap/TreeSet family, single-threaded only *)
+  | Concurrent_ds (* skip list / sharded hash family *)
+
+type t = {
+  threads : int;
+      (* Fork/join pool size (--threads=N); 1 = run on the caller only,
+         the "-sequential" code path. *)
+  data_structures : data_structures;
+  no_delta : string list;
+      (* -noDelta T: put T tuples straight into Gamma and fire their
+         rules immediately (§5.1). *)
+  no_gamma : string list;
+      (* -noGamma T: never store T tuples in Gamma (§5.1). *)
+  stores : (string * Store.kind_spec) list;
+      (* per-table Gamma store overrides *)
+  grain : int option; (* fork/join leaf granularity *)
+  task_per_rule : bool;
+      (* §5.2: "Even if a tuple triggers more than one rule, we create
+         only one task for that tuple - we could create one task per
+         rule that is triggered."  This flag enables the latter. *)
+  runtime_causality_check : bool;
+      (* assert at every put that the new tuple is not in the past *)
+  max_steps : int option; (* safety valve for runaway programs *)
+  print_directly : bool;
+      (* bypass deterministic output collection (debugging only) *)
+  trace : bool; (* per-step logging to stderr *)
+}
+
+let default =
+  {
+    threads = 1;
+    data_structures = Auto;
+    no_delta = [];
+    no_gamma = [];
+    stores = [];
+    grain = None;
+    task_per_rule = false;
+    runtime_causality_check = false;
+    max_steps = None;
+    print_directly = false;
+    trace = false;
+  }
+
+let sequential = default
+
+let parallel ?(threads = 4) () = { default with threads }
+
+let effective_mode t =
+  match t.data_structures with
+  | Auto -> if t.threads > 1 then Delta.Concurrent else Delta.Sequential
+  | Sequential_ds -> Delta.Sequential
+  | Concurrent_ds -> Delta.Concurrent
+
+exception Invalid of string
+
+let validate t =
+  if t.threads < 1 then raise (Invalid "threads must be >= 1");
+  if t.threads > 1 && t.data_structures = Sequential_ds then
+    raise (Invalid "sequential data structures require threads = 1")

@@ -1,0 +1,46 @@
+(** Runtime configuration — the JStar compiler flags as runtime options,
+    so strategy and data-structure choices never touch program text. *)
+
+type data_structures =
+  | Auto  (** sequential structures iff [threads = 1] *)
+  | Sequential_ds  (** the TreeMap/TreeSet family; single-threaded only *)
+  | Concurrent_ds  (** skip list / sharded hash family *)
+
+type t = {
+  threads : int;  (** fork/join pool size ([--threads=N]); 1 = caller only *)
+  data_structures : data_structures;
+  no_delta : string list;
+      (** [-noDelta T]: put T straight into Gamma, firing its rules
+          immediately (§5.1) *)
+  no_gamma : string list;
+      (** [-noGamma T]: never store T (trigger-only tables, §5.1) *)
+  stores : (string * Store.kind_spec) list;
+      (** per-table Gamma store overrides *)
+  grain : int option;  (** fork/join leaf granularity *)
+  task_per_rule : bool;
+      (** one task per (tuple, rule) pair instead of per tuple (§5.2) *)
+  runtime_causality_check : bool;
+      (** assert at every put that the tuple is not in the past *)
+  max_steps : int option;  (** abort runaway programs *)
+  print_directly : bool;  (** bypass deterministic output collection *)
+  trace : bool;  (** per-step logging to stderr *)
+}
+
+val default : t
+(** Sequential: one thread, automatic (sequential) data structures, no
+    optimisations. *)
+
+val sequential : t
+(** Alias of {!default} — the [-sequential] compiler flag. *)
+
+val parallel : ?threads:int -> unit -> t
+(** Parallel defaults ([threads] defaults to 4). *)
+
+val effective_mode : t -> Delta.mode
+(** Which structure family the configuration resolves to. *)
+
+exception Invalid of string
+
+val validate : t -> unit
+(** @raise Invalid for nonsensical combinations (0 threads, sequential
+    structures with a multi-threaded pool). *)

@@ -1,0 +1,38 @@
+(** The Delta tree: pending tuples of all tables in one multi-level
+    priority structure ordered by the causality order, with duplicate
+    elimination on insert.
+
+    Concurrency contract (matching the engine's step structure): any
+    number of domains may {!insert} concurrently, but
+    {!extract_min_class} must run with no concurrent operations. *)
+
+type t
+
+type mode = Sequential | Concurrent
+(** Which family of data structures backs the tree levels: stdlib
+    [Map]/[Hashtbl] (the paper's TreeMap path, single-threaded only) or
+    the concurrent skip list / sharded hash map. *)
+
+val create : mode:mode -> nlits:int -> unit -> t
+(** [nlits] is the number of order literals at program freeze time; it
+    fixes the width of named-branch arrays. *)
+
+val insert : t -> Tuple.t -> Timestamp.t -> bool
+(** Add a pending tuple under its timestamp.  Returns [false] (and
+    leaves the tree unchanged) when an equal tuple is already pending. *)
+
+val extract_min_class : t -> Tuple.t list
+(** Remove and return all minimal tuples — one equivalence class of the
+    causality order, including every subtree of [par] levels.  Returns
+    [[]] iff the tree is empty.  Single-threaded. *)
+
+val size : t -> int
+(** Number of pending tuples. *)
+
+val is_empty : t -> bool
+
+val inserted_total : t -> int
+(** Lifetime count of successful inserts. *)
+
+val deduped_total : t -> int
+(** Lifetime count of duplicate tuples dropped on insert. *)

@@ -1,0 +1,448 @@
+(* The pseudo-naive bottom-up execution engine (§3, §5, Fig 3).
+
+   Lifecycle of a tuple:
+     1. a rule (or an initial put) creates it; it enters the Delta tree
+        unless its table is configured -noDelta;
+     2. when its equivalence class becomes minimal, the engine removes
+        the whole class from Delta, inserts the tuples into their Gamma
+        tables, runs any registered external-action handlers, and then
+        fires every rule triggered by them — all tuples of the class in
+        parallel under the all-minimums strategy;
+     3. other rules may query it in Gamma;
+     4. garbage collection of dead tuples is the responsibility of the
+        table's store (manual lifetime hints, as in the Median study).
+
+   Each step is two barriers: first the whole class is inserted into
+   Gamma (in parallel), then all rules fire (in parallel).  Rules of the
+   same class therefore observe the *entire* class in Gamma, never a
+   fraction of it — this is what makes positive queries at the trigger's
+   own timestamp deterministic under any schedule.
+
+   Set semantics: a put whose tuple is already in Gamma or already
+   pending in Delta is dropped.  Duplicate drops are what terminate
+   recursive programs (the SumMonth dedup of §6.2).
+
+   -noDelta T tuples bypass Delta: they are inserted into Gamma and
+   their rules fire immediately, inside the putting task (§5.1).
+   -noGamma T tuples are never stored (they are trigger-only). *)
+
+exception Causality_violation of string
+exception Step_limit_exceeded of int
+
+type phase_times = {
+  mutable t_extract : float;
+  mutable t_gamma : float;
+  mutable t_rules : float;
+}
+
+type result = {
+  outputs : string list; (* deterministic order *)
+  steps : int;
+  tuples_processed : int;
+  elapsed : float;
+  delta_inserted : int;
+  delta_deduped : int;
+  stats : Table_stats.t;
+  phases : phase_times;
+}
+
+type state = {
+  frozen : Program.frozen;
+  config : Config.t;
+  order : Order_rel.t;
+  delta : Delta.t;
+  gamma : Store.t array; (* by table id *)
+  no_delta : bool array;
+  no_gamma : bool array;
+  const_ts : Timestamp.t option array;
+      (* memoised timestamp for tables whose orderby is literal-only:
+         every tuple of such a table has the same timestamp, so there is
+         no need to project it per put (PvWatts-style tables put millions
+         of tuples through this path) *)
+  stats : Table_stats.t;
+  pool : Jstar_sched.Pool.t option;
+  out_buf : string Jstar_cds.Treiber_stack.t; (* per-step println sink *)
+  outputs : string list ref; (* accumulated, reverse order *)
+  current_ts : Timestamp.t option ref;
+  processed : int ref;
+  phases : phase_times;
+}
+
+let store_for config ~parallel schema =
+  let name = schema.Schema.name in
+  match List.assoc_opt name config.Config.stores with
+  | Some spec -> Store.of_spec spec schema
+  | None -> Store.default_for ~parallel schema
+
+let null_store schema =
+  (* -noGamma: accept and forget.  [mem] is always false, so set-dedup
+     for this table relies on Delta alone — the flag is only safe for
+     trigger-only tables, as the paper notes. *)
+  let cannot_query () =
+    raise
+      (Schema.Schema_error
+         (schema.Schema.name ^ " is -noGamma and cannot be queried"))
+  in
+  {
+    Store.kind = "none";
+    insert = (fun _ -> true);
+    mem = (fun _ -> false);
+    iter_prefix = (fun _ _ -> cannot_query ());
+    iter = (fun _ -> cannot_query ());
+    size = (fun () -> 0);
+  }
+
+let make_state frozen config =
+  Config.validate config;
+  let parallel = Config.effective_mode config = Delta.Concurrent in
+  let tables = frozen.Program.tables in
+  let in_list l s = List.mem s.Schema.name l in
+  let no_gamma = Array.map (in_list config.Config.no_gamma) tables in
+  let gamma =
+    Array.mapi
+      (fun i s ->
+        if no_gamma.(i) then null_store s else store_for config ~parallel s)
+      tables
+  in
+  {
+    frozen;
+    config;
+    order = Program.order_rel frozen.Program.program;
+    delta =
+      Delta.create
+        ~mode:(Config.effective_mode config)
+        ~nlits:frozen.Program.nlits ();
+    gamma;
+    no_delta = Array.map (in_list config.Config.no_delta) tables;
+    no_gamma;
+    const_ts =
+      Array.map
+        (fun s ->
+          if
+            Array.for_all
+              (function Schema.Lit _ -> true | _ -> false)
+              s.Schema.orderby
+          then
+            (* any tuple projects to the same literal-only timestamp *)
+            Some
+              (Array.map
+                 (function
+                   | Schema.Lit l ->
+                       Timestamp.CLit
+                         (Order_rel.rank (Program.order_rel frozen.Program.program) l, l)
+                   | Schema.Seq _ | Schema.Par _ -> assert false)
+                 s.Schema.orderby)
+          else None)
+        tables;
+    stats =
+      Table_stats.create
+        (Array.to_list (Array.map (fun s -> s.Schema.name) tables));
+    pool =
+      (if config.Config.threads > 1 then
+         Some (Jstar_sched.Pool.create ~num_workers:config.Config.threads ())
+       else None);
+    out_buf = Jstar_cds.Treiber_stack.create ();
+    outputs = ref [];
+    current_ts = ref None;
+    processed = ref 0;
+    phases = { t_extract = 0.0; t_gamma = 0.0; t_rules = 0.0 };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Put routing and rule firing                                         *)
+
+let timestamp_of st id tuple =
+  match st.const_ts.(id) with
+  | Some ts -> ts
+  | None -> Timestamp.of_tuple st.order tuple
+
+let rec route_put st ctx tuple =
+  let schema = Tuple.schema tuple in
+  let id = schema.Schema.id in
+  let c = Table_stats.counters st.stats id in
+  Table_stats.incr c.Table_stats.puts;
+  let ts = timestamp_of st id tuple in
+  if st.config.Config.runtime_causality_check then
+    (match !(st.current_ts) with
+    | Some now when not (Timestamp.leq now ts) ->
+        raise
+          (Causality_violation
+             (Fmt.str "rule at %a put %a into the past (%a)" Timestamp.pp now
+                Tuple.pp tuple Timestamp.pp ts))
+    | _ -> ());
+  if st.no_delta.(id) then (
+    (* §5.1: straight to Gamma, fire immediately in this task. *)
+    if st.gamma.(id).Store.insert tuple then (
+      Table_stats.incr c.Table_stats.gamma_inserts;
+      fire_rules st ctx tuple)
+    else Table_stats.incr c.Table_stats.gamma_dups)
+  else if st.gamma.(id).Store.mem tuple then
+    (* Already processed: set semantics drop. *)
+    Table_stats.incr c.Table_stats.gamma_dups
+  else if Delta.insert st.delta tuple ts then
+    Table_stats.incr c.Table_stats.delta_inserts
+  else Table_stats.incr c.Table_stats.delta_dups
+
+and fire_rules st ctx tuple =
+  let id = (Tuple.schema tuple).Schema.id in
+  match st.frozen.Program.rules_by_trigger.(id) with
+  | [] -> ()
+  | rules ->
+      let c = Table_stats.counters st.stats id in
+      List.iter
+        (fun r ->
+          Table_stats.incr c.Table_stats.triggers;
+          r.Rule.body ctx tuple)
+        rules
+
+let make_ctx st =
+  let rec ctx =
+    {
+      Rule.put = (fun tuple -> route_put st ctx tuple);
+      iter_prefix =
+        (fun schema prefix f ->
+          let c = Table_stats.counters st.stats schema.Schema.id in
+          Table_stats.incr c.Table_stats.queries;
+          st.gamma.(schema.Schema.id).Store.iter_prefix prefix f);
+      store_of = (fun schema -> st.gamma.(schema.Schema.id));
+      println =
+        (fun line ->
+          if st.config.Config.print_directly then print_endline line
+          else Jstar_cds.Treiber_stack.push st.out_buf line);
+      class_ts = (fun () -> !(st.current_ts));
+      par_iter =
+        (fun lo hi f ->
+          match st.pool with
+          | Some pool when hi - lo > 1 ->
+              Jstar_sched.Forkjoin.parallel_for pool ?grain:st.config.Config.grain
+                ~lo ~hi f
+          | _ ->
+              for i = lo to hi - 1 do
+                f i
+              done);
+    }
+  in
+  ctx
+
+(* ------------------------------------------------------------------ *)
+(* Step execution                                                      *)
+
+let for_range_parallel st n f =
+  match st.pool with
+  | None ->
+      for i = 0 to n - 1 do
+        f i
+      done
+  | Some pool ->
+      Jstar_sched.Forkjoin.parallel_for pool ?grain:st.config.Config.grain
+        ~lo:0 ~hi:n f
+
+(* Deterministic side effects for one class: output-table formatting and
+   action handlers run sequentially over the class sorted by tuple
+   order. *)
+let run_class_effects st ctx tuples =
+  let has_effects =
+    Array.exists
+      (fun t ->
+        let id = (Tuple.schema t).Schema.id in
+        st.frozen.Program.output_fmt.(id) <> None
+        || st.frozen.Program.action_of.(id) <> None)
+      tuples
+  in
+  if has_effects then begin
+    let sorted = Array.copy tuples in
+    Array.sort Tuple.compare sorted;
+    Array.iter
+      (fun t ->
+        let id = (Tuple.schema t).Schema.id in
+        (match st.frozen.Program.output_fmt.(id) with
+        | Some fmt -> ctx.Rule.println (fmt t)
+        | None -> ());
+        match st.frozen.Program.action_of.(id) with
+        | Some handler -> handler ctx t
+        | None -> ())
+      sorted
+  end
+
+let flush_step_outputs st =
+  match Jstar_cds.Treiber_stack.pop_all st.out_buf with
+  | [] -> ()
+  | lines ->
+      (* Sort within the step so the order is schedule-independent. *)
+      let lines = List.sort String.compare lines in
+      st.outputs := List.rev_append lines !(st.outputs)
+
+let now () = Unix.gettimeofday ()
+
+let run_step st ctx tuples =
+  let tuples = Array.of_list tuples in
+  let n = Array.length tuples in
+  st.processed := !(st.processed) + n;
+  st.current_ts :=
+    (if n > 0 then
+       Some (timestamp_of st (Tuple.schema tuples.(0)).Schema.id tuples.(0))
+     else None);
+  if st.config.Config.trace then
+    Fmt.epr "[step] class %a: %d tuple(s)@."
+      (Fmt.option Timestamp.pp)
+      !(st.current_ts) n;
+  (* Phase A: the whole class becomes visible in Gamma. *)
+  let t0 = now () in
+  let survivors = Array.make n None in
+  for_range_parallel st n (fun i ->
+      let t = tuples.(i) in
+      let id = (Tuple.schema t).Schema.id in
+      let c = Table_stats.counters st.stats id in
+      if st.gamma.(id).Store.insert t then begin
+        Table_stats.incr c.Table_stats.gamma_inserts;
+        survivors.(i) <- Some t
+      end
+      else
+        (* Raced back into Delta after processing: set-semantics drop. *)
+        Table_stats.incr c.Table_stats.gamma_dups);
+  st.phases.t_gamma <- st.phases.t_gamma +. (now () -. t0);
+  run_class_effects st ctx tuples;
+  (* Phase B: fire all rules of the class in parallel — one task per
+     tuple by default, or one per (tuple, rule) pair under the §5.2
+     [task_per_rule] strategy. *)
+  let t1 = now () in
+  let to_fire =
+    Array.of_list (List.filter_map Fun.id (Array.to_list survivors))
+  in
+  if st.config.Config.task_per_rule then begin
+    let pairs =
+      Array.of_list
+        (List.concat_map
+           (fun t ->
+             List.map
+               (fun r -> (t, r))
+               st.frozen.Program.rules_by_trigger.((Tuple.schema t).Schema.id))
+           (Array.to_list to_fire))
+    in
+    for_range_parallel st (Array.length pairs) (fun i ->
+        let t, r = pairs.(i) in
+        Table_stats.incr
+          (Table_stats.counters st.stats (Tuple.schema t).Schema.id)
+            .Table_stats.triggers;
+        r.Rule.body ctx t)
+  end
+  else
+    for_range_parallel st (Array.length to_fire) (fun i ->
+        fire_rules st ctx to_fire.(i));
+  st.phases.t_rules <- st.phases.t_rules +. (now () -. t1);
+  flush_step_outputs st
+
+let run_state st ~init =
+  let t_start = now () in
+  let ctx = make_ctx st in
+  List.iter (fun t -> route_put st ctx t) init;
+  flush_step_outputs st;
+  let steps = ref 0 in
+  let rec loop () =
+    let t0 = now () in
+    let klass = Delta.extract_min_class st.delta in
+    st.phases.t_extract <- st.phases.t_extract +. (now () -. t0);
+    match klass with
+    | [] -> ()
+    | tuples ->
+        incr steps;
+        (match st.config.Config.max_steps with
+        | Some limit when !steps > limit -> raise (Step_limit_exceeded limit)
+        | _ -> ());
+        run_step st ctx tuples;
+        loop ()
+  in
+  loop ();
+  {
+    outputs = List.rev !(st.outputs);
+    steps = !steps;
+    tuples_processed = !(st.processed);
+    elapsed = now () -. t_start;
+    delta_inserted = Delta.inserted_total st.delta;
+    delta_deduped = Delta.deduped_total st.delta;
+    stats = st.stats;
+    phases = st.phases;
+  }
+
+let run_with_gamma ?(init = []) frozen config =
+  let st = make_state frozen config in
+  let finish () =
+    match st.pool with Some p -> Jstar_sched.Pool.shutdown p | None -> ()
+  in
+  Fun.protect ~finally:finish (fun () ->
+      let result = run_state st ~init in
+      (result, fun schema -> st.gamma.(schema.Schema.id)))
+
+let run ?init frozen config = fst (run_with_gamma ?init frozen config)
+
+let run_program ?init program config = run ?init (Program.freeze program) config
+
+
+(* ------------------------------------------------------------------ *)
+(* Event-driven sessions (§3): "Event-driven programming with external
+   input tuples fits elegantly into this framework — the input tuples
+   are added to the Delta Set, and can then trigger various rules."
+   A session keeps the engine state alive between batches of external
+   input; [feed] enqueues tuples and [drain] runs to quiescence,
+   returning the outputs produced since the previous drain. *)
+
+type session = {
+  st : state;
+  ctx : Rule.ctx;
+  mutable session_steps : int;
+  mutable outputs_seen : int;
+  mutable finished : bool;
+}
+
+let start frozen config =
+  let st = make_state frozen config in
+  { st; ctx = make_ctx st; session_steps = 0; outputs_seen = 0; finished = false }
+
+let feed session tuples =
+  if session.finished then invalid_arg "Engine.feed: session finished";
+  List.iter (fun t -> route_put session.st session.ctx t) tuples
+
+let drain session =
+  if session.finished then invalid_arg "Engine.drain: session finished";
+  let st = session.st in
+  flush_step_outputs st;
+  let rec loop () =
+    match Delta.extract_min_class st.delta with
+    | [] -> ()
+    | tuples ->
+        session.session_steps <- session.session_steps + 1;
+        (match st.config.Config.max_steps with
+        | Some limit when session.session_steps > limit ->
+            raise (Step_limit_exceeded limit)
+        | _ -> ());
+        run_step st session.ctx tuples;
+        loop ()
+  in
+  loop ();
+  let all = List.rev !(st.outputs) in
+  let fresh =
+    List.filteri (fun i _ -> i >= session.outputs_seen) all
+  in
+  session.outputs_seen <- List.length all;
+  fresh
+
+let session_gamma session schema =
+  session.st.gamma.(schema.Schema.id)
+
+let finish session =
+  if not session.finished then begin
+    session.finished <- true;
+    match session.st.pool with
+    | Some p -> Jstar_sched.Pool.shutdown p
+    | None -> ()
+  end;
+  {
+    outputs = List.rev !(session.st.outputs);
+    steps = session.session_steps;
+    tuples_processed = !(session.st.processed);
+    elapsed = 0.0;
+    delta_inserted = Delta.inserted_total session.st.delta;
+    delta_deduped = Delta.deduped_total session.st.delta;
+    stats = session.st.stats;
+    phases = session.st.phases;
+  }

@@ -1,0 +1,66 @@
+(** The pseudo-naive bottom-up execution engine.
+
+    Each step removes one minimal equivalence class from the Delta tree,
+    inserts it into Gamma (parallel barrier), runs deterministic class
+    effects (output formatting, action handlers), then fires all
+    triggered rules (parallel barrier).  Tuples already present in Gamma
+    or Delta are dropped (set semantics). *)
+
+exception Causality_violation of string
+(** Raised (when [runtime_causality_check] is on) by a put whose tuple's
+    timestamp precedes the executing class — a rule changing the past. *)
+
+exception Step_limit_exceeded of int
+(** Raised when [max_steps] is configured and exceeded. *)
+
+type phase_times = {
+  mutable t_extract : float;  (** seconds spent extracting from Delta *)
+  mutable t_gamma : float;  (** seconds inserting classes into Gamma *)
+  mutable t_rules : float;  (** seconds firing rules *)
+}
+
+type result = {
+  outputs : string list;
+      (** println/output lines, deterministic regardless of schedule *)
+  steps : int;  (** number of equivalence classes executed *)
+  tuples_processed : int;
+  elapsed : float;  (** wall-clock seconds *)
+  delta_inserted : int;
+  delta_deduped : int;
+  stats : Table_stats.t;
+  phases : phase_times;
+}
+
+val run : ?init:Tuple.t list -> Program.frozen -> Config.t -> result
+(** Execute a frozen program from the initial puts to quiescence. *)
+
+val run_with_gamma :
+  ?init:Tuple.t list ->
+  Program.frozen ->
+  Config.t ->
+  result * (Schema.t -> Store.t)
+(** Like {!run}, additionally returning an accessor for the final Gamma
+    stores (for inspecting results). *)
+
+val run_program : ?init:Tuple.t list -> Program.t -> Config.t -> result
+(** Freeze and run in one call. *)
+
+(** {1 Event-driven sessions}
+
+    External input tuples arrive over time (§3): a session keeps the
+    engine alive between input batches. *)
+
+type session
+
+val start : Program.frozen -> Config.t -> session
+val feed : session -> Tuple.t list -> unit
+(** Enqueue external input tuples (routed like any put). *)
+
+val drain : session -> string list
+(** Run to quiescence; returns the outputs produced by this drain. *)
+
+val session_gamma : session -> Schema.t -> Store.t
+(** Inspect a table's Gamma store between drains. *)
+
+val finish : session -> result
+(** Shut the session's pool down and summarise.  Idempotent. *)

@@ -1,0 +1,143 @@
+(* The partial order over capitalised order literals, built from the
+   program's [order A < B < C] declarations (e.g.
+   [order Req < PvWatts < SumMonth] in the PvWatts program).
+
+   The Delta tree needs a *total* order on the literals that appear at
+   each level so it can store named branches in a linear array (§5 of the
+   paper: "indexed by a total ordering of the order relationship").  We
+   therefore compute a deterministic topological extension of the declared
+   partial order: Kahn's algorithm with a stable tie-break on declaration
+   order, so that the linear extension is independent of hash order and
+   identical across runs.  Cycles in the declarations are rejected. *)
+
+exception Cycle of string list
+
+type t = {
+  names : (string, int) Hashtbl.t; (* literal -> registration index *)
+  mutable literals : string list; (* reverse registration order *)
+  edges : (int, int list ref) Hashtbl.t; (* a -> successors, a < b *)
+  mutable ranks : (string, int) Hashtbl.t option; (* memoised extension *)
+  mutable pairs : (string * string) list; (* declared a < b, reverse order *)
+}
+
+let create () =
+  {
+    names = Hashtbl.create 16;
+    literals = [];
+    edges = Hashtbl.create 16;
+    ranks = None;
+    pairs = [];
+  }
+
+let intern t name =
+  match Hashtbl.find_opt t.names name with
+  | Some i -> i
+  | None ->
+      let i = Hashtbl.length t.names in
+      Hashtbl.replace t.names name i;
+      t.literals <- name :: t.literals;
+      t.ranks <- None;
+      i
+
+let declare t name = ignore (intern t name)
+
+let declare_less t a b =
+  let ia = intern t a and ib = intern t b in
+  let succs =
+    match Hashtbl.find_opt t.edges ia with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace t.edges ia r;
+        r
+  in
+  if not (List.mem ib !succs) then succs := ib :: !succs;
+  t.pairs <- (a, b) :: t.pairs;
+  t.ranks <- None
+
+let declare_chain t names =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        declare_less t a b;
+        go rest
+    | [ last ] -> declare t last
+    | [] -> ()
+  in
+  go names
+
+let literals t = List.rev t.literals
+let declared_pairs t = List.rev t.pairs
+
+(* Kahn's algorithm with a min-heap keyed by registration index, giving a
+   stable deterministic linear extension. *)
+let compute_ranks t =
+  let n = Hashtbl.length t.names in
+  let name_of = Array.make n "" in
+  Hashtbl.iter (fun name i -> name_of.(i) <- name) t.names;
+  let indegree = Array.make n 0 in
+  Hashtbl.iter
+    (fun _ succs -> List.iter (fun b -> indegree.(b) <- indegree.(b) + 1) !succs)
+    t.edges;
+  let module IS = Set.Make (Int) in
+  let ready = ref IS.empty in
+  for i = 0 to n - 1 do
+    if indegree.(i) = 0 then ready := IS.add i !ready
+  done;
+  let ranks = Hashtbl.create n in
+  let placed = ref 0 in
+  while not (IS.is_empty !ready) do
+    let i = IS.min_elt !ready in
+    ready := IS.remove i !ready;
+    Hashtbl.replace ranks name_of.(i) !placed;
+    incr placed;
+    (match Hashtbl.find_opt t.edges i with
+    | None -> ()
+    | Some succs ->
+        List.iter
+          (fun b ->
+            indegree.(b) <- indegree.(b) - 1;
+            if indegree.(b) = 0 then ready := IS.add b !ready)
+          !succs)
+  done;
+  if !placed < n then (
+    let stuck =
+      List.filter (fun name -> not (Hashtbl.mem ranks name)) (literals t)
+    in
+    raise (Cycle stuck));
+  ranks
+
+let ranks t =
+  match t.ranks with
+  | Some r -> r
+  | None ->
+      let r = compute_ranks t in
+      t.ranks <- Some r;
+      r
+
+let rank t name =
+  match Hashtbl.find_opt (ranks t) name with
+  | Some r -> r
+  | None -> intern t name |> fun _ -> Hashtbl.find (ranks t) name
+
+let count t = Hashtbl.length t.names
+
+(* Reachability in the declared partial order (not its extension):
+   used by the causality checker, where [A < B] must be *provable*,
+   not merely true in the chosen linear extension. *)
+let provably_less t a b =
+  match (Hashtbl.find_opt t.names a, Hashtbl.find_opt t.names b) with
+  | Some ia, Some ib ->
+      let visited = Hashtbl.create 16 in
+      let rec reach i =
+        if i = ib then true
+        else if Hashtbl.mem visited i then false
+        else (
+          Hashtbl.replace visited i ();
+          match Hashtbl.find_opt t.edges i with
+          | None -> false
+          | Some succs -> List.exists reach !succs)
+      in
+      reach ia
+  | _ -> false
+
+let comparable t a b = a = b || provably_less t a b || provably_less t b a

@@ -1,0 +1,42 @@
+(** The programmer-declared partial order over order literals
+    ([order Req < PvWatts < SumMonth]), with a deterministic linear
+    extension used to rank named Delta-tree branches. *)
+
+type t
+
+exception Cycle of string list
+(** Raised by rank queries when the declarations are cyclic; carries the
+    literals involved in (or blocked by) the cycle. *)
+
+val create : unit -> t
+
+val declare : t -> string -> unit
+(** Register a literal without relating it to any other. *)
+
+val declare_less : t -> string -> string -> unit
+(** [declare_less t a b] records [a < b]. *)
+
+val declare_chain : t -> string list -> unit
+(** [declare_chain t ["A"; "B"; "C"]] records [A < B] and [B < C] —
+    the [order A < B < C] declaration form. *)
+
+val rank : t -> string -> int
+(** Position of a literal in the deterministic linear extension (Kahn's
+    algorithm, ties broken by registration order).  Unknown literals are
+    registered on the fly.  @raise Cycle on cyclic declarations. *)
+
+val provably_less : t -> string -> string -> bool
+(** Whether [a < b] follows from the declarations (transitively) — the
+    relation the causality checker may rely on, as opposed to the
+    arbitrary linear extension. *)
+
+val comparable : t -> string -> string -> bool
+(** Equal or related (either way) by the declared order. *)
+
+val literals : t -> string list
+(** All registered literals in registration order. *)
+
+val declared_pairs : t -> (string * string) list
+(** The raw [a < b] declarations, in declaration order. *)
+
+val count : t -> int

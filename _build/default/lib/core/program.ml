@@ -1,0 +1,119 @@
+(* A JStar program: tables, order declarations, rules, output tables and
+   action handlers, built with combinators and then frozen before
+   execution.
+
+   Freezing fixes the table ids, the linear extension of the order
+   literals, and the rule dispatch table; the engine and the causality
+   checker both operate on frozen programs. *)
+
+type action = Rule.ctx -> Tuple.t -> unit
+
+type t = {
+  mutable schemas : Schema.t list; (* reverse declaration order *)
+  mutable rules : Rule.t list; (* reverse declaration order *)
+  order : Order_rel.t;
+  mutable next_id : int;
+  mutable frozen : bool;
+  mutable outputs : (int * (Tuple.t -> string)) list;
+  mutable actions : (int * action) list;
+      (* external-action handlers run when tuples leave the Delta set *)
+}
+
+exception Frozen of string
+
+let create () =
+  {
+    schemas = [];
+    rules = [];
+    order = Order_rel.create ();
+    next_id = 0;
+    frozen = false;
+    outputs = [];
+    actions = [];
+  }
+
+let check_not_frozen p what =
+  if p.frozen then raise (Frozen ("cannot add " ^ what ^ " after freeze"))
+
+let table p name ~columns ?(key = 0) ~orderby () =
+  check_not_frozen p ("table " ^ name);
+  if List.exists (fun s -> s.Schema.name = name) p.schemas then
+    raise (Schema.Schema_error ("duplicate table " ^ name));
+  let schema =
+    Schema.make ~id:p.next_id ~name ~columns ~key_arity:key ~orderby
+  in
+  (* Register every literal appearing in the orderby so it has a rank
+     even without an order declaration. *)
+  List.iter
+    (function Schema.Lit l -> Order_rel.declare p.order l | _ -> ())
+    orderby;
+  p.next_id <- p.next_id + 1;
+  p.schemas <- schema :: p.schemas;
+  schema
+
+let order p names =
+  check_not_frozen p "order declaration";
+  Order_rel.declare_chain p.order names
+
+let rule p ?reads ?puts ?assumes name ~trigger body =
+  check_not_frozen p ("rule " ^ name);
+  p.rules <- Rule.make ?reads ?puts ?assumes ~name ~trigger body :: p.rules
+
+let output p schema fmt =
+  check_not_frozen p "output declaration";
+  p.outputs <- (schema.Schema.id, fmt) :: p.outputs
+
+let action p schema handler =
+  check_not_frozen p "action declaration";
+  p.actions <- (schema.Schema.id, handler) :: p.actions
+
+let schemas p = List.rev p.schemas
+let rules p = List.rev p.rules
+let order_rel p = p.order
+
+let find_table p name =
+  match List.find_opt (fun s -> s.Schema.name = name) p.schemas with
+  | Some s -> s
+  | None -> raise (Schema.Schema_error ("unknown table " ^ name))
+
+(* -- frozen form ----------------------------------------------------- *)
+
+type frozen = {
+  program : t;
+  tables : Schema.t array; (* indexed by schema id *)
+  rules_by_trigger : Rule.t list array; (* declaration order per table *)
+  output_fmt : (Tuple.t -> string) option array;
+  action_of : action option array;
+  nlits : int;
+}
+
+let freeze p =
+  p.frozen <- true;
+  let tables = Array.of_list (schemas p) in
+  Array.iteri
+    (fun i s -> if s.Schema.id <> i then invalid_arg "corrupt table ids")
+    tables;
+  let n = Array.length tables in
+  let rules_by_trigger = Array.make n [] in
+  List.iter
+    (fun r ->
+      let id = r.Rule.trigger.Schema.id in
+      rules_by_trigger.(id) <- r :: rules_by_trigger.(id))
+    (List.rev (rules p));
+  (* Force the linear extension now so cyclic order declarations fail at
+     freeze time rather than mid-run. *)
+  List.iter
+    (fun l -> ignore (Order_rel.rank p.order l))
+    (Order_rel.literals p.order);
+  let output_fmt = Array.make n None in
+  List.iter (fun (id, f) -> output_fmt.(id) <- Some f) p.outputs;
+  let action_of = Array.make n None in
+  List.iter (fun (id, f) -> action_of.(id) <- Some f) p.actions;
+  {
+    program = p;
+    tables;
+    rules_by_trigger;
+    output_fmt;
+    action_of;
+    nlits = max 1 (Order_rel.count p.order);
+  }

@@ -1,0 +1,56 @@
+(* Query combinators over a rule context: the [get] forms of §3-§4.
+
+   - [iter]/[list]/[fold]: positive queries ([get T(prefix)] with an
+     optional residual predicate, the boolean-lambda part of a query).
+   - [uniq]: [get uniq? T(...)] — at most one matching tuple expected.
+   - [is_empty]: the negative query form ([get uniq? ... == null]).
+   - [count]/[min_by]/[reduce]: aggregate queries.
+
+   All of these run against the Gamma database; the law of causality
+   makes their results stable (§4), which the causality checker
+   verifies per rule. *)
+
+let iter ctx schema ?(prefix = [||]) ?where f =
+  ctx.Rule.iter_prefix schema prefix (fun t ->
+      match where with
+      | None -> f t
+      | Some p -> if p t then f t)
+
+let fold ctx schema ?prefix ?where ~init ~f () =
+  let acc = ref init in
+  iter ctx schema ?prefix ?where (fun t -> acc := f !acc t);
+  !acc
+
+let list ctx schema ?prefix ?where () =
+  List.rev (fold ctx schema ?prefix ?where ~init:[] ~f:(fun acc t -> t :: acc) ())
+
+let count ctx schema ?prefix ?where () =
+  fold ctx schema ?prefix ?where ~init:0 ~f:(fun n _ -> n + 1) ()
+
+exception Not_unique of string
+
+let uniq ctx schema ?prefix ?where () =
+  let found = ref None in
+  iter ctx schema ?prefix ?where (fun t ->
+      match !found with
+      | None -> found := Some t
+      | Some prev ->
+          if not (Tuple.equal prev t) then
+            raise (Not_unique schema.Schema.name));
+  !found
+
+let is_empty ctx schema ?prefix ?where () =
+  uniq ctx schema ?prefix ?where () = None
+
+let min_by ctx schema ?prefix ?where ~key () =
+  fold ctx schema ?prefix ?where ~init:None
+    ~f:(fun acc t ->
+      match acc with
+      | None -> Some t
+      | Some best -> if key t < key best then Some t else acc)
+    ()
+
+let reduce ctx schema ?prefix ?where ~monoid ~f () =
+  fold ctx schema ?prefix ?where ~init:monoid.Reducer.empty
+    ~f:(fun acc t -> monoid.Reducer.combine acc (f t))
+    ()

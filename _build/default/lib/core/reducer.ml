@@ -1,0 +1,122 @@
+(* Reduce and scan with user-defined operators (§1.3): JStar replaces
+   sequential accumulation loops with reductions whose operators are
+   associative, so the runtime is free to evaluate them as trees in
+   parallel.
+
+   [Statistics] is the standard reducer used by the PvWatts program
+   (count / sum / mean, plus min/max and variance via the parallel
+   Welford/Chan combination). *)
+
+type 'a monoid = { empty : 'a; combine : 'a -> 'a -> 'a }
+
+let int_sum = { empty = 0; combine = ( + ) }
+let float_sum = { empty = 0.0; combine = ( +. ) }
+let int_max = { empty = min_int; combine = max }
+let int_min = { empty = max_int; combine = min }
+
+module Statistics = struct
+  type t = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    mean : float;
+    m2 : float; (* sum of squared deviations from the mean *)
+  }
+
+  let empty =
+    { count = 0; sum = 0.0; min = infinity; max = neg_infinity; mean = 0.0; m2 = 0.0 }
+
+  let add s x =
+    let count = s.count + 1 in
+    let delta = x -. s.mean in
+    let mean = s.mean +. (delta /. float_of_int count) in
+    let m2 = s.m2 +. (delta *. (x -. mean)) in
+    {
+      count;
+      sum = s.sum +. x;
+      min = Float.min s.min x;
+      max = Float.max s.max x;
+      mean;
+      m2;
+    }
+
+  (* Chan et al. parallel combination of two partial statistics. *)
+  let combine a b =
+    if a.count = 0 then b
+    else if b.count = 0 then a
+    else
+      let count = a.count + b.count in
+      let fa = float_of_int a.count and fb = float_of_int b.count in
+      let fc = float_of_int count in
+      let delta = b.mean -. a.mean in
+      {
+        count;
+        sum = a.sum +. b.sum;
+        min = Float.min a.min b.min;
+        max = Float.max a.max b.max;
+        mean = a.mean +. (delta *. fb /. fc);
+        m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. fc);
+      }
+
+  let monoid = { empty; combine }
+  let mean s = if s.count = 0 then nan else s.mean
+  let variance s = if s.count < 2 then 0.0 else s.m2 /. float_of_int s.count
+  let std_dev s = sqrt (variance s)
+end
+
+(* Sequential fold with a monoid. *)
+let reduce_array monoid f arr =
+  Array.fold_left (fun acc x -> monoid.combine acc (f x)) monoid.empty arr
+
+(* Parallel tree reduction over an array. *)
+let parallel_reduce_array pool monoid f arr =
+  Jstar_sched.Forkjoin.parallel_reduce pool ~lo:0 ~hi:(Array.length arr)
+    ~init:monoid.empty ~combine:monoid.combine (fun i -> f arr.(i))
+
+(* Inclusive scan (prefix reduction), sequential reference. *)
+let scan_array monoid arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n arr.(0) in
+    for i = 1 to n - 1 do
+      out.(i) <- monoid.combine out.(i - 1) arr.(i)
+    done;
+    out
+  end
+
+(* Parallel inclusive scan: block-local scans, a scan of the block sums,
+   then a parallel fix-up pass — the two-level scheme that suits a small
+   worker count.  Requires an associative [combine]. *)
+let parallel_scan_array pool monoid arr =
+  let n = Array.length arr in
+  let workers = Jstar_sched.Pool.size pool in
+  if n = 0 then [||]
+  else if n < 4096 || workers = 1 then scan_array monoid arr
+  else begin
+    let nblocks = workers * 4 in
+    let block = (n + nblocks - 1) / nblocks in
+    let out = Array.make n arr.(0) in
+    let sums = Array.make nblocks monoid.empty in
+    Jstar_sched.Forkjoin.parallel_for pool ~grain:1 ~lo:0 ~hi:nblocks (fun b ->
+        let lo = b * block and hi = min n ((b + 1) * block) in
+        if lo < hi then begin
+          out.(lo) <- arr.(lo);
+          for i = lo + 1 to hi - 1 do
+            out.(i) <- monoid.combine out.(i - 1) arr.(i)
+          done;
+          sums.(b) <- out.(hi - 1)
+        end);
+    (* Exclusive scan of the block sums, sequential: nblocks is tiny. *)
+    let offsets = Array.make nblocks monoid.empty in
+    for b = 1 to nblocks - 1 do
+      offsets.(b) <- monoid.combine offsets.(b - 1) sums.(b - 1)
+    done;
+    Jstar_sched.Forkjoin.parallel_for pool ~grain:1 ~lo:1 ~hi:nblocks (fun b ->
+        let lo = b * block and hi = min n ((b + 1) * block) in
+        for i = lo to hi - 1 do
+          out.(i) <- monoid.combine offsets.(b) out.(i)
+        done);
+    out
+  end

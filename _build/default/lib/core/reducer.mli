@@ -1,0 +1,53 @@
+(** Reduce and scan with user-defined operators (§1.3): associative
+    reductions the runtime may evaluate as trees, in parallel. *)
+
+type 'a monoid = { empty : 'a; combine : 'a -> 'a -> 'a }
+(** [combine] must be associative with identity [empty] for results to
+    be schedule-independent. *)
+
+val int_sum : int monoid
+val float_sum : float monoid
+val int_max : int monoid
+val int_min : int monoid
+
+(** The standard [Statistics] reducer of the PvWatts program: count,
+    sum, min, max, mean and variance, combinable in parallel (Chan et
+    al.'s pairwise update). *)
+module Statistics : sig
+  type t = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    mean : float;
+    m2 : float;
+  }
+
+  val empty : t
+  val add : t -> float -> t
+  val combine : t -> t -> t
+  val monoid : t monoid
+
+  val mean : t -> float
+  (** [nan] when empty. *)
+
+  val variance : t -> float
+  (** Population variance; 0 for fewer than two samples. *)
+
+  val std_dev : t -> float
+end
+
+val reduce_array : 'a monoid -> ('b -> 'a) -> 'b array -> 'a
+(** Sequential reference fold. *)
+
+val parallel_reduce_array :
+  Jstar_sched.Pool.t -> 'a monoid -> ('b -> 'a) -> 'b array -> 'a
+(** Tree reduction on the pool. *)
+
+val scan_array : 'a monoid -> 'a array -> 'a array
+(** Inclusive prefix reduction, sequential reference. *)
+
+val parallel_scan_array :
+  Jstar_sched.Pool.t -> 'a monoid -> 'a array -> 'a array
+(** Two-level parallel inclusive scan (block scans, block-sum scan,
+    fix-up pass); equals {!scan_array} for associative monoids. *)

@@ -1,0 +1,52 @@
+(** Table schemas — the runtime form of
+    [table Name(int k -> int a, int b) orderby (Lit, seq k)]. *)
+
+type orderby_entry =
+  | Lit of string
+      (** A capitalised order literal, ranked by the [order] declarations. *)
+  | Seq of string  (** [seq f]: subtrees at this level execute in field order. *)
+  | Par of string  (** [par f]: subtrees at this level are unordered. *)
+
+type column = { col_name : string; col_ty : Value.ty }
+
+type t = private {
+  id : int;
+  name : string;
+  columns : column array;
+  key_arity : int;
+  orderby : orderby_entry array;
+  index : (string, int) Hashtbl.t;
+  orderby_fields : int array;
+      (** Column position for each orderby entry; [-1] for literals. *)
+}
+
+exception Schema_error of string
+
+val column : string -> Value.ty -> column
+val int_col : string -> column
+val float_col : string -> column
+val string_col : string -> column
+val bool_col : string -> column
+
+val make :
+  id:int ->
+  name:string ->
+  columns:column list ->
+  key_arity:int ->
+  orderby:orderby_entry list ->
+  t
+(** Validates column names, key arity, and that every orderby field
+    exists.  Normally called via [Program.table], which assigns the id.
+    @raise Schema_error on any inconsistency. *)
+
+val arity : t -> int
+
+val field_pos : t -> string -> int
+(** @raise Schema_error for unknown field names. *)
+
+val field_ty : t -> int -> Value.ty
+val key_columns : t -> column array
+val has_key : t -> bool
+val orderby_entry_field : orderby_entry -> string option
+val pp : Format.formatter -> t -> unit
+val pp_orderby_entry : Format.formatter -> orderby_entry -> unit

@@ -1,0 +1,39 @@
+(** Symbolic rule metadata for causality checking and dependency graphs
+    — the facts the original compiler extracts from rule source. *)
+
+type iexpr =
+  | Field of string  (** an int field of the trigger tuple *)
+  | Const of int
+  | Add of iexpr * int
+  | Unknown  (** no information; obligations touching it fail *)
+
+type flat = FField of string * int | FConst of int | FUnknown
+
+val normalise : iexpr -> iexpr
+val flatten : iexpr -> flat
+
+type ts_binding = { field : string; expr : iexpr }
+
+type read_kind =
+  | Positive  (** plain [get] — allowed at timestamps <= trigger *)
+  | Negative  (** absence tests — must be strictly earlier *)
+  | Aggregate  (** min / count / reduce queries — strictly earlier *)
+
+type read_spec = {
+  rd_table : string;
+  rd_kind : read_kind;
+  rd_ts : ts_binding list;
+}
+
+type put_spec = {
+  pt_table : string;
+  pt_ts : ts_binding list;
+  pt_when : string option;
+}
+
+type constr = Le of iexpr * iexpr | Lt of iexpr * iexpr | Eq of iexpr * iexpr
+
+val read : ?kind:read_kind -> ?ts:ts_binding list -> string -> read_spec
+val put : ?when_:string -> ?ts:ts_binding list -> string -> put_spec
+val bind : string -> iexpr -> ts_binding
+val pp_iexpr : Format.formatter -> iexpr -> unit

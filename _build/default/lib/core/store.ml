@@ -1,0 +1,463 @@
+(* Gamma table stores.
+
+   The paper's point about "late commitment to data structures" is that
+   the store behind each relation is chosen *after* the program is
+   written, via compiler hints or runtime flags, without touching the
+   program text.  We reproduce that with a first-class store interface
+   and the paper's four families:
+
+   - [tree]       : ordered set — TreeSet, the sequential default;
+   - [skiplist]   : concurrent ordered set — ConcurrentSkipListSet,
+                    the parallel default;
+   - [hash_index] : hash map keyed by the first [prefix_len] fields —
+                    the HashSet / ConcurrentHashMap optimisation used
+                    for the PvWatts(year, month) queries;
+   - [native_int_array] / [native_float_array]: dense int-keyed tables
+     with a single dependent value — the "native-arrays" optimisation of
+     §6.4/§6.6 (Java 2D arrays for Matrix, double[2][100M] for Median);
+   - [custom]     : anything the application supplies, the equivalent of
+     overriding the store factory method by inheritance (§6.2). *)
+
+type t = {
+  kind : string;
+  insert : Tuple.t -> bool; (* false = duplicate; store unchanged *)
+  mem : Tuple.t -> bool;
+  iter_prefix : Value.t array -> (Tuple.t -> unit) -> unit;
+      (* all tuples whose leading fields equal the prefix *)
+  iter : (Tuple.t -> unit) -> unit;
+  size : unit -> int;
+}
+
+type kind_spec =
+  | Tree
+  | Skiplist
+  | Hash_index of int (* prefix length *)
+  | Custom of (Schema.t -> t)
+
+(* ------------------------------------------------------------------ *)
+(* Ordered stores: prefix queries become range scans.                  *)
+
+(* Lower bound tuple for a prefix: prefix fields followed by each
+   remaining column's minimal value. *)
+let min_value_of_ty = function
+  | Value.TInt -> Value.Int min_int
+  | Value.TFloat -> Value.Float neg_infinity
+  | Value.TStr -> Value.Str ""
+  | Value.TBool -> Value.Bool false
+
+let lower_bound_fields schema prefix =
+  Array.init (Schema.arity schema) (fun i ->
+      if i < Array.length prefix then prefix.(i)
+      else min_value_of_ty (Schema.field_ty schema i))
+
+module TSet = Set.Make (Tuple)
+
+let tree schema =
+  let set = ref TSet.empty in
+  {
+    kind = "tree";
+    insert =
+      (fun t ->
+        if TSet.mem t !set then false
+        else (
+          set := TSet.add t !set;
+          true));
+    mem = (fun t -> TSet.mem t !set);
+    iter_prefix =
+      (fun prefix f ->
+        let low =
+          (* The lower bound needs no type check, so build it unsafely
+             through the same constructor path as ordinary tuples. *)
+          Tuple.make schema (lower_bound_fields schema prefix)
+        in
+        let seq = TSet.to_seq_from low !set in
+        let rec go s =
+          match s () with
+          | Seq.Nil -> ()
+          | Seq.Cons (t, rest) ->
+              if Tuple.matches_prefix t prefix then (
+                f t;
+                go rest)
+        in
+        go seq);
+    iter = (fun f -> TSet.iter f !set);
+    size = (fun () -> TSet.cardinal !set);
+  }
+
+let skiplist schema =
+  let set = Jstar_cds.Cset.create ~compare:Tuple.compare () in
+  {
+    kind = "skiplist";
+    insert = (fun t -> Jstar_cds.Cset.add set t);
+    mem = (fun t -> Jstar_cds.Cset.mem set t);
+    iter_prefix =
+      (fun prefix f ->
+        let low = Tuple.make schema (lower_bound_fields schema prefix) in
+        Jstar_cds.Cset.iter_from set low (fun t ->
+            if Tuple.matches_prefix t prefix then (
+              f t;
+              true)
+            else false));
+    iter = (fun f -> Jstar_cds.Cset.iter set f);
+    size = (fun () -> Jstar_cds.Cset.length set);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Hash-indexed store                                                  *)
+
+type bucket = {
+  b_mutex : Mutex.t;
+  b_seen : (Value.t array, unit) Hashtbl.t;
+  mutable b_items : Tuple.t list; (* reverse insertion order *)
+}
+
+let hash_index ~prefix_len schema =
+  if prefix_len < 1 || prefix_len > Schema.arity schema then
+    raise
+      (Schema.Schema_error
+         (Fmt.str "%s: hash index prefix length %d out of range"
+            schema.Schema.name prefix_len));
+  let buckets : (Value.t array, bucket) Jstar_cds.Chashmap.t =
+    Jstar_cds.Chashmap.create ~hash:Value.hash_array ()
+  in
+  let total = Atomic.make 0 in
+  let bucket_of prefix =
+    Jstar_cds.Chashmap.find_or_add buckets prefix (fun () ->
+        {
+          b_mutex = Mutex.create ();
+          b_seen = Hashtbl.create 16;
+          b_items = [];
+        })
+  in
+  let with_bucket b f =
+    Mutex.lock b.b_mutex;
+    Fun.protect f ~finally:(fun () -> Mutex.unlock b.b_mutex)
+  in
+  let prefix_of_tuple t = Array.sub (Tuple.fields t) 0 prefix_len in
+  {
+    kind = Fmt.str "hash[%d]" prefix_len;
+    insert =
+      (fun t ->
+        let b = bucket_of (prefix_of_tuple t) in
+        with_bucket b (fun () ->
+            let rest = Tuple.fields t in
+            if Hashtbl.mem b.b_seen rest then false
+            else (
+              Hashtbl.replace b.b_seen rest ();
+              b.b_items <- t :: b.b_items;
+              Atomic.incr total;
+              true)));
+    mem =
+      (fun t ->
+        match Jstar_cds.Chashmap.find_opt buckets (prefix_of_tuple t) with
+        | None -> false
+        | Some b -> with_bucket b (fun () -> Hashtbl.mem b.b_seen (Tuple.fields t)));
+    iter_prefix =
+      (fun prefix f ->
+        if Array.length prefix >= prefix_len then (
+          (* Exact or over-specified prefix: one bucket (+ filter). *)
+          let bucket_key = Array.sub prefix 0 prefix_len in
+          match Jstar_cds.Chashmap.find_opt buckets bucket_key with
+          | None -> ()
+          | Some b ->
+              let items = with_bucket b (fun () -> b.b_items) in
+              List.iter
+                (fun t -> if Tuple.matches_prefix t prefix then f t)
+                items)
+        else
+          (* Under-specified prefix: full scan.  Legal but defeats the
+             index — exactly the situation where the paper would choose
+             a different store for the table. *)
+          Jstar_cds.Chashmap.iter buckets (fun _ b ->
+              let items = with_bucket b (fun () -> b.b_items) in
+              List.iter
+                (fun t -> if Tuple.matches_prefix t prefix then f t)
+                items));
+    iter =
+      (fun f ->
+        Jstar_cds.Chashmap.iter buckets (fun _ b ->
+            let items = with_bucket b (fun () -> b.b_items) in
+            List.iter f items));
+    size = (fun () -> Atomic.get total);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Native dense arrays                                                 *)
+
+(* A table (int k1, ..., int kn -> int v) whose keys are dense within
+   known dimensions maps to a flat int array plus a presence bitmap.
+   The returned [handle] gives the application O(1) unboxed access —
+   the equivalent of the Java 2D-array Gamma stores of §6.4. *)
+
+type int_array_handle = {
+  ia_get : int array -> int;
+  ia_set_raw : int array -> int -> unit; (* bypasses the store interface *)
+  ia_present : int array -> bool;
+  ia_data : int array;
+}
+
+let flat_index dims keys =
+  let n = Array.length dims in
+  if Array.length keys <> n then invalid_arg "native store: key arity";
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let k = keys.(i) in
+      if k < 0 || k >= dims.(i) then
+        invalid_arg
+          (Fmt.str "native store: key %d out of range [0,%d)" k dims.(i))
+      else go (i + 1) ((acc * dims.(i)) + k)
+  in
+  go 0 0
+
+let total_size dims = Array.fold_left ( * ) 1 dims
+
+let native_int_array ~dims schema =
+  let nkeys = Array.length dims in
+  if Schema.arity schema <> nkeys + 1 then
+    raise
+      (Schema.Schema_error
+         (schema.Schema.name
+        ^ ": native int store needs one dependent value column"));
+  let data = Array.make (total_size dims) 0 in
+  let present = Bytes.make (total_size dims) '\000' in
+  let count = Atomic.make 0 in
+  let keys_of_tuple t =
+    Array.init nkeys (fun i -> Tuple.int_at t i)
+  in
+  let handle =
+    {
+      ia_get = (fun keys -> data.(flat_index dims keys));
+      ia_set_raw =
+        (fun keys v ->
+          let i = flat_index dims keys in
+          data.(i) <- v;
+          if Bytes.get present i = '\000' then (
+            Bytes.set present i '\001';
+            Atomic.incr count));
+      ia_present = (fun keys -> Bytes.get present (flat_index dims keys) <> '\000');
+      ia_data = data;
+    }
+  in
+  let tuple_at idx =
+    let keys = Array.make nkeys 0 in
+    let rec unflatten i rem =
+      if i >= 0 then (
+        keys.(i) <- rem mod dims.(i);
+        unflatten (i - 1) (rem / dims.(i)))
+    in
+    unflatten (nkeys - 1) idx;
+    Tuple.make schema
+      (Array.append
+         (Array.map (fun k -> Value.Int k) keys)
+         [| Value.Int data.(idx) |])
+  in
+  let store =
+    {
+      kind = "native-int";
+      insert =
+        (fun t ->
+          let keys = keys_of_tuple t in
+          let i = flat_index dims keys in
+          if Bytes.get present i <> '\000' then false
+          else (
+            data.(i) <- Tuple.int_at t nkeys;
+            Bytes.set present i '\001';
+            Atomic.incr count;
+            true));
+      mem =
+        (fun t ->
+          let i = flat_index dims (keys_of_tuple t) in
+          Bytes.get present i <> '\000' && data.(i) = Tuple.int_at t nkeys);
+      iter_prefix =
+        (fun prefix f ->
+          (* Reconstructs tuples on the fly; applications needing speed
+             use the typed handle instead. *)
+          let n = total_size dims in
+          for i = 0 to n - 1 do
+            if Bytes.get present i <> '\000' then
+              let t = tuple_at i in
+              if Tuple.matches_prefix t prefix then f t
+          done);
+      iter =
+        (fun f ->
+          let n = total_size dims in
+          for i = 0 to n - 1 do
+            if Bytes.get present i <> '\000' then f (tuple_at i)
+          done);
+      size = (fun () -> Atomic.get count);
+    }
+  in
+  (store, handle)
+
+(* The float twin of [native_int_array]: (int keys -> double value)
+   over a flat [float array] — the Median program's double[2][100M]. *)
+type float_array_handle = {
+  fa_get : int array -> float;
+  fa_set_raw : int array -> float -> unit;
+  fa_present : int array -> bool;
+  fa_data : float array;
+}
+
+let native_float_array ~dims schema =
+  let nkeys = Array.length dims in
+  if Schema.arity schema <> nkeys + 1 then
+    raise
+      (Schema.Schema_error
+         (schema.Schema.name
+        ^ ": native float store needs one dependent value column"));
+  let data = Array.make (total_size dims) 0.0 in
+  let present = Bytes.make (total_size dims) '\000' in
+  let count = Atomic.make 0 in
+  let keys_of_tuple t = Array.init nkeys (fun i -> Tuple.int_at t i) in
+  let handle =
+    {
+      fa_get = (fun keys -> data.(flat_index dims keys));
+      fa_set_raw =
+        (fun keys v ->
+          let i = flat_index dims keys in
+          data.(i) <- v;
+          if Bytes.get present i = '\000' then (
+            Bytes.set present i '\001';
+            Atomic.incr count));
+      fa_present =
+        (fun keys -> Bytes.get present (flat_index dims keys) <> '\000');
+      fa_data = data;
+    }
+  in
+  let tuple_at idx =
+    let keys = Array.make nkeys 0 in
+    let rec unflatten i rem =
+      if i >= 0 then (
+        keys.(i) <- rem mod dims.(i);
+        unflatten (i - 1) (rem / dims.(i)))
+    in
+    unflatten (nkeys - 1) idx;
+    Tuple.make schema
+      (Array.append
+         (Array.map (fun k -> Value.Int k) keys)
+         [| Value.Float data.(idx) |])
+  in
+  let store =
+    {
+      kind = "native-float";
+      insert =
+        (fun t ->
+          let keys = keys_of_tuple t in
+          let i = flat_index dims keys in
+          if Bytes.get present i <> '\000' then false
+          else (
+            data.(i) <- Tuple.float_at t nkeys;
+            Bytes.set present i '\001';
+            Atomic.incr count;
+            true));
+      mem =
+        (fun t ->
+          let i = flat_index dims (keys_of_tuple t) in
+          Bytes.get present i <> '\000' && data.(i) = Tuple.float_at t nkeys);
+      iter_prefix =
+        (fun prefix f ->
+          let n = total_size dims in
+          for i = 0 to n - 1 do
+            if Bytes.get present i <> '\000' then
+              let t = tuple_at i in
+              if Tuple.matches_prefix t prefix then f t
+          done);
+      iter =
+        (fun f ->
+          let n = total_size dims in
+          for i = 0 to n - 1 do
+            if Bytes.get present i <> '\000' then f (tuple_at i)
+          done);
+      size = (fun () -> Atomic.get count);
+    }
+  in
+  (store, handle)
+
+let of_spec spec schema =
+  match spec with
+  | Tree -> tree schema
+  | Skiplist -> skiplist schema
+  | Hash_index k -> hash_index ~prefix_len:k schema
+  | Custom f -> f schema
+
+let default_for ~parallel schema =
+  if parallel then skiplist schema else tree schema
+
+
+(* ------------------------------------------------------------------ *)
+(* Windowed stores: manual lifetime hints                              *)
+
+(* Step 4 of the tuple lifecycle (Fig 3) is garbage collection of tuples
+   that can never be queried again.  "Currently, this program analysis
+   is not automated, so we simply retain all tuples, or use manual
+   lifetime hints from the user" — [windowed] is that hint, generalised
+   from the Median program's keep-only-iter-and-iter+1 trick: tuples are
+   bucketed by an integer field, and only the buckets within [width] of
+   the largest value seen remain queryable; older buckets are dropped
+   wholesale. *)
+
+let windowed ~field ~width inner schema =
+  if width < 1 then invalid_arg "Store.windowed: width < 1";
+  let pos = Schema.field_pos schema field in
+  let buckets : (int, t) Hashtbl.t = Hashtbl.create 8 in
+  let mutex = Mutex.create () in
+  let high = ref min_int in
+  let with_lock f =
+    Mutex.lock mutex;
+    Fun.protect f ~finally:(fun () -> Mutex.unlock mutex)
+  in
+  let evict_older_than keep_from =
+    Hashtbl.iter
+      (fun k _ -> if k < keep_from then Hashtbl.remove buckets k)
+      (Hashtbl.copy buckets)
+  in
+  let bucket_of v =
+    match Hashtbl.find_opt buckets v with
+    | Some b -> b
+    | None ->
+        let b = inner schema in
+        Hashtbl.replace buckets v b;
+        b
+  in
+  let live () =
+    Hashtbl.fold (fun _ b acc -> b :: acc) buckets []
+  in
+  {
+    kind = Fmt.str "windowed[%s,%d]" field width;
+    insert =
+      (fun t ->
+        let v = Value.to_int (Tuple.get t pos) in
+        with_lock (fun () ->
+            if !high <> min_int && v <= !high - width then
+              (* The tuple is already outside the window: dropping it is
+                 the caller's declared intent, and [false] keeps the
+                 set-semantics contract ("not newly stored"). *)
+              false
+            else begin
+              if v > !high then begin
+                high := v;
+                evict_older_than (v - width + 1)
+              end;
+              (bucket_of v).insert t
+            end));
+    mem =
+      (fun t ->
+        let v = Value.to_int (Tuple.get t pos) in
+        with_lock (fun () ->
+            match Hashtbl.find_opt buckets v with
+            | Some b -> b.mem t
+            | None -> false));
+    iter_prefix =
+      (fun prefix f ->
+        let bs = with_lock live in
+        List.iter (fun b -> b.iter_prefix prefix f) bs);
+    iter =
+      (fun f ->
+        let bs = with_lock live in
+        List.iter (fun b -> b.iter f) bs);
+    size =
+      (fun () ->
+        with_lock (fun () ->
+            Hashtbl.fold (fun _ b acc -> acc + b.size ()) buckets 0));
+  }

@@ -1,0 +1,85 @@
+(* Per-table usage counters — the paper's "logging system for recording
+   usage statistics about each table during a program run" (§1.5), used
+   to choose parallelisation strategies and data structures.
+
+   Counters are striped across 8 cells indexed by the current domain to
+   avoid cache-line ping-pong on the hot put path; reads sum the
+   stripes (exact at quiescence). *)
+
+let stripes = 8
+
+type counter = int Atomic.t array
+
+let make_counter () = Array.init stripes (fun _ -> Atomic.make 0)
+
+let incr (c : counter) =
+  Atomic.incr c.((Domain.self () :> int) land (stripes - 1))
+
+let read (c : counter) = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c
+
+type counters = {
+  puts : counter; (* put attempts routed at this table *)
+  delta_inserts : counter;
+  delta_dups : counter;
+  gamma_inserts : counter;
+  gamma_dups : counter;
+  triggers : counter; (* rule firings triggered by this table *)
+  queries : counter; (* prefix/full queries answered *)
+}
+
+type t = { tables : (string * counters) array }
+
+let make_counters () =
+  {
+    puts = make_counter ();
+    delta_inserts = make_counter ();
+    delta_dups = make_counter ();
+    gamma_inserts = make_counter ();
+    gamma_dups = make_counter ();
+    triggers = make_counter ();
+    queries = make_counter ();
+  }
+
+let create names =
+  { tables = Array.of_list (List.map (fun n -> (n, make_counters ())) names) }
+
+let counters t table_id = snd t.tables.(table_id)
+
+let get t name = List.assoc_opt name (Array.to_list t.tables)
+
+type snapshot = {
+  table : string;
+  n_puts : int;
+  n_delta_inserts : int;
+  n_delta_dups : int;
+  n_gamma_inserts : int;
+  n_gamma_dups : int;
+  n_triggers : int;
+  n_queries : int;
+}
+
+let snapshot_of table c =
+  {
+    table;
+    n_puts = read c.puts;
+    n_delta_inserts = read c.delta_inserts;
+    n_delta_dups = read c.delta_dups;
+    n_gamma_inserts = read c.gamma_inserts;
+    n_gamma_dups = read c.gamma_dups;
+    n_triggers = read c.triggers;
+    n_queries = read c.queries;
+  }
+
+let snapshot t =
+  Array.to_list t.tables |> List.map (fun (table, c) -> snapshot_of table c)
+
+let pp_snapshot ppf rows =
+  Fmt.pf ppf "%-14s %10s %10s %9s %10s %9s %9s %9s@."
+    "table" "puts" "delta-ins" "delta-dup" "gamma-ins" "gamma-dup" "triggers"
+    "queries";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-14s %10d %10d %9d %10d %9d %9d %9d@." r.table r.n_puts
+        r.n_delta_inserts r.n_delta_dups r.n_gamma_inserts r.n_gamma_dups
+        r.n_triggers r.n_queries)
+    rows

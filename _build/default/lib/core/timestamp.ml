@@ -1,0 +1,62 @@
+(* Tuple timestamps: the projection of a tuple onto its orderby list.
+
+   The components are compared lexicographically.  A [Par] component is
+   an equivalence level: two tuples differing only in [par] fields belong
+   to the same equivalence class of the causality order and may execute
+   in parallel, so [Par] components compare equal regardless of value.
+   A timestamp that exhausts before another with an equal prefix orders
+   first (the tuple sits in a leaf above the deeper subtree). *)
+
+type comp =
+  | CLit of int * string (* rank in the linear extension, literal name *)
+  | CSeq of Value.t
+  | CPar of Value.t
+
+type t = comp array
+
+let of_tuple order tuple =
+  let schema = Tuple.schema tuple in
+  Array.mapi
+    (fun i entry ->
+      match entry with
+      | Schema.Lit l -> CLit (Order_rel.rank order l, l)
+      | Schema.Seq _ -> CSeq (Tuple.get tuple schema.Schema.orderby_fields.(i))
+      | Schema.Par _ -> CPar (Tuple.get tuple schema.Schema.orderby_fields.(i)))
+    schema.Schema.orderby
+
+let comp_rank = function CLit _ -> 0 | CSeq _ -> 1 | CPar _ -> 2
+
+(* Comparison of individual components.  Mixed kinds at the same level
+   only arise from programs whose orderby lists disagree about a level's
+   nature; we order them by kind so the order stays total, and the
+   causality checker flags such programs separately. *)
+let compare_comp a b =
+  match (a, b) with
+  | CLit (ra, _), CLit (rb, _) -> Stdlib.compare ra rb
+  | CSeq va, CSeq vb -> Value.compare va vb
+  | CPar _, CPar _ -> 0
+  | _ -> Stdlib.compare (comp_rank a) (comp_rank b)
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = compare_comp a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+let leq a b = compare a b <= 0
+let lt a b = compare a b < 0
+
+let pp_comp ppf = function
+  | CLit (_, l) -> Fmt.string ppf l
+  | CSeq v -> Fmt.pf ppf "seq:%a" Value.pp v
+  | CPar v -> Fmt.pf ppf "par:%a" Value.pp v
+
+let pp ppf (t : t) = Fmt.pf ppf "<%a>" (Fmt.array ~sep:Fmt.comma pp_comp) t
+let show t = Fmt.str "%a" pp t

@@ -1,0 +1,21 @@
+(** Tuple timestamps under the causality order.
+
+    [Par] components compare equal whatever their values: tuples that
+    differ only there form one equivalence class and may run in
+    parallel.  A timestamp that is a strict prefix of another orders
+    before it. *)
+
+type comp = CLit of int * string | CSeq of Value.t | CPar of Value.t
+type t = comp array
+
+val of_tuple : Order_rel.t -> Tuple.t -> t
+(** Project a tuple onto its schema's orderby list, ranking literals by
+    the program's order declarations. *)
+
+val compare : t -> t -> int
+val compare_comp : comp -> comp -> int
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+val lt : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val show : t -> string

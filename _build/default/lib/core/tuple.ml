@@ -1,0 +1,96 @@
+(* Immutable tuples: one row of a relation.
+
+   Construction mirrors the three forms in §3 of the paper:
+   - by position:        [make schema [| Int 0; Int 10; ... |]]
+   - by name + defaults: [build schema ["x", Int 10; "dx", Int 150]]
+   - builder copy:       [with_fields t ["x", Int 20]]                 *)
+
+type t = { schema : Schema.t; fields : Value.t array }
+
+exception Tuple_error of string
+
+let check_types schema fields =
+  Array.iteri
+    (fun i v ->
+      let want = Schema.field_ty schema i in
+      let got = Value.type_of v in
+      (* Int widens to Float implicitly, as OCaml ints do in to_float. *)
+      let ok = got = want || (want = Value.TFloat && got = Value.TInt) in
+      if not ok then
+        raise
+          (Tuple_error
+             (Fmt.str "%s.%s: expected %s, got %s" schema.Schema.name
+                schema.Schema.columns.(i).Schema.col_name
+                (Value.ty_name want) (Value.ty_name got))))
+    fields
+
+let make schema fields =
+  if Array.length fields <> Schema.arity schema then
+    raise
+      (Tuple_error
+         (Fmt.str "%s: expected %d fields, got %d" schema.Schema.name
+            (Schema.arity schema) (Array.length fields)));
+  check_types schema fields;
+  { schema; fields }
+
+let build schema assignments =
+  let fields =
+    Array.map
+      (fun c -> Value.default_of_ty c.Schema.col_ty)
+      schema.Schema.columns
+  in
+  List.iter
+    (fun (name, v) -> fields.(Schema.field_pos schema name) <- v)
+    assignments;
+  make schema fields
+
+let with_fields t assignments =
+  let fields = Array.copy t.fields in
+  List.iter
+    (fun (name, v) -> fields.(Schema.field_pos t.schema name) <- v)
+    assignments;
+  make t.schema fields
+
+let schema t = t.schema
+let fields t = t.fields
+let get t i = t.fields.(i)
+let get_name t name = t.fields.(Schema.field_pos t.schema name)
+let int t name = Value.to_int (get_name t name)
+let float t name = Value.to_float (get_name t name)
+let str t name = Value.to_string (get_name t name)
+let bool t name = Value.to_bool (get_name t name)
+let int_at t i = Value.to_int t.fields.(i)
+let float_at t i = Value.to_float t.fields.(i)
+
+let key t = Array.sub t.fields 0 t.schema.Schema.key_arity
+
+let equal a b =
+  a.schema.Schema.id = b.schema.Schema.id
+  && Value.equal_arrays a.fields b.fields
+
+(* Total order within and across tables: by table id, then fields
+   lexicographically.  This is the order of the default tree-set Gamma
+   store, which also makes leading-prefix queries range queries. *)
+let compare a b =
+  let c = Stdlib.compare a.schema.Schema.id b.schema.Schema.id in
+  if c <> 0 then c else Value.compare_arrays a.fields b.fields
+
+let hash t = (t.schema.Schema.id * 0x01000193) + Value.hash_array t.fields
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%a)" t.schema.Schema.name
+    (Fmt.array ~sep:(Fmt.any ", ") Value.pp)
+    t.fields
+
+let show t = Fmt.str "%a" pp t
+
+(* Does the tuple start with the given prefix of field values?  Used by
+   leading-field queries such as [get PvWatts(year, month)]. *)
+let matches_prefix t prefix =
+  let n = Array.length prefix in
+  n <= Array.length t.fields
+  &&
+  let rec go i =
+    i >= n || (Value.equal t.fields.(i) prefix.(i) && go (i + 1))
+  in
+  go 0

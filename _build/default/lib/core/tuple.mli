@@ -1,0 +1,44 @@
+(** Immutable tuples — rows of a relation. *)
+
+type t = private { schema : Schema.t; fields : Value.t array }
+
+exception Tuple_error of string
+
+val make : Schema.t -> Value.t array -> t
+(** Positional construction; checks arity and field types ([Int] widens
+    to a [TFloat] column).  @raise Tuple_error on mismatch. *)
+
+val build : Schema.t -> (string * Value.t) list -> t
+(** By-name construction; unassigned fields take their type's default —
+    the [new Ship() [x=10; dx=150]] form. *)
+
+val with_fields : t -> (string * Value.t) list -> t
+(** Builder copy: a new tuple equal to [t] with some fields replaced. *)
+
+val schema : t -> Schema.t
+val fields : t -> Value.t array
+val get : t -> int -> Value.t
+val get_name : t -> string -> Value.t
+
+val int : t -> string -> int
+(** Typed field access by name. @raise Value.Type_error on wrong type. *)
+
+val float : t -> string -> float
+val str : t -> string -> string
+val bool : t -> string -> bool
+val int_at : t -> int -> int
+val float_at : t -> int -> float
+
+val key : t -> Value.t array
+(** The leading key fields (empty array when the table has no key). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** By table id, then fields lexicographically. *)
+
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val matches_prefix : t -> Value.t array -> bool
+(** Whether the tuple's leading fields equal the given prefix. *)

@@ -1,0 +1,100 @@
+(* Dynamically-typed field values.
+
+   JStar tuples are rows of a relation whose columns carry one of a small
+   set of scalar types.  The original compiles each table to a Java class
+   with typed fields; our embedded runtime stores rows as [value array],
+   which is exactly the boxed representation the paper complains about in
+   the MatrixMult study (XText generating boxed Integers) — the
+   "native-arrays" Gamma stores recover the unboxed representation. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type ty = TInt | TFloat | TStr | TBool
+
+let type_of = function
+  | Int _ -> TInt
+  | Float _ -> TFloat
+  | Str _ -> TStr
+  | Bool _ -> TBool
+
+let ty_name = function
+  | TInt -> "int"
+  | TFloat -> "double"
+  | TStr -> "String"
+  | TBool -> "boolean"
+
+(* Total order: values of the same type compare naturally; values of
+   different types (ill-typed programs only) order by type tag so that
+   comparison stays a total order. *)
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Str x, Str y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | _ ->
+      let rank = function Int _ -> 0 | Float _ -> 1 | Str _ -> 2 | Bool _ -> 3 in
+      Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int x -> x * 0x9e3779b1
+  | Float x -> Hashtbl.hash x
+  | Str s -> Hashtbl.hash s
+  | Bool b -> if b then 0x5bd1e995 else 0x1b873593
+
+let default_of_ty = function
+  | TInt -> Int 0
+  | TFloat -> Float 0.0
+  | TStr -> Str ""
+  | TBool -> Bool false
+
+exception Type_error of string
+
+let to_int = function
+  | Int x -> x
+  | v -> raise (Type_error ("expected int, got " ^ ty_name (type_of v)))
+
+let to_float = function
+  | Float x -> x
+  | Int x -> float_of_int x
+  | v -> raise (Type_error ("expected double, got " ^ ty_name (type_of v)))
+
+let to_string = function
+  | Str s -> s
+  | v -> raise (Type_error ("expected String, got " ^ ty_name (type_of v)))
+
+let to_bool = function
+  | Bool b -> b
+  | v -> raise (Type_error ("expected boolean, got " ^ ty_name (type_of v)))
+
+let pp ppf = function
+  | Int x -> Fmt.int ppf x
+  | Float x -> Fmt.float ppf x
+  | Str s -> Fmt.pf ppf "%S" s
+  | Bool b -> Fmt.bool ppf b
+
+let show v = Fmt.str "%a" pp v
+
+(* Array helpers used pervasively for tuple fields and query prefixes. *)
+let compare_arrays a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal_arrays a b = compare_arrays a b = 0
+
+let hash_array a =
+  Array.fold_left (fun acc v -> (acc * 31) + hash v) (Array.length a) a

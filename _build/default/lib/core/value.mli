@@ -1,0 +1,43 @@
+(** Dynamically-typed scalar field values of JStar tuples. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type ty = TInt | TFloat | TStr | TBool
+
+exception Type_error of string
+
+val type_of : t -> ty
+val ty_name : ty -> string
+
+val compare : t -> t -> int
+(** Total order; same-type values compare naturally, mixed types by a
+    fixed type-tag order (only reachable from ill-typed programs). *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val default_of_ty : ty -> t
+(** The value used for fields omitted from a by-name builder:
+    [0], [0.0], [""] or [false]. *)
+
+val to_int : t -> int
+(** @raise Type_error when the value is not an [Int]. *)
+
+val to_float : t -> float
+(** Accepts [Float] and widens [Int].  @raise Type_error otherwise. *)
+
+val to_string : t -> string
+val to_bool : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val compare_arrays : t array -> t array -> int
+(** Lexicographic; a strict prefix orders before its extensions. *)
+
+val equal_arrays : t array -> t array -> bool
+val hash_array : t array -> int

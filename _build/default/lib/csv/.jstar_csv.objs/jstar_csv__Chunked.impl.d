@@ -1,0 +1,1 @@
+lib/csv/chunked.ml: Array Bytes Fun Jstar_sched List Parse

@@ -1,0 +1,1 @@
+lib/csv/chunked.mli: Bytes Jstar_sched

@@ -1,0 +1,1 @@
+lib/csv/parse.ml: Array Bytes Char Printf

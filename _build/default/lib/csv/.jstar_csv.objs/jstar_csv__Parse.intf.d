@@ -1,0 +1,1 @@
+lib/csv/parse.mli: Bytes

@@ -1,0 +1,1 @@
+lib/csv/pvwatts_data.ml: Array Buffer Float List

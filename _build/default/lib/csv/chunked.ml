@@ -1,0 +1,73 @@
+(* Chunked parallel reading.
+
+   "the CSV reader library can run several readers in parallel, on
+   different parts of the input file.  (Each reader continues reading a
+   little way past the end of its region, to ensure that all records
+   have been read.  This strategy is also employed by some of the input
+   file readers in Hadoop.)" — §6.2.
+
+   We express the same contract over an in-memory byte buffer: region i
+   covers bytes [i*size/n, (i+1)*size/n), but a reader *starts* at the
+   first record boundary after its region start (except region 0) and
+   reads past its region end to the end of the record that straddles
+   it.  Every record is therefore processed by exactly one reader. *)
+
+type region = { index : int; start : int; stop : int }
+
+(* Record-aligned regions: [start] is the first line start at or after
+   the nominal boundary; [stop] is the first line start at or after the
+   next boundary (i.e. the reader runs past its nominal end). *)
+let regions bytes n =
+  if n < 1 then invalid_arg "Chunked.regions: n < 1";
+  let size = Bytes.length bytes in
+  (* First line start at or after [from]: [from] itself when it already
+     sits on a record boundary, else just past the next newline. *)
+  let next_line_start from =
+    if from = 0 then 0
+    else if from >= size then size
+    else if Bytes.unsafe_get bytes (from - 1) = '\n' then from
+    else
+      let rec go i =
+        if i >= size then size
+        else if Bytes.unsafe_get bytes i = '\n' then i + 1
+        else go (i + 1)
+      in
+      go from
+  in
+  List.init n (fun i ->
+      let nominal_start = i * size / n in
+      let nominal_stop = (i + 1) * size / n in
+      {
+        index = i;
+        start = next_line_start nominal_start;
+        stop = (if i = n - 1 then size else next_line_start nominal_stop);
+      })
+  |> List.filter (fun r -> r.start < r.stop)
+
+let iter_region bytes r f = Parse.iter_records bytes r.start r.stop f
+
+(* Read all records of all regions in parallel, one fork/join task per
+   region.  [f] receives the region index and the record slice and must
+   be safe to run concurrently with other regions. *)
+let parallel_read pool bytes ~num_regions f =
+  let rs = Array.of_list (regions bytes num_regions) in
+  Jstar_sched.Forkjoin.parallel_for pool ~grain:1 ~lo:0 ~hi:(Array.length rs)
+    (fun i ->
+      let r = rs.(i) in
+      iter_region bytes r (fun pos stop -> f r.index pos stop))
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      let buf = Bytes.create size in
+      really_input ic buf 0 size;
+      buf)
+
+let to_file path bytes =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_bytes oc bytes)

@@ -1,0 +1,21 @@
+(** Hadoop-style chunked parallel reading over an in-memory buffer:
+    each region starts at a record boundary and reads a little past its
+    nominal end, so every record is seen exactly once (§6.2). *)
+
+type region = { index : int; start : int; stop : int }
+
+val regions : Bytes.t -> int -> region list
+(** Split into at most [n] record-aligned regions (degenerate empty
+    regions are dropped).  @raise Invalid_argument when [n < 1]. *)
+
+val iter_region : Bytes.t -> region -> (int -> int -> unit) -> unit
+(** Visit each record of a region as [(line_start, line_stop)]. *)
+
+val parallel_read :
+  Jstar_sched.Pool.t -> Bytes.t -> num_regions:int -> (int -> int -> int -> unit) -> unit
+(** Read all regions in parallel (one task per region); the callback
+    receives [region_index line_start line_stop] and must tolerate
+    concurrent invocations from different regions. *)
+
+val of_file : string -> Bytes.t
+val to_file : string -> Bytes.t -> unit

@@ -1,0 +1,72 @@
+(* Byte-oriented CSV parsing.
+
+   The paper credits the JStar PvWatts program's speed to "its own more
+   efficient CSV library that keeps lines as byte arrays and avoids
+   conversion to strings as much as possible" (§6.1).  This module is
+   that library: records are visited as (position, length) slices into
+   the underlying bytes, and numeric fields are parsed directly from the
+   bytes without allocating any intermediate string. *)
+
+exception Parse_error of string
+
+(* Parse a decimal integer from [bytes.[pos .. pos+len)].  Accepts an
+   optional leading minus; anything else raises. *)
+let int_of_slice bytes pos len =
+  if len = 0 then raise (Parse_error "empty integer field");
+  let negative = Bytes.unsafe_get bytes pos = '-' in
+  let start = if negative then pos + 1 else pos in
+  if start >= pos + len then raise (Parse_error "lone minus sign");
+  let v = ref 0 in
+  for i = start to pos + len - 1 do
+    let c = Bytes.unsafe_get bytes i in
+    if c < '0' || c > '9' then
+      raise (Parse_error (Printf.sprintf "bad digit %C in integer field" c));
+    v := (!v * 10) + (Char.code c - Char.code '0')
+  done;
+  if negative then - !v else !v
+
+let float_of_slice bytes pos len =
+  (* Floats are rare in our workloads; a substring here is acceptable. *)
+  match float_of_string_opt (Bytes.sub_string bytes pos len) with
+  | Some f -> f
+  | None -> raise (Parse_error "bad float field")
+
+let string_of_slice bytes pos len = Bytes.sub_string bytes pos len
+
+(* Visit the fields of one record: calls [f field_index pos len] for
+   each comma-separated field in [bytes.[pos .. stop)] (no newline).
+   Returns the number of fields. *)
+let iter_fields bytes pos stop f =
+  let field = ref 0 in
+  let start = ref pos in
+  for i = pos to stop - 1 do
+    if Bytes.unsafe_get bytes i = ',' then begin
+      f !field !start (i - !start);
+      incr field;
+      start := i + 1
+    end
+  done;
+  f !field !start (stop - !start);
+  !field + 1
+
+(* Visit records in [bytes.[start .. stop)]: [f line_start line_stop]
+   per newline-terminated (or trailing) record.  Skips empty lines. *)
+let iter_records bytes start stop f =
+  let line_start = ref start in
+  for i = start to stop - 1 do
+    if Bytes.unsafe_get bytes i = '\n' then begin
+      if i > !line_start then f !line_start i;
+      line_start := i + 1
+    end
+  done;
+  if stop > !line_start then f !line_start stop
+
+(* Parse all int fields of a record into [out]; returns field count.
+   The workhorse for fixed-schema numeric files like the PvWatts data. *)
+let int_fields_into bytes pos stop out =
+  let n = Array.length out in
+  let count =
+    iter_fields bytes pos stop (fun i fpos flen ->
+        if i < n then out.(i) <- int_of_slice bytes fpos flen)
+  in
+  count

@@ -1,0 +1,25 @@
+(** Byte-oriented CSV parsing: records as slices, integers parsed
+    without string allocation (the paper's CSV library, §6.1). *)
+
+exception Parse_error of string
+
+val int_of_slice : Bytes.t -> int -> int -> int
+(** [int_of_slice b pos len] parses the decimal integer (optionally
+    negative) occupying [b.[pos .. pos+len)].
+    @raise Parse_error on malformed input. *)
+
+val float_of_slice : Bytes.t -> int -> int -> float
+val string_of_slice : Bytes.t -> int -> int -> string
+
+val iter_fields : Bytes.t -> int -> int -> (int -> int -> int -> unit) -> int
+(** [iter_fields b pos stop f] calls [f index field_pos field_len] for
+    each comma-separated field of the record in [b.[pos .. stop)];
+    returns the field count. *)
+
+val iter_records : Bytes.t -> int -> int -> (int -> int -> unit) -> unit
+(** [iter_records b start stop f] calls [f line_start line_stop] for
+    each non-empty newline-separated record in range. *)
+
+val int_fields_into : Bytes.t -> int -> int -> int array -> int
+(** Parse the record's integer fields into the given array (extra
+    fields beyond its length are ignored); returns the field count. *)

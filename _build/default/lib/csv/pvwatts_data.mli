@@ -1,0 +1,33 @@
+(** Synthetic stand-in for the paper's 192 MB PVWatts CSV: one year of
+    hourly records per installation, 12 months, with the paper's two
+    input orderings (month-major "default" and round-robin "sorted"). *)
+
+type ordering = Month_major | Round_robin
+
+val days_in_month : int array
+val year : int
+
+val records_per_installation : int
+(** 8760 — one year of hourly records (the paper's 1000 installations
+    give the original 8,760,000 records). *)
+
+val record_count : installations:int -> int
+
+val power : installation:int -> month:int -> day:int -> hour:int -> int
+(** Deterministic pseudo-solar power in watts. *)
+
+val iter :
+  installations:int ->
+  ordering:ordering ->
+  (site:int -> month:int -> day:int -> hour:int -> power:int -> unit) ->
+  unit
+
+val to_bytes : installations:int -> ordering:ordering -> Bytes.t
+(** Render as CSV: [year,month,day,hour,site,power\n].  The site column
+    keeps rows from different installations distinct under JStar's set
+    semantics. *)
+
+val reference_monthly_stats :
+  installations:int -> (int * int * int * float) list
+(** Direct (engine-free) [(month, count, sum, mean)] per month — the
+    ground truth the JStar programs must reproduce. *)

@@ -1,0 +1,1 @@
+lib/disruptor/disruptor.ml: Domain List Ring_buffer Sequence Unix Wait_strategy

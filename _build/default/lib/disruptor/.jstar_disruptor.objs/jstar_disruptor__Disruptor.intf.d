@@ -1,0 +1,1 @@
+lib/disruptor/disruptor.mli: Wait_strategy

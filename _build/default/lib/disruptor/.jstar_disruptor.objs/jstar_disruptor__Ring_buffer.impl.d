@@ -1,0 +1,1 @@
+lib/disruptor/ring_buffer.ml: Array Domain Jstar_sched Sequence Wait_strategy

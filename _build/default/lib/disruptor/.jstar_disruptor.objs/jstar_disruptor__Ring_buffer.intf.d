@@ -1,0 +1,1 @@
+lib/disruptor/ring_buffer.mli: Sequence Wait_strategy

@@ -1,0 +1,1 @@
+lib/disruptor/sequence.ml: Array Atomic List Sys

@@ -1,0 +1,1 @@
+lib/disruptor/sequence.mli:

@@ -1,0 +1,1 @@
+lib/disruptor/wait_strategy.ml: Condition Domain Mutex Unix

@@ -1,0 +1,37 @@
+(** Single-producer / multi-consumer Disruptor harness (§6.3, Fig 9).
+
+    The producer fills pre-allocated mutable event slots through [emit];
+    every consumer observes every published event (broadcast) and
+    decides which to act on.  Consumers stop when their callback returns
+    [false] — the producer must therefore publish sentinel events that
+    make every consumer stop, or [run] never returns. *)
+
+type options = {
+  ring_size : int;  (** power of two *)
+  batch : int;  (** producer claim batch *)
+  wait : Wait_strategy.kind;
+  num_consumers : int;
+}
+
+val pvwatts_options : options
+(** Table 1 of the paper: ring 1024, batch 256, blocking waits,
+    12 consumers. *)
+
+val default_options : options
+
+type stats = {
+  published : int;
+  elapsed_producer : float;  (** seconds until the producer finished *)
+  elapsed_total : float;  (** seconds until all consumers stopped *)
+}
+
+val run :
+  ?options:options ->
+  init:(unit -> 'a) ->
+  producer:(emit:(('a -> unit) -> unit) -> unit) ->
+  consumer:(int -> 'a -> bool) ->
+  unit ->
+  stats
+(** [run ~init ~producer ~consumer ()] spawns the consumer domains, runs
+    [producer] on the calling domain, then joins.  [consumer i ev]
+    returns [false] to stop consumer [i]. *)

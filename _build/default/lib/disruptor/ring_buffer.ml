@@ -1,0 +1,100 @@
+(* The Disruptor ring buffer: a pre-allocated circular array of mutable
+   event slots, a single-producer claim strategy with batching, and
+   broadcast consumption — every consumer observes every event, gated so
+   the producer never overwrites an unconsumed slot.
+
+   Protocol (single producer):
+   - claim [n] slots: spin until [next + n - size <= min(gating)];
+   - write the events in place via [get];
+   - [publish hi]: advance the cursor to [hi] and wake blocked
+     consumers.
+   Consumers call [wait_for seq] to learn the highest published
+   sequence >= seq, process slots seq..available, then advance their own
+   gating sequence — releasing the slots for reuse ("recycle objects
+   rather than garbage collecting them"). *)
+
+type 'a t = {
+  slots : 'a array;
+  mask : int;
+  size : int;
+  cursor : Sequence.t; (* last published sequence *)
+  mutable gating : Sequence.t list; (* consumer progress *)
+  mutable cached_gate : int; (* producer-local cache of min(gating) *)
+  mutable claimed : int; (* producer-local: last claimed sequence *)
+  wait : Wait_strategy.t;
+  batch : int; (* preferred claim batch size (Table 1: 256) *)
+}
+
+let create ?(wait = Wait_strategy.Blocking) ?(batch = 256) ~size ~init () =
+  if not (Jstar_sched.Bits.is_pow2 size) then
+    invalid_arg "Ring_buffer.create: size must be a power of two";
+  {
+    slots = Array.init size (fun _ -> init ());
+    mask = size - 1;
+    size;
+    cursor = Sequence.create ();
+    gating = [];
+    cached_gate = Sequence.initial;
+    claimed = Sequence.initial;
+    wait = Wait_strategy.create wait;
+    batch = max 1 batch;
+  }
+
+let size t = t.size
+let batch_size t = t.batch
+let wait_strategy_name t = Wait_strategy.name t.wait
+
+let add_gating_sequence t seq = t.gating <- seq :: t.gating
+
+let get t seq = t.slots.(seq land t.mask)
+
+(* Producer side ----------------------------------------------------- *)
+
+let rec wait_for_capacity t wrap_point =
+  if wrap_point > t.cached_gate then begin
+    let gate = Sequence.minimum t.gating in
+    t.cached_gate <- gate;
+    if wrap_point > gate then begin
+      Domain.cpu_relax ();
+      wait_for_capacity t wrap_point
+    end
+  end
+
+(* Claim the next [n] slots (single producer only); returns the highest
+   claimed sequence.  Blocks while the ring is full. *)
+let next t n =
+  if n < 1 || n > t.size then invalid_arg "Ring_buffer.next: bad batch size";
+  let hi = t.claimed + n in
+  wait_for_capacity t (hi - t.size);
+  t.claimed <- hi;
+  hi
+
+let publish t hi =
+  Sequence.set t.cursor hi;
+  Wait_strategy.signal_all t.wait
+
+(* Consumer side ----------------------------------------------------- *)
+
+let cursor_value t = Sequence.get t.cursor
+
+let wait_for t seq =
+  Wait_strategy.wait_for t.wait ~target:seq ~available:(fun () ->
+      cursor_value t)
+
+(* Drive a consumer loop: process every event from sequence 0 until
+   [f] returns false (consumer-side termination, e.g. on a sentinel).
+   [f event sequence end_of_batch] mirrors the Java EventHandler. *)
+let consume t own f =
+  let rec go next_seq =
+    let available = wait_for t next_seq in
+    let continue = ref true in
+    let seq = ref next_seq in
+    while !continue && !seq <= available do
+      let keep = f (get t !seq) !seq (!seq = available) in
+      Sequence.set own !seq;
+      if not keep then continue := false;
+      incr seq
+    done;
+    if !continue then go (available + 1)
+  in
+  go 0

@@ -1,0 +1,43 @@
+(** The Disruptor ring buffer: pre-allocated mutable slots, a
+    single-producer batched claim strategy, and broadcast consumption
+    gated by consumer sequences. *)
+
+type 'a t
+
+val create :
+  ?wait:Wait_strategy.kind ->
+  ?batch:int ->
+  size:int ->
+  init:(unit -> 'a) ->
+  unit ->
+  'a t
+(** [size] must be a power of two; [init] pre-allocates each slot. *)
+
+val size : 'a t -> int
+val batch_size : 'a t -> int
+val wait_strategy_name : 'a t -> string
+
+val add_gating_sequence : 'a t -> Sequence.t -> unit
+(** Register a consumer's progress sequence; the producer never claims a
+    slot that any gating sequence has not yet passed.  Register all
+    consumers before producing. *)
+
+val get : 'a t -> int -> 'a
+(** The slot for a sequence number (shared, mutable). *)
+
+val next : 'a t -> int -> int
+(** Single producer only: claim the next [n] slots, blocking while the
+    ring is full; returns the highest claimed sequence. *)
+
+val publish : 'a t -> int -> unit
+(** Make all slots up to the sequence visible and wake consumers. *)
+
+val cursor_value : 'a t -> int
+val wait_for : 'a t -> int -> int
+(** Block (per the wait strategy) until the cursor reaches the target;
+    returns the currently available sequence. *)
+
+val consume : 'a t -> Sequence.t -> ('a -> int -> bool -> bool) -> unit
+(** [consume t own f] drives a consumer from sequence 0: calls
+    [f event seq end_of_batch], advancing [own] after each event, until
+    [f] returns [false]. *)

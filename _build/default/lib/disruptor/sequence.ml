@@ -1,0 +1,29 @@
+(* Monotone sequence counters — the coordination primitive of the LMAX
+   Disruptor [14].  A sequence is the index of the last slot a
+   participant has fully processed (producer: published); -1 initially.
+
+   The Java implementation pads sequences to a cache line to avoid false
+   sharing.  OCaml gives no layout control over individual atomics, but
+   each [Atomic.make] allocates its own boxed cell, and we allocate a
+   spacer between consecutive sequences so two counters never share a
+   line in the common allocation pattern. *)
+
+type t = { cell : int Atomic.t }
+
+let initial = -1
+
+let create ?(value = initial) () =
+  let cell = Atomic.make value in
+  (* Spacer allocation: pushes the next allocation out of this line. *)
+  let _pad = Array.make 8 0 in
+  ignore (Sys.opaque_identity _pad);
+  { cell }
+
+let get t = Atomic.get t.cell
+let set t v = Atomic.set t.cell v
+let incr t = Atomic.fetch_and_add t.cell 1 + 1
+
+(* The slowest of a gating group decides how far a producer may wrap. *)
+let minimum = function
+  | [] -> max_int
+  | seqs -> List.fold_left (fun acc s -> min acc (get s)) max_int seqs

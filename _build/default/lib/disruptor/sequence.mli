@@ -1,0 +1,16 @@
+(** Monotone sequence counters (consumer progress / producer cursor). *)
+
+type t
+
+val initial : int
+(** -1: no slot processed yet. *)
+
+val create : ?value:int -> unit -> t
+val get : t -> int
+val set : t -> int -> unit
+
+val incr : t -> int
+(** Atomic increment; returns the new value. *)
+
+val minimum : t list -> int
+(** Smallest current value, or [max_int] for the empty list. *)

@@ -1,0 +1,84 @@
+(* Consumer wait strategies (Table 1 of the paper lists
+   BlockingWaitStrategy as the chosen one; the Disruptor library offers
+   these alternatives, all reproduced here):
+
+   - Blocking: mutex + condition variable, signalled on publish.  Lowest
+     CPU use, highest latency; the PvWatts configuration.
+   - Yielding: spin with cpu_relax.  Low latency, burns a core.
+   - Sleeping: spin briefly, then sleep 50us per retry.
+   - Busy_spin: pure spin, no relaxation hint. *)
+
+type kind = Blocking | Yielding | Sleeping | Busy_spin
+
+type t = {
+  kind : kind;
+  mutex : Mutex.t;
+  cond : Condition.t;
+}
+
+let create kind = { kind; mutex = Mutex.create (); cond = Condition.create () }
+
+let name t =
+  match t.kind with
+  | Blocking -> "BlockingWaitStrategy"
+  | Yielding -> "YieldingWaitStrategy"
+  | Sleeping -> "SleepingWaitStrategy"
+  | Busy_spin -> "BusySpinWaitStrategy"
+
+(* Wait until [available ()] returns a value >= [target]; returns the
+   available sequence (which may be beyond [target] — batching). *)
+let wait_for t ~target ~available =
+  match t.kind with
+  | Busy_spin ->
+      let rec go () =
+        let a = available () in
+        if a >= target then a else go ()
+      in
+      go ()
+  | Yielding ->
+      let rec go () =
+        let a = available () in
+        if a >= target then a
+        else begin
+          Domain.cpu_relax ();
+          go ()
+        end
+      in
+      go ()
+  | Sleeping ->
+      let rec go spins =
+        let a = available () in
+        if a >= target then a
+        else if spins > 0 then begin
+          Domain.cpu_relax ();
+          go (spins - 1)
+        end
+        else begin
+          Unix.sleepf 50e-6;
+          go 0
+        end
+      in
+      go 100
+  | Blocking ->
+      let rec go () =
+        let a = available () in
+        if a >= target then a
+        else begin
+          Mutex.lock t.mutex;
+          (* Re-check under the lock to close the publish race. *)
+          let a = available () in
+          if a < target then Condition.wait t.cond t.mutex;
+          Mutex.unlock t.mutex;
+          go ()
+        end
+      in
+      go ()
+
+(* Called by the producer after advancing the cursor. *)
+let signal_all t =
+  match t.kind with
+  | Blocking ->
+      Mutex.lock t.mutex;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex
+  | Yielding | Sleeping | Busy_spin -> ()

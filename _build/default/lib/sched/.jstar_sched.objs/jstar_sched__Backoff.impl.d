@@ -1,0 +1,1 @@
+lib/sched/backoff.ml: Domain Unix

@@ -1,0 +1,1 @@
+lib/sched/chase_lev.ml: Array Atomic Backoff Bits

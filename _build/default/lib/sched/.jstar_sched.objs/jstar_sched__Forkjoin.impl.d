@@ -1,0 +1,1 @@
+lib/sched/forkjoin.ml: Array List Pool

@@ -1,0 +1,1 @@
+lib/sched/forkjoin.mli: Pool

@@ -1,0 +1,44 @@
+(* Exponential backoff for contended atomic operations.
+
+   The retry loop of a failed CAS should wait an exponentially growing,
+   randomised amount before retrying, otherwise all contenders hammer the
+   same cache line in lock step.  The first few rounds spin with
+   [Domain.cpu_relax]; beyond [spin_limit] rounds we also yield the
+   processor briefly so that an oversubscribed pool still makes progress. *)
+
+type t = {
+  mutable step : int;
+  max_step : int;
+  seed : int ref;
+}
+
+let default_max_step = 12
+
+let create ?(max_step = default_max_step) () =
+  { step = 0; max_step; seed = ref (Domain.self () :> int) }
+
+(* xorshift PRNG: cheap and good enough to decorrelate contenders. *)
+let next_random seed =
+  let x = !seed in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  seed := x;
+  x land max_int
+
+let spin_limit = 8
+
+let once t =
+  let bound = 1 lsl min t.step t.max_step in
+  let spins = 1 + (next_random t.seed mod bound) in
+  if t.step <= spin_limit then
+    for _ = 1 to spins do
+      Domain.cpu_relax ()
+    done
+  else (
+    (* Long-running contention: let the OS schedule someone else. *)
+    ignore spins;
+    Unix.sleepf 1e-6);
+  if t.step < t.max_step then t.step <- t.step + 1
+
+let reset t = t.step <- 0

@@ -1,0 +1,16 @@
+(** Exponential randomised backoff for contended lock-free operations. *)
+
+type t
+(** Mutable backoff state; one per retry loop, never shared. *)
+
+val create : ?max_step:int -> unit -> t
+(** [create ()] makes a fresh backoff whose wait doubles on each {!once}
+    up to [2^max_step] spin iterations (default [max_step] = 12). *)
+
+val once : t -> unit
+(** Wait once and increase the next wait.  The first several rounds spin
+    with [Domain.cpu_relax]; later rounds additionally sleep for a
+    microsecond so oversubscribed pools do not livelock. *)
+
+val reset : t -> unit
+(** Reset the wait back to the minimum. *)

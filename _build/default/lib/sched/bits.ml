@@ -1,0 +1,17 @@
+(* Small bit-twiddling helpers shared by the lock-free structures. *)
+
+(* Number of leading zero bits of a positive integer, treating the value
+   as a 64-bit word (OCaml's 63-bit int sign bit counts as a zero). *)
+let count_leading_zeros n =
+  if n <= 0 then invalid_arg "count_leading_zeros";
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc - 1) in
+  go n 64
+
+(* Smallest power of two >= n. *)
+let next_pow2 n =
+  if n <= 1 then 1
+  else
+    let rec go p = if p >= n then p else go (p * 2) in
+    go 1
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0

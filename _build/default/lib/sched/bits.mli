@@ -1,0 +1,12 @@
+(** Bit-twiddling helpers for the lock-free structures. *)
+
+val count_leading_zeros : int -> int
+(** Leading zero bits of a positive integer viewed as a 64-bit word.
+    @raise Invalid_argument on non-positive input. *)
+
+val next_pow2 : int -> int
+(** Smallest power of two greater than or equal to the argument
+    (and at least 1). *)
+
+val is_pow2 : int -> bool
+(** Whether the argument is a positive power of two. *)

@@ -1,0 +1,114 @@
+(* Chase-Lev work-stealing deque (SPAA 2005, "Dynamic circular
+   work-stealing deque"), adapted to the OCaml 5 memory model.
+
+   One owner domain pushes and pops at the bottom; any number of thieves
+   steal from the top.  [top] only ever increases (via CAS); [bottom] is
+   written only by the owner but read by thieves, so it is an Atomic to
+   obtain the required publication ordering.  Cells are individual
+   [Atomic.t]s: the OCaml memory model gives no useful ordering guarantees
+   for plain array cells under a data race, and the race between a
+   concurrent [push] publishing a cell and a [steal] reading it is real.
+
+   Growth: only the owner grows the buffer, copying live cells into a
+   buffer of twice the size.  Thieves that raced with a growth re-read
+   [buf] after a failed CAS, and the CAS on [top] ensures they never
+   return a stale element twice. *)
+
+type 'a buffer = { mask : int; cells : 'a option Atomic.t array }
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a buffer Atomic.t;
+}
+
+let make_buffer log_size =
+  let size = 1 lsl log_size in
+  { mask = size - 1; cells = Array.init size (fun _ -> Atomic.make None) }
+
+let create ?(log_size = 8) () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (make_buffer log_size);
+  }
+
+let size t =
+  let b = Atomic.get t.bottom and tp = Atomic.get t.top in
+  max 0 (b - tp)
+
+let is_empty t = size t = 0
+
+let buffer_get buf i = Atomic.get buf.cells.(i land buf.mask)
+let buffer_set buf i v = Atomic.set buf.cells.(i land buf.mask) v
+
+let grow t buf b tp =
+  let old_size = buf.mask + 1 in
+  let next = make_buffer (1 + (63 - Bits.count_leading_zeros old_size)) in
+  for i = tp to b - 1 do
+    buffer_set next i (buffer_get buf i)
+  done;
+  Atomic.set t.buf next;
+  next
+
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let buf = Atomic.get t.buf in
+  let buf = if b - tp > buf.mask then grow t buf b tp else buf in
+  buffer_set buf b (Some v);
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then (
+    (* Deque was empty; restore canonical form. *)
+    Atomic.set t.bottom tp;
+    None)
+  else
+    let buf = Atomic.get t.buf in
+    let v = buffer_get buf b in
+    if b > tp then (
+      (* More than one element: no thief can reach index [b]. *)
+      buffer_set buf b None;
+      v)
+    else if
+      (* Exactly one element: race with thieves for it. *)
+      Atomic.compare_and_set t.top tp (tp + 1)
+    then (
+      Atomic.set t.bottom (tp + 1);
+      buffer_set buf b None;
+      v)
+    else (
+      (* A thief won the last element. *)
+      Atomic.set t.bottom (tp + 1);
+      None)
+
+type 'a steal_result = Stolen of 'a | Empty | Retry
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then Empty
+  else
+    let buf = Atomic.get t.buf in
+    match buffer_get buf tp with
+    | None ->
+        (* The owner popped this cell between our reads. *)
+        Retry
+    | Some v ->
+        if Atomic.compare_and_set t.top tp (tp + 1) then Stolen v else Retry
+
+let steal_blocking t =
+  let backoff = Backoff.create () in
+  let rec go () =
+    match steal t with
+    | Stolen v -> Some v
+    | Empty -> None
+    | Retry ->
+        Backoff.once backoff;
+        go ()
+  in
+  go ()

@@ -1,0 +1,34 @@
+(** Chase-Lev work-stealing deque.
+
+    The owner domain calls {!push} and {!pop} (LIFO end); other domains
+    call {!steal} (FIFO end).  All operations are lock-free; [push] and
+    [pop] are wait-free apart from buffer growth. *)
+
+type 'a t
+
+val create : ?log_size:int -> unit -> 'a t
+(** [create ()] makes an empty deque with initial capacity
+    [2^log_size] (default 256).  The buffer grows without bound. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: push onto the bottom (LIFO) end. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: pop from the bottom (LIFO) end. *)
+
+type 'a steal_result = Stolen of 'a | Empty | Retry
+
+val steal : 'a t -> 'a steal_result
+(** Thief: attempt to take one element from the top (FIFO) end.
+    [Retry] means a concurrent operation interfered; the deque may or
+    may not be empty. *)
+
+val steal_blocking : 'a t -> 'a option
+(** Like {!steal} but internally retries (with backoff) until it either
+    steals an element or observes an empty deque. *)
+
+val size : 'a t -> int
+(** Racy snapshot of the number of elements; exact when quiescent. *)
+
+val is_empty : 'a t -> bool
+(** Racy emptiness check; exact when quiescent. *)

@@ -1,0 +1,94 @@
+(* Divide-and-conquer parallel iteration on top of Pool, mirroring the
+   RecursiveAction/RecursiveTask idioms of the Java Fork/Join framework.
+
+   Ranges are split in half down to [grain] iterations; the left half is
+   forked and the right half executed directly, so the task tree has depth
+   O(log n) and each worker's deque holds the frontier of its own subtree. *)
+
+let default_grain_for pool n =
+  (* Aim for ~8 leaf tasks per worker so stealing can balance. *)
+  max 1 (n / (8 * Pool.size pool))
+
+let parallel_for pool ?grain ~lo ~hi f =
+  (* Iterates f over [lo, hi) *)
+  let n = hi - lo in
+  if n <= 0 then ()
+  else
+    let grain =
+      match grain with Some g -> max 1 g | None -> default_grain_for pool n
+    in
+    let rec go lo hi =
+      if hi - lo <= grain then
+        for i = lo to hi - 1 do
+          f i
+        done
+      else
+        let mid = lo + ((hi - lo) / 2) in
+        let left = Pool.fork pool (fun () -> go lo mid) in
+        go mid hi;
+        Pool.join pool left
+    in
+    Pool.run pool (fun () -> go lo hi)
+
+let parallel_reduce pool ?grain ~lo ~hi ~init ~combine f =
+  (* Tree reduction: leaves fold sequentially with [init]/[combine]; inner
+     nodes combine the two halves.  [combine] must be associative and
+     [init] its identity for the result to be deterministic. *)
+  let n = hi - lo in
+  if n <= 0 then init
+  else
+    let grain =
+      match grain with Some g -> max 1 g | None -> default_grain_for pool n
+    in
+    let rec go lo hi =
+      if hi - lo <= grain then (
+        let acc = ref init in
+        for i = lo to hi - 1 do
+          acc := combine !acc (f i)
+        done;
+        !acc)
+      else
+        let mid = lo + ((hi - lo) / 2) in
+        let left = Pool.fork pool (fun () -> go lo mid) in
+        let right = go mid hi in
+        combine (Pool.join pool left) right
+    in
+    Pool.run pool (fun () -> go lo hi)
+
+let parallel_map pool ?grain f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else
+    let out = Array.make n (f arr.(0)) in
+    parallel_for pool ?grain ~lo:0 ~hi:n (fun i -> out.(i) <- f arr.(i));
+    out
+
+let parallel_init pool ?grain n f =
+  if n = 0 then [||]
+  else
+    let out = Array.make n (f 0) in
+    parallel_for pool ?grain ~lo:1 ~hi:n (fun i -> out.(i) <- f i);
+    out
+
+let invoke_all pool fs =
+  (* Run a list of heterogeneous actions to completion; first exception
+     (in list order) is re-raised after all complete or fail. *)
+  Pool.run pool (fun () ->
+      let futs = List.map (fun f -> Pool.fork pool f) fs in
+      let results =
+        List.map
+          (fun fut ->
+            match
+              try Ok (Pool.join pool fut) with e -> Error e
+            with
+            | r -> r)
+          futs
+      in
+      List.iter (function Error e -> raise e | Ok () -> ()) results)
+
+let fork_join2 pool f g =
+  Pool.run pool (fun () ->
+      let ff = Pool.fork pool f in
+      let gv = g () in
+      let fv = Pool.join pool ff in
+      (fv, gv))

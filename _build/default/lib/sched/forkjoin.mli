@@ -1,0 +1,34 @@
+(** Recursive divide-and-conquer parallel iteration (the
+    RecursiveAction/RecursiveTask layer of a fork/join framework). *)
+
+val parallel_for :
+  Pool.t -> ?grain:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi f] runs [f i] for every [lo <= i < hi],
+    splitting the range in half recursively down to [grain] iterations
+    per leaf (default: about 8 leaves per worker). *)
+
+val parallel_reduce :
+  Pool.t ->
+  ?grain:int ->
+  lo:int ->
+  hi:int ->
+  init:'a ->
+  combine:('a -> 'a -> 'a) ->
+  (int -> 'a) ->
+  'a
+(** Tree reduction over an index range.  Deterministic provided [combine]
+    is associative with identity [init]. *)
+
+val parallel_map : Pool.t -> ?grain:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]. *)
+
+val parallel_init : Pool.t -> ?grain:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init].  [f 0] is evaluated on the caller first to
+    seed the output array. *)
+
+val invoke_all : Pool.t -> (unit -> unit) list -> unit
+(** Run all actions to completion; re-raises the first failure (in list
+    order) after every action has finished. *)
+
+val fork_join2 : Pool.t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** Run two computations in parallel and return both results. *)

@@ -1,0 +1,1 @@
+lib/stats/depgraph.ml: Buffer Fmt Fun Jstar_core List Printf Program Rule Schema Spec Table_stats

@@ -1,0 +1,1 @@
+lib/stats/depgraph.mli: Jstar_core

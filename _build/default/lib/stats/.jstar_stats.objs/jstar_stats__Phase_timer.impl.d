@@ -1,0 +1,1 @@
+lib/stats/phase_timer.ml: Fmt List Unix

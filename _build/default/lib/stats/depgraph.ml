@@ -1,0 +1,98 @@
+(* The dependency-graph visualiser (§1.5, Fig 7): tables and rules as a
+   bipartite graph — "blue rectangles are tuples, and red circles are
+   tasks executing rules" — exported as Graphviz DOT, optionally
+   annotated with per-table usage statistics from a run, which is the
+   paper's "tools to visualise those logs as annotated dependency
+   graphs of the program execution". *)
+
+open Jstar_core
+
+type node = Table of string | Rule_node of string
+
+type edge = {
+  from_node : node;
+  to_node : node;
+  negative : bool; (* negative/aggregate read dependency *)
+}
+
+type t = { nodes : node list; edges : edge list }
+
+let of_program p =
+  let tables = List.map (fun s -> Table s.Schema.name) (Program.schemas p) in
+  let rules = Program.rules p in
+  let rule_nodes = List.map (fun r -> Rule_node r.Rule.name) rules in
+  let edges =
+    List.concat_map
+      (fun (r : Rule.t) ->
+        let rn = Rule_node r.Rule.name in
+        let trigger_edge =
+          {
+            from_node = Table r.Rule.trigger.Schema.name;
+            to_node = rn;
+            negative = false;
+          }
+        in
+        let read_edges =
+          List.map
+            (fun (rd : Spec.read_spec) ->
+              {
+                from_node = Table rd.Spec.rd_table;
+                to_node = rn;
+                negative = rd.Spec.rd_kind <> Spec.Positive;
+              })
+            r.Rule.reads
+        in
+        let put_edges =
+          List.map
+            (fun (put : Spec.put_spec) ->
+              { from_node = rn; to_node = Table put.Spec.pt_table; negative = false })
+            r.Rule.puts
+        in
+        (trigger_edge :: read_edges) @ put_edges)
+      rules
+  in
+  { nodes = tables @ rule_nodes; edges }
+
+let node_id = function
+  | Table name -> "t_" ^ name
+  | Rule_node name -> "r_" ^ name
+
+let table_label stats name =
+  match stats with
+  | None -> name
+  | Some st -> (
+      match Table_stats.get st name with
+      | None -> name
+      | Some c ->
+          Fmt.str "%s\\nputs=%d triggers=%d queries=%d" name
+            (Table_stats.read c.Table_stats.puts)
+            (Table_stats.read c.Table_stats.triggers)
+            (Table_stats.read c.Table_stats.queries))
+
+let to_dot ?stats graph =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph jstar {\n  rankdir=TB;\n";
+  List.iter
+    (fun n ->
+      match n with
+      | Table name ->
+          out "  %s [shape=box, style=filled, fillcolor=lightblue, label=\"%s\"];\n"
+            (node_id n) (table_label stats name)
+      | Rule_node name ->
+          out "  %s [shape=ellipse, style=filled, fillcolor=salmon, label=\"%s\"];\n"
+            (node_id n) name)
+    graph.nodes;
+  List.iter
+    (fun e ->
+      out "  %s -> %s%s;\n" (node_id e.from_node) (node_id e.to_node)
+        (if e.negative then " [style=dashed, label=\"not/agg\"]" else ""))
+    graph.edges;
+  out "}\n";
+  Buffer.contents buf
+
+let write_dot ?stats graph path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_dot ?stats graph))

@@ -1,0 +1,23 @@
+(** The dependency-graph visualiser (§1.5, Fig 7): tables and rules as
+    a bipartite graph, exported as Graphviz DOT, optionally annotated
+    with per-table usage statistics from a run. *)
+
+type node = Table of string | Rule_node of string
+
+type edge = {
+  from_node : node;
+  to_node : node;
+  negative : bool;  (** a negative/aggregate read dependency *)
+}
+
+type t = { nodes : node list; edges : edge list }
+
+val of_program : Jstar_core.Program.t -> t
+(** Build the graph from rule triggers and the declared reads/puts. *)
+
+val to_dot : ?stats:Jstar_core.Table_stats.t -> t -> string
+(** Render as DOT; with [stats], table nodes carry put/trigger/query
+    counts — the "annotated dependency graphs of the program
+    execution". *)
+
+val write_dot : ?stats:Jstar_core.Table_stats.t -> t -> string -> unit

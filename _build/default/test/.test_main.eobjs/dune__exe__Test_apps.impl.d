@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Config Engine Jstar_apps Jstar_core Jstar_csv Jstar_disruptor Lazy List Printf String Table_stats

@@ -1,0 +1,1 @@
+test/test_causality.ml: Alcotest Jstar_causality Jstar_core List Program QCheck QCheck_alcotest Schema Spec String

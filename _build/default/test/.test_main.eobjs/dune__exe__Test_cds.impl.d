@@ -1,0 +1,1 @@
+test/test_cds.ml: Alcotest Array Atomic Domain Fun Jstar_cds List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Array Atomic Bytes Filename Fun Jstar_csv Jstar_sched List Printf String Sys

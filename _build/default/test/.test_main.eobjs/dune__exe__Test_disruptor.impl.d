@@ -1,0 +1,1 @@
+test/test_disruptor.ml: Alcotest Array Domain Fun Jstar_disruptor List Printf Unix

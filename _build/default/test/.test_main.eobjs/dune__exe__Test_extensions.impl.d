@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Atomic Config Engine Jstar_core List Printf Program Query Rule Schema Spec Store Table_stats Tuple Value

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Delta Fun Jstar_causality Jstar_core Jstar_sched Lazy List Order_rel Program QCheck QCheck_alcotest Reducer Schema Spec Store Timestamp Tuple Value

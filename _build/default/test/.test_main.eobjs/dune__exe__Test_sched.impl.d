@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Atomic Domain Fun Jstar_sched List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Config Engine Filename Fun Jstar_core Jstar_stats List Program Rule Schema Spec String Sys Tuple Value

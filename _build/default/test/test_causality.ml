@@ -1,0 +1,405 @@
+(* Tests for the causality checker: the difference-logic solver, symbolic
+   timestamp comparison, the §4 proof-obligation example, the PvWatts
+   stratification error (§6.2), and the global stratification analysis
+   (Dijkstra's locally-stratified recursion). *)
+
+open Jstar_core
+module Dlsolver = Jstar_causality.Dlsolver
+module Obligation = Jstar_causality.Obligation
+module Check = Jstar_causality.Check
+module Strata = Jstar_causality.Strata
+
+(* ------------------------------------------------------------------ *)
+(* Difference-logic solver *)
+
+let atom x y c = { Dlsolver.x; y; c }
+
+let test_dl_satisfiable () =
+  (* x - y <= 1, y - x <= 1: fine *)
+  Alcotest.(check bool) "slack" true
+    (Dlsolver.satisfiable [ atom "x" "y" 1; atom "y" "x" 1 ]);
+  (* x - y <= -1, y - x <= -1: negative cycle *)
+  Alcotest.(check bool) "negative cycle" false
+    (Dlsolver.satisfiable [ atom "x" "y" (-1); atom "y" "x" (-1) ]);
+  Alcotest.(check bool) "empty" true (Dlsolver.satisfiable [])
+
+let test_dl_entails () =
+  (* from x <= y and y <= z conclude x <= z *)
+  let assumptions = [ atom "x" "y" 0; atom "y" "z" 0 ] in
+  Alcotest.(check bool) "transitivity" true
+    (Dlsolver.entails assumptions (atom "x" "z" 0));
+  Alcotest.(check bool) "not the reverse" false
+    (Dlsolver.entails assumptions (atom "z" "x" 0));
+  Alcotest.(check bool) "strict needs slack" false
+    (Dlsolver.entails assumptions (atom "x" "z" (-1)))
+
+let test_dl_proves_exprs () =
+  let open Spec in
+  (* frame <= frame + 1, always *)
+  Alcotest.(check bool) "f < f+1" true
+    (Dlsolver.proves_lt [] (Field "frame") (Add (Field "frame", 1)));
+  Alcotest.(check bool) "f <= f" true
+    (Dlsolver.proves_le [] (Field "frame") (Field "frame"));
+  Alcotest.(check bool) "f < f fails" false
+    (Dlsolver.proves_lt [] (Field "frame") (Field "frame"));
+  (* unknown is never provable *)
+  Alcotest.(check bool) "unknown" false
+    (Dlsolver.proves_le [] (Field "x") Unknown);
+  (* constants *)
+  Alcotest.(check bool) "0 < 1" true (Dlsolver.proves_lt [] (Const 0) (Const 1));
+  Alcotest.(check bool) "1 < 0 fails" false
+    (Dlsolver.proves_lt [] (Const 1) (Const 0))
+
+let test_dl_proves_under_assumptions () =
+  let open Spec in
+  (* given distance >= 0 (0 <= distance), prove distance + value > 0
+     requires value >= 1 *)
+  let nonneg = Le (Const 0, Field "distance") in
+  let pos_edge = Le (Const 1, Field "value") in
+  Alcotest.(check bool) "d < d + v given v >= 1" true
+    (Dlsolver.proves_lt
+       [ nonneg; pos_edge ]
+       (Field "distance")
+       (Add (Add (Field "distance", 0), 0) |> fun _ ->
+        (* distance + value is not expressible in pure difference form
+           with two fields; instead check distance <= distance + 1 *)
+        Add (Field "distance", 1)));
+  Alcotest.(check bool) "eq via both directions" true
+    (Dlsolver.proves_eq [ Eq (Field "a", Field "b") ] (Field "a") (Field "b"))
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic obligations: the Ship rule *)
+
+let ship_fixture () =
+  let p = Program.create () in
+  let ship =
+    Program.table p "Ship"
+      ~columns:Schema.[ int_col "frame"; int_col "x" ]
+      ~orderby:Schema.[ Lit "Int"; Seq "frame" ]
+      ()
+  in
+  (p, ship)
+
+let test_obligation_ship_ok () =
+  let p, ship = ship_fixture () in
+  let order = Program.order_rel p in
+  let trigger = Obligation.of_trigger ship in
+  let put =
+    Obligation.of_bindings ship
+      [ Spec.bind "frame" (Spec.Add (Spec.Field "frame", 1)) ]
+  in
+  (match Obligation.prove_leq order [] ~strict:false trigger put with
+  | Obligation.Proved -> ()
+  | Obligation.Failed why -> Alcotest.failf "expected proof, got: %s" why)
+
+let test_obligation_ship_same_frame () =
+  (* putting into the same frame is allowed (present, not past) *)
+  let p, ship = ship_fixture () in
+  let order = Program.order_rel p in
+  let trigger = Obligation.of_trigger ship in
+  let put = Obligation.of_bindings ship [ Spec.bind "frame" (Spec.Field "frame") ] in
+  (match Obligation.prove_leq order [] ~strict:false trigger put with
+  | Obligation.Proved -> ()
+  | Obligation.Failed why -> Alcotest.failf "expected proof, got: %s" why);
+  (* but it is NOT strictly in the future *)
+  (match Obligation.prove_leq order [] ~strict:true trigger put with
+  | Obligation.Failed _ -> ()
+  | Obligation.Proved -> Alcotest.fail "strict proof must fail")
+
+let test_obligation_ship_past () =
+  let p, ship = ship_fixture () in
+  let order = Program.order_rel p in
+  let trigger = Obligation.of_trigger ship in
+  let put =
+    Obligation.of_bindings ship
+      [ Spec.bind "frame" (Spec.Add (Spec.Field "frame", -1)) ]
+  in
+  (match Obligation.prove_leq order [] ~strict:false trigger put with
+  | Obligation.Failed _ -> ()
+  | Obligation.Proved -> Alcotest.fail "putting into the past must fail")
+
+let test_obligation_unknown_binding () =
+  let p, ship = ship_fixture () in
+  let order = Program.order_rel p in
+  let trigger = Obligation.of_trigger ship in
+  let put = Obligation.of_bindings ship [] in
+  (* no binding for frame *)
+  (match Obligation.prove_leq order [] ~strict:false trigger put with
+  | Obligation.Failed _ -> ()
+  | Obligation.Proved -> Alcotest.fail "unknown binding must not be provable")
+
+let test_obligation_literal_levels () =
+  let p = Program.create () in
+  let a =
+    Program.table p "A" ~columns:Schema.[ int_col "x" ]
+      ~orderby:Schema.[ Lit "Req" ] ()
+  in
+  let b =
+    Program.table p "B" ~columns:Schema.[ int_col "x" ]
+      ~orderby:Schema.[ Lit "SumMonth" ] ()
+  in
+  Program.order p [ "Req"; "SumMonth" ];
+  let order = Program.order_rel p in
+  let ta = Obligation.of_trigger a and tb = Obligation.of_bindings b [] in
+  (match Obligation.prove_leq order [] ~strict:true ta tb with
+  | Obligation.Proved -> ()
+  | Obligation.Failed why -> Alcotest.failf "Req < SumMonth: %s" why);
+  (match Obligation.prove_leq order [] ~strict:false tb ta with
+  | Obligation.Failed _ -> ()
+  | Obligation.Proved -> Alcotest.fail "SumMonth <= Req must fail")
+
+let test_obligation_par_levels_equivalent () =
+  let p = Program.create () in
+  let t =
+    Program.table p "T"
+      ~columns:Schema.[ int_col "step"; int_col "region" ]
+      ~orderby:Schema.[ Lit "T"; Seq "step"; Par "region" ]
+      ()
+  in
+  let order = Program.order_rel p in
+  let trigger = Obligation.of_trigger t in
+  (* same step, any region: non-strictly ordered (same class), never strict *)
+  let put =
+    Obligation.of_bindings t
+      [ Spec.bind "step" (Spec.Field "step"); Spec.bind "region" Spec.Unknown ]
+  in
+  (match Obligation.prove_leq order [] ~strict:false trigger put with
+  | Obligation.Proved -> ()
+  | Obligation.Failed why -> Alcotest.failf "par equivalence: %s" why);
+  match Obligation.prove_leq order [] ~strict:true trigger put with
+  | Obligation.Failed _ -> ()
+  | Obligation.Proved -> Alcotest.fail "same class is not strictly after"
+
+(* ------------------------------------------------------------------ *)
+(* The §4 example: trigger/Tuple1/Tuple2 with a min query *)
+
+let section4_fixture () =
+  let p = Program.create () in
+  let trig =
+    Program.table p "Trigger" ~columns:Schema.[ int_col "t" ]
+      ~orderby:Schema.[ Lit "Int"; Seq "t" ] ()
+  in
+  let tuple1 =
+    Program.table p "Tuple1" ~columns:Schema.[ int_col "t" ]
+      ~orderby:Schema.[ Lit "Int"; Seq "t" ] ()
+  in
+  let tuple2 =
+    Program.table p "Tuple2" ~columns:Schema.[ int_col "t" ]
+      ~orderby:Schema.[ Lit "Int"; Seq "t" ] ()
+  in
+  ignore (tuple1, tuple2);
+  (p, trig, tuple1, tuple2)
+
+let test_section4_rule_passes () =
+  let p, trig, _, _ = section4_fixture () in
+  (* then-branch puts Tuple1 at t+1; else-branch runs [get min Tuple1]
+     over the strict past (t-1) and puts Tuple2 at t+1. *)
+  Program.rule p "section4" ~trigger:trig
+    ~reads:
+      [
+        Spec.read ~kind:Spec.Aggregate "Tuple1"
+          ~ts:[ Spec.bind "t" (Spec.Add (Spec.Field "t", -1)) ];
+      ]
+    ~puts:
+      [
+        Spec.put "Tuple1"
+          ~ts:[ Spec.bind "t" (Spec.Add (Spec.Field "t", 1)) ]
+          ~when_:"Cond";
+        Spec.put "Tuple2"
+          ~ts:[ Spec.bind "t" (Spec.Add (Spec.Field "t", 1)) ]
+          ~when_:"not Cond";
+      ]
+    (fun _ _ -> ());
+  let report = Check.check_program p in
+  Alcotest.(check bool) "all proved" true (Check.ok report);
+  Alcotest.(check int) "three obligations" 3 report.Check.obligations;
+  Alcotest.(check int) "three proved" 3 report.Check.proved
+
+let test_section4_unprovable_min_query () =
+  let p, trig, _, _ = section4_fixture () in
+  (* the min query at the trigger's own time: not strictly in the past *)
+  Program.rule p "bad_min" ~trigger:trig
+    ~reads:
+      [
+        Spec.read ~kind:Spec.Aggregate "Tuple1"
+          ~ts:[ Spec.bind "t" (Spec.Field "t") ];
+      ]
+    ~puts:[ Spec.put "Tuple2" ~ts:[ Spec.bind "t" (Spec.Add (Spec.Field "t", 1)) ] ]
+    (fun _ _ -> ());
+  let report = Check.check_program p in
+  Alcotest.(check bool) "not ok" false (Check.ok report);
+  match Check.errors report with
+  | [ e ] ->
+      Alcotest.(check string) "rule name" "bad_min" e.Check.rule;
+      Alcotest.(check string) "subject" "aggregate read Tuple1" e.Check.subject
+  | es -> Alcotest.failf "expected 1 stratification error, got %d" (List.length es)
+
+(* ------------------------------------------------------------------ *)
+(* PvWatts: the missing order declaration (§6.2) *)
+
+let pvwatts_program ~with_order () =
+  let p = Program.create () in
+  let req =
+    Program.table p "PvWattsRequest" ~columns:Schema.[ string_col "filename" ]
+      ~orderby:Schema.[ Lit "Req" ] ()
+  in
+  let pv =
+    Program.table p "PvWatts"
+      ~columns:
+        Schema.
+          [
+            int_col "year"; int_col "month"; int_col "day"; int_col "hour";
+            int_col "power";
+          ]
+      ~orderby:Schema.[ Lit "PvWatts" ]
+      ()
+  in
+  let sum =
+    Program.table p "SumMonth"
+      ~columns:Schema.[ int_col "year"; int_col "month" ]
+      ~orderby:Schema.[ Lit "SumMonth" ]
+      ()
+  in
+  if with_order then Program.order p [ "Req"; "PvWatts"; "SumMonth" ];
+  Program.rule p "read_csv" ~trigger:req
+    ~puts:[ Spec.put "PvWatts" ]
+    (fun _ _ -> ());
+  Program.rule p "request_month" ~trigger:pv
+    ~puts:[ Spec.put "SumMonth" ]
+    (fun _ _ -> ());
+  Program.rule p "reduce_month" ~trigger:sum
+    ~reads:[ Spec.read ~kind:Spec.Aggregate "PvWatts" ]
+    (fun _ _ -> ());
+  p
+
+let test_pvwatts_with_order_ok () =
+  let report = Check.check_program (pvwatts_program ~with_order:true ()) in
+  Alcotest.(check bool) "stratified" true (Check.ok report);
+  Alcotest.(check int) "obligations" 3 report.Check.obligations
+
+let test_pvwatts_without_order_stratification_error () =
+  (* "if this order declaration was omitted then the SMT solvers would
+     not be able to prove that that rule was stratified, so a
+     Stratification error would be displayed" *)
+  let report = Check.check_program (pvwatts_program ~with_order:false ()) in
+  Alcotest.(check bool) "not stratified" false (Check.ok report);
+  match Check.errors report with
+  | [ e ] ->
+      Alcotest.(check string) "failing rule" "reduce_month" e.Check.rule;
+      Alcotest.(check bool) "mentions unrelated literals" true
+        (String.length e.Check.message > 0)
+  | es -> Alcotest.failf "expected exactly 1 error, got %d" (List.length es)
+
+(* ------------------------------------------------------------------ *)
+(* Global stratification analysis *)
+
+let test_strata_pvwatts_acyclic () =
+  let g = Strata.analyse (pvwatts_program ~with_order:true ()) in
+  Alcotest.(check bool) "globally stratified" true (Strata.globally_stratified g);
+  Alcotest.(check int) "no recursive components" 0 (List.length g.Strata.sccs)
+
+let test_strata_dijkstra_needs_local () =
+  (* Estimate -> Estimate recursion through a negative Done check. *)
+  let p = Program.create () in
+  let est =
+    Program.table p "Estimate"
+      ~columns:Schema.[ int_col "vertex"; int_col "distance" ]
+      ~orderby:Schema.[ Lit "Int"; Seq "distance"; Lit "Estimate" ]
+      ()
+  in
+  let _done_ =
+    Program.table p "Done"
+      ~columns:Schema.[ int_col "vertex"; int_col "distance" ]
+      ~key:1
+      ~orderby:Schema.[ Lit "Int"; Seq "distance"; Lit "Done" ]
+      ()
+  in
+  Program.order p [ "Estimate"; "Done" ];
+  Program.rule p "dijkstra" ~trigger:est
+    ~reads:
+      [
+        Spec.read ~kind:Spec.Negative "Done"
+          ~ts:[ Spec.bind "distance" (Spec.Add (Spec.Field "distance", -1)) ];
+      ]
+    ~puts:
+      [
+        Spec.put "Done" ~ts:[ Spec.bind "distance" (Spec.Field "distance") ];
+        Spec.put "Estimate"
+          ~ts:[ Spec.bind "distance" (Spec.Add (Spec.Field "distance", 1)) ]
+          ~when_:"edge relaxation";
+      ]
+    ~assumes:[ Spec.Le (Spec.Const 0, Spec.Field "distance") ]
+    (fun _ _ -> ());
+  let g = Strata.analyse p in
+  Alcotest.(check bool) "not globally stratified" false
+    (Strata.globally_stratified g);
+  Alcotest.(check bool) "Estimate in a recursive component" true
+    (List.exists (fun c -> List.mem "Estimate" c) g.Strata.sccs);
+  (* ... but locally stratified: causality obligations all prove *)
+  let report = Check.check_program p in
+  Alcotest.(check (list string)) "no stratification errors" []
+    (List.map (fun e -> e.Check.rule) (Check.errors report))
+
+let test_check_reports_unchecked_rules () =
+  let p, ship = ship_fixture () in
+  Program.rule p "no_metadata" ~trigger:ship (fun _ _ -> ());
+  let report = Check.check_program p in
+  Alcotest.(check bool) "ok (only unchecked)" true (Check.ok report);
+  match report.Check.findings with
+  | [ f ] ->
+      Alcotest.(check bool) "flagged unchecked" true
+        (f.Check.severity = Check.Unchecked_rule)
+  | _ -> Alcotest.fail "expected a single unchecked finding"
+
+(* Soundness property: for random frame offsets, the symbolic checker
+   accepts exactly the non-negative ones (future/present puts). *)
+let prop_offset_soundness =
+  QCheck.Test.make ~name:"put offset provable iff non-negative" ~count:50
+    QCheck.(int_range (-10) 10)
+    (fun off ->
+      let p, ship = ship_fixture () in
+      let order = Program.order_rel p in
+      let trigger = Obligation.of_trigger ship in
+      let put =
+        Obligation.of_bindings ship
+          [ Spec.bind "frame" (Spec.Add (Spec.Field "frame", off)) ]
+      in
+      let verdict = Obligation.prove_leq order [] ~strict:false trigger put in
+      if off >= 0 then verdict = Obligation.Proved
+      else match verdict with Obligation.Failed _ -> true | _ -> false)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "causality.dlsolver",
+      [
+        tc "satisfiability" `Quick test_dl_satisfiable;
+        tc "entailment" `Quick test_dl_entails;
+        tc "expression proofs" `Quick test_dl_proves_exprs;
+        tc "assumption use" `Quick test_dl_proves_under_assumptions;
+      ] );
+    ( "causality.obligation",
+      [
+        tc "Ship frame+1 proved" `Quick test_obligation_ship_ok;
+        tc "same frame = present" `Quick test_obligation_ship_same_frame;
+        tc "frame-1 rejected" `Quick test_obligation_ship_past;
+        tc "unknown binding rejected" `Quick test_obligation_unknown_binding;
+        tc "literal levels" `Quick test_obligation_literal_levels;
+        tc "par levels equivalent" `Quick test_obligation_par_levels_equivalent;
+        QCheck_alcotest.to_alcotest prop_offset_soundness;
+      ] );
+    ( "causality.check",
+      [
+        tc "section 4 example proves" `Quick test_section4_rule_passes;
+        tc "min query at own time fails" `Quick test_section4_unprovable_min_query;
+        tc "PvWatts with order ok" `Quick test_pvwatts_with_order_ok;
+        tc "PvWatts without order: stratification error" `Quick
+          test_pvwatts_without_order_stratification_error;
+        tc "unchecked rules reported" `Quick test_check_reports_unchecked_rules;
+      ] );
+    ( "causality.strata",
+      [
+        tc "PvWatts acyclic" `Quick test_strata_pvwatts_acyclic;
+        tc "Dijkstra locally stratified" `Quick test_strata_dijkstra_needs_local;
+      ] );
+  ]

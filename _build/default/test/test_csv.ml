@@ -1,0 +1,238 @@
+(* Tests for the CSV substrate: slice parsing, record iteration, chunked
+   region alignment (including boundaries landing exactly on newlines),
+   parallel reading, and the synthetic PVWatts dataset. *)
+
+module Parse = Jstar_csv.Parse
+module Chunked = Jstar_csv.Chunked
+module Pvwatts_data = Jstar_csv.Pvwatts_data
+
+let b s = Bytes.of_string s
+
+(* ------------------------------------------------------------------ *)
+(* Parse *)
+
+let test_int_of_slice () =
+  let data = b "123,-45,0" in
+  Alcotest.(check int) "123" 123 (Parse.int_of_slice data 0 3);
+  Alcotest.(check int) "-45" (-45) (Parse.int_of_slice data 4 3);
+  Alcotest.(check int) "0" 0 (Parse.int_of_slice data 8 1)
+
+let test_int_of_slice_errors () =
+  let data = b "12x,-" in
+  (match Parse.int_of_slice data 0 3 with
+  | exception Parse.Parse_error _ -> ()
+  | _ -> Alcotest.fail "bad digit accepted");
+  (match Parse.int_of_slice data 4 1 with
+  | exception Parse.Parse_error _ -> ()
+  | _ -> Alcotest.fail "lone minus accepted");
+  match Parse.int_of_slice data 0 0 with
+  | exception Parse.Parse_error _ -> ()
+  | _ -> Alcotest.fail "empty accepted"
+
+let test_iter_fields () =
+  let data = b "2012,7,14,9,3500" in
+  let fields = ref [] in
+  let n =
+    Parse.iter_fields data 0 (Bytes.length data) (fun i pos len ->
+        fields := (i, Parse.int_of_slice data pos len) :: !fields)
+  in
+  Alcotest.(check int) "count" 5 n;
+  Alcotest.(check (list (pair int int)))
+    "values"
+    [ (0, 2012); (1, 7); (2, 14); (3, 9); (4, 3500) ]
+    (List.rev !fields)
+
+let test_iter_fields_empty_field () =
+  let data = b "1,,3" in
+  let lens = ref [] in
+  ignore (Parse.iter_fields data 0 3 (fun _ _ len -> lens := len :: !lens));
+  ignore !lens;
+  let lens = ref [] in
+  ignore
+    (Parse.iter_fields data 0 (Bytes.length data) (fun _ _ len ->
+         lens := len :: !lens));
+  Alcotest.(check (list int)) "middle field empty" [ 1; 0; 1 ] (List.rev !lens)
+
+let test_iter_records () =
+  let data = b "a\nbb\n\nccc\n" in
+  let recs = ref [] in
+  Parse.iter_records data 0 (Bytes.length data) (fun s e ->
+      recs := Bytes.sub_string data s (e - s) :: !recs);
+  Alcotest.(check (list string)) "records skip empties" [ "a"; "bb"; "ccc" ]
+    (List.rev !recs)
+
+let test_iter_records_no_trailing_newline () =
+  let data = b "a\nbb" in
+  let recs = ref [] in
+  Parse.iter_records data 0 (Bytes.length data) (fun s e ->
+      recs := Bytes.sub_string data s (e - s) :: !recs);
+  Alcotest.(check (list string)) "trailing record" [ "a"; "bb" ] (List.rev !recs)
+
+let test_int_fields_into () =
+  let data = b "1,2,3,4,5" in
+  let out = Array.make 5 0 in
+  let n = Parse.int_fields_into data 0 (Bytes.length data) out in
+  Alcotest.(check int) "count" 5 n;
+  Alcotest.(check (array int)) "parsed" [| 1; 2; 3; 4; 5 |] out
+
+(* ------------------------------------------------------------------ *)
+(* Chunked *)
+
+let lines_of_regions data n =
+  Chunked.regions data n
+  |> List.concat_map (fun r ->
+         let acc = ref [] in
+         Chunked.iter_region data r (fun s e ->
+             acc := Bytes.sub_string data s (e - s) :: !acc);
+         List.rev !acc)
+
+let test_regions_cover_exactly_once () =
+  let rows = List.init 100 (fun i -> Printf.sprintf "%d,%d" i (i * i)) in
+  let data = b (String.concat "\n" rows ^ "\n") in
+  (* every region count from 1 to 10 must see each record exactly once *)
+  for n = 1 to 10 do
+    let seen = lines_of_regions data n in
+    if seen <> rows then
+      Alcotest.failf "n=%d: expected %d records, got %d (or wrong order)" n
+        (List.length rows) (List.length seen)
+  done
+
+let test_regions_boundary_on_newline () =
+  (* Craft data where a nominal boundary lands exactly on a line start:
+     8 records of 4 bytes each = 32 bytes; n=4 -> boundaries at 8,16,24,
+     all of which are line starts. *)
+  let data = b "aa\nbb\ncc\ndd\nee\nff\ngg\nhh\n" in
+  let seen = lines_of_regions data 4 in
+  Alcotest.(check (list string)) "no record lost or duplicated"
+    [ "aa"; "bb"; "cc"; "dd"; "ee"; "ff"; "gg"; "hh" ]
+    seen
+
+let test_regions_more_regions_than_records () =
+  let data = b "only\n" in
+  let seen = lines_of_regions data 8 in
+  Alcotest.(check (list string)) "single record" [ "only" ] seen
+
+let test_parallel_read () =
+  let pool = Jstar_sched.Pool.create ~num_workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Jstar_sched.Pool.shutdown pool)
+    (fun () ->
+      let rows = List.init 10_000 (fun i -> string_of_int i) in
+      let data = b (String.concat "\n" rows ^ "\n") in
+      let sum = Atomic.make 0 in
+      let count = Atomic.make 0 in
+      Chunked.parallel_read pool data ~num_regions:8 (fun _region s e ->
+          let v = Parse.int_of_slice data s (e - s) in
+          ignore (Atomic.fetch_and_add sum v);
+          Atomic.incr count);
+      Alcotest.(check int) "count" 10_000 (Atomic.get count);
+      Alcotest.(check int) "sum" (10_000 * 9_999 / 2) (Atomic.get sum))
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "jstar_csv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let data = b "x,y\n1,2\n" in
+      Chunked.to_file path data;
+      Alcotest.(check string) "roundtrip" (Bytes.to_string data)
+        (Bytes.to_string (Chunked.of_file path)))
+
+(* ------------------------------------------------------------------ *)
+(* PVWatts synthetic data *)
+
+let test_pvwatts_record_count () =
+  Alcotest.(check int) "8760 per installation" 8760
+    Pvwatts_data.records_per_installation;
+  Alcotest.(check int) "paper-scale count" 8_760_000
+    (Pvwatts_data.record_count ~installations:1000)
+
+let test_pvwatts_orderings_same_multiset () =
+  let collect ordering =
+    let acc = ref [] in
+    Pvwatts_data.iter ~installations:2 ~ordering
+      (fun ~site ~month ~day ~hour ~power ->
+        acc := (site, month, day, hour, power) :: !acc);
+    List.sort compare !acc
+  in
+  Alcotest.(check bool) "same records in both orderings" true
+    (collect Pvwatts_data.Month_major = collect Pvwatts_data.Round_robin)
+
+let test_pvwatts_month_major_is_sorted () =
+  let months = ref [] in
+  Pvwatts_data.iter ~installations:1 ~ordering:Pvwatts_data.Month_major
+    (fun ~site:_ ~month ~day:_ ~hour:_ ~power:_ -> months := month :: !months);
+  let ms = List.rev !months in
+  Alcotest.(check bool) "non-decreasing months" true
+    (List.for_all2 (fun a b -> a <= b) (List.filteri (fun i _ -> i < List.length ms - 1) ms) (List.tl ms))
+
+let test_pvwatts_round_robin_interleaves () =
+  (* the first 12 records of the round-robin ordering with 1 installation
+     must touch 12 distinct months *)
+  let seen = ref [] in
+  (try
+     Pvwatts_data.iter ~installations:1 ~ordering:Pvwatts_data.Round_robin
+       (fun ~site:_ ~month ~day:_ ~hour:_ ~power:_ ->
+         seen := month :: !seen;
+         if List.length !seen >= 12 then raise Exit)
+   with Exit -> ());
+  Alcotest.(check int) "12 distinct months" 12
+    (List.length (List.sort_uniq compare !seen))
+
+let test_pvwatts_power_plausible () =
+  Pvwatts_data.iter ~installations:1 ~ordering:Pvwatts_data.Month_major
+    (fun ~site:_ ~month:_ ~day:_ ~hour ~power ->
+      if power < 0 then Alcotest.fail "negative power";
+      if hour < 6 || hour > 19 then
+        Alcotest.(check int) "night is zero" 0 power;
+      if power > 5000 then Alcotest.failf "implausible power %d" power)
+
+let test_pvwatts_csv_parses_back () =
+  let data = Pvwatts_data.to_bytes ~installations:1 ~ordering:Pvwatts_data.Month_major in
+  let fields = Array.make 6 0 in
+  let count = ref 0 in
+  let sum = Array.make 13 0 in
+  Parse.iter_records data 0 (Bytes.length data) (fun s e ->
+      let n = Parse.int_fields_into data s e fields in
+      Alcotest.(check int) "6 fields" 6 n;
+      Alcotest.(check int) "year" Pvwatts_data.year fields.(0);
+      incr count;
+      sum.(fields.(1)) <- sum.(fields.(1)) + fields.(5));
+  Alcotest.(check int) "all records" 8760 !count;
+  (* cross-check against the reference statistics *)
+  List.iter
+    (fun (m, _cnt, total, _mean) ->
+      Alcotest.(check int) (Printf.sprintf "month %d sum" m) total sum.(m))
+    (Pvwatts_data.reference_monthly_stats ~installations:1)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "csv.parse",
+      [
+        tc "int_of_slice" `Quick test_int_of_slice;
+        tc "int_of_slice errors" `Quick test_int_of_slice_errors;
+        tc "iter_fields" `Quick test_iter_fields;
+        tc "empty fields" `Quick test_iter_fields_empty_field;
+        tc "iter_records" `Quick test_iter_records;
+        tc "no trailing newline" `Quick test_iter_records_no_trailing_newline;
+        tc "int_fields_into" `Quick test_int_fields_into;
+      ] );
+    ( "csv.chunked",
+      [
+        tc "regions cover exactly once" `Quick test_regions_cover_exactly_once;
+        tc "boundary on newline" `Quick test_regions_boundary_on_newline;
+        tc "more regions than records" `Quick test_regions_more_regions_than_records;
+        tc "parallel read" `Quick test_parallel_read;
+        tc "file roundtrip" `Quick test_file_roundtrip;
+      ] );
+    ( "csv.pvwatts_data",
+      [
+        tc "record counts" `Quick test_pvwatts_record_count;
+        tc "orderings same multiset" `Quick test_pvwatts_orderings_same_multiset;
+        tc "month-major sorted" `Quick test_pvwatts_month_major_is_sorted;
+        tc "round-robin interleaves" `Quick test_pvwatts_round_robin_interleaves;
+        tc "power plausible" `Quick test_pvwatts_power_plausible;
+        tc "csv parses back + reference stats" `Quick test_pvwatts_csv_parses_back;
+      ] );
+  ]

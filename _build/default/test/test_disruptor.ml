@@ -1,0 +1,235 @@
+(* Tests for the Disruptor substrate: sequences, the ring buffer
+   claim/publish protocol, wait strategies, and the single-producer /
+   multi-consumer harness (every consumer sees every event; sentinel
+   shutdown; gating prevents overwrites). *)
+
+module Sequence = Jstar_disruptor.Sequence
+module Wait_strategy = Jstar_disruptor.Wait_strategy
+module Ring_buffer = Jstar_disruptor.Ring_buffer
+module Disruptor = Jstar_disruptor.Disruptor
+
+type event = { mutable value : int; mutable sentinel : bool }
+
+let fresh_event () = { value = 0; sentinel = false }
+
+(* ------------------------------------------------------------------ *)
+(* Sequence *)
+
+let test_sequence_basics () =
+  let s = Sequence.create () in
+  Alcotest.(check int) "initial" (-1) (Sequence.get s);
+  Sequence.set s 5;
+  Alcotest.(check int) "set" 5 (Sequence.get s);
+  Alcotest.(check int) "incr" 6 (Sequence.incr s)
+
+let test_sequence_minimum () =
+  let a = Sequence.create ~value:3 () and bq = Sequence.create ~value:7 () in
+  Alcotest.(check int) "min" 3 (Sequence.minimum [ a; bq ]);
+  Alcotest.(check int) "empty" max_int (Sequence.minimum [])
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer *)
+
+let test_ring_requires_pow2 () =
+  match Ring_buffer.create ~size:100 ~init:fresh_event () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-power-of-two size accepted"
+
+let test_ring_claim_publish () =
+  let ring = Ring_buffer.create ~size:8 ~init:fresh_event () in
+  let consumer = Sequence.create () in
+  Ring_buffer.add_gating_sequence ring consumer;
+  let hi = Ring_buffer.next ring 3 in
+  Alcotest.(check int) "claims 0..2" 2 hi;
+  for s = 0 to hi do
+    (Ring_buffer.get ring s).value <- s * 10
+  done;
+  Alcotest.(check int) "unpublished" (-1) (Ring_buffer.cursor_value ring);
+  Ring_buffer.publish ring hi;
+  Alcotest.(check int) "published" 2 (Ring_buffer.cursor_value ring);
+  Alcotest.(check int) "slot readback" 20 (Ring_buffer.get ring 2).value
+
+let test_ring_single_consumer_fifo () =
+  let ring =
+    Ring_buffer.create ~wait:Wait_strategy.Yielding ~size:16 ~init:fresh_event ()
+  in
+  let own = Sequence.create () in
+  Ring_buffer.add_gating_sequence ring own;
+  let n = 10_000 in
+  let seen = ref [] in
+  let consumer =
+    Domain.spawn (fun () ->
+        Ring_buffer.consume ring own (fun ev _ _ ->
+            if ev.sentinel then false
+            else begin
+              seen := ev.value :: !seen;
+              true
+            end))
+  in
+  for i = 0 to n - 1 do
+    let hi = Ring_buffer.next ring 1 in
+    (Ring_buffer.get ring hi).value <- i;
+    (Ring_buffer.get ring hi).sentinel <- false;
+    Ring_buffer.publish ring hi
+  done;
+  let hi = Ring_buffer.next ring 1 in
+  (Ring_buffer.get ring hi).sentinel <- true;
+  Ring_buffer.publish ring hi;
+  Domain.join consumer;
+  Alcotest.(check int) "all consumed" n (List.length !seen);
+  Alcotest.(check bool) "in order" true (List.rev !seen = List.init n Fun.id)
+
+let test_ring_gating_blocks_overwrite () =
+  (* With a tiny ring and a slow consumer, the producer must not lap it:
+     verified by checking every value arrives intact. *)
+  let ring =
+    Ring_buffer.create ~wait:Wait_strategy.Busy_spin ~size:4 ~init:fresh_event ()
+  in
+  let own = Sequence.create () in
+  Ring_buffer.add_gating_sequence ring own;
+  let n = 2_000 in
+  let sum = ref 0 in
+  let consumer =
+    Domain.spawn (fun () ->
+        Ring_buffer.consume ring own (fun ev _ _ ->
+            if ev.sentinel then false
+            else begin
+              sum := !sum + ev.value;
+              (* artificially slow consumer *)
+              if ev.value mod 64 = 0 then Unix.sleepf 1e-4;
+              true
+            end))
+  in
+  for i = 1 to n do
+    let hi = Ring_buffer.next ring 1 in
+    (Ring_buffer.get ring hi).value <- i;
+    Ring_buffer.publish ring hi
+  done;
+  let hi = Ring_buffer.next ring 1 in
+  (Ring_buffer.get ring hi).sentinel <- true;
+  (Ring_buffer.get ring hi).value <- 0;
+  Ring_buffer.publish ring hi;
+  Domain.join consumer;
+  Alcotest.(check int) "no event lost to overwrite" (n * (n + 1) / 2) !sum
+
+let run_harness_with wait =
+  let num_consumers = 3 in
+  let n = 5_000 in
+  let sums = Array.init num_consumers (fun _ -> ref 0) in
+  let counts = Array.init num_consumers (fun _ -> ref 0) in
+  let stats =
+    Disruptor.run
+      ~options:
+        { Disruptor.ring_size = 64; batch = 16; wait; num_consumers }
+      ~init:fresh_event
+      ~producer:(fun ~emit ->
+        for i = 1 to n do
+          emit (fun ev ->
+              ev.value <- i;
+              ev.sentinel <- false)
+        done;
+        emit (fun ev -> ev.sentinel <- true))
+      ~consumer:(fun me ev ->
+        if ev.sentinel then false
+        else begin
+          (* broadcast: each consumer sees all events, handles its share *)
+          if ev.value mod num_consumers = me then begin
+            sums.(me) := !(sums.(me)) + ev.value;
+            incr counts.(me)
+          end;
+          true
+        end)
+      ()
+  in
+  Alcotest.(check int) "published" (n + 1) stats.Disruptor.published;
+  let total = Array.fold_left (fun acc r -> acc + !r) 0 sums in
+  let count = Array.fold_left (fun acc r -> acc + !r) 0 counts in
+  Alcotest.(check int) "each event handled exactly once" n count;
+  Alcotest.(check int) "sum" (n * (n + 1) / 2) total
+
+let test_harness_blocking () = run_harness_with Wait_strategy.Blocking
+let test_harness_yielding () = run_harness_with Wait_strategy.Yielding
+let test_harness_sleeping () = run_harness_with Wait_strategy.Sleeping
+let test_harness_busy_spin () = run_harness_with Wait_strategy.Busy_spin
+
+let test_harness_batch_sizes () =
+  (* partial final batches must be flushed *)
+  List.iter
+    (fun n ->
+      let seen = ref 0 in
+      let stats =
+        Disruptor.run
+          ~options:
+            {
+              Disruptor.ring_size = 32;
+              batch = 8;
+              wait = Wait_strategy.Yielding;
+              num_consumers = 1;
+            }
+          ~init:fresh_event
+          ~producer:(fun ~emit ->
+            for i = 1 to n do
+              emit (fun ev ->
+                  ev.value <- i;
+                  ev.sentinel <- false)
+            done;
+            emit (fun ev -> ev.sentinel <- true))
+          ~consumer:(fun _ ev ->
+            if ev.sentinel then false
+            else begin
+              incr seen;
+              true
+            end)
+          ()
+      in
+      Alcotest.(check int) (Printf.sprintf "n=%d seen" n) n !seen;
+      Alcotest.(check int) (Printf.sprintf "n=%d published" n) (n + 1)
+        stats.Disruptor.published)
+    [ 0; 1; 7; 8; 9; 31; 100 ]
+
+let test_wait_strategy_names () =
+  List.iter
+    (fun (kind, want) ->
+      Alcotest.(check string) want want
+        (Wait_strategy.name (Wait_strategy.create kind)))
+    [
+      (Wait_strategy.Blocking, "BlockingWaitStrategy");
+      (Wait_strategy.Yielding, "YieldingWaitStrategy");
+      (Wait_strategy.Sleeping, "SleepingWaitStrategy");
+      (Wait_strategy.Busy_spin, "BusySpinWaitStrategy");
+    ]
+
+let test_pvwatts_options_match_table1 () =
+  let o = Disruptor.pvwatts_options in
+  Alcotest.(check int) "ring 1024" 1024 o.Disruptor.ring_size;
+  Alcotest.(check int) "batch 256" 256 o.Disruptor.batch;
+  Alcotest.(check int) "12 consumers" 12 o.Disruptor.num_consumers;
+  Alcotest.(check bool) "blocking wait" true
+    (o.Disruptor.wait = Wait_strategy.Blocking)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "disruptor.sequence",
+      [
+        tc "basics" `Quick test_sequence_basics;
+        tc "minimum" `Quick test_sequence_minimum;
+      ] );
+    ( "disruptor.ring",
+      [
+        tc "power-of-two size" `Quick test_ring_requires_pow2;
+        tc "claim/publish" `Quick test_ring_claim_publish;
+        tc "single consumer FIFO" `Slow test_ring_single_consumer_fifo;
+        tc "gating prevents overwrite" `Slow test_ring_gating_blocks_overwrite;
+      ] );
+    ( "disruptor.harness",
+      [
+        tc "blocking strategy" `Slow test_harness_blocking;
+        tc "yielding strategy" `Slow test_harness_yielding;
+        tc "sleeping strategy" `Slow test_harness_sleeping;
+        tc "busy-spin strategy" `Slow test_harness_busy_spin;
+        tc "batch flush" `Quick test_harness_batch_sizes;
+        tc "wait strategy names" `Quick test_wait_strategy_names;
+        tc "Table 1 options" `Quick test_pvwatts_options_match_table1;
+      ] );
+  ]

@@ -1,0 +1,361 @@
+(* Tests for the fork/join scheduler substrate: Chase-Lev deque
+   (sequential semantics and concurrent owner/thief interleavings),
+   pool lifecycle, futures, and the parallel iteration combinators. *)
+
+module Chase_lev = Jstar_sched.Chase_lev
+module Pool = Jstar_sched.Pool
+module Forkjoin = Jstar_sched.Forkjoin
+module Bits = Jstar_sched.Bits
+
+let with_pool n f =
+  let pool = Pool.create ~num_workers:n () in
+  Fun.protect (fun () -> f pool) ~finally:(fun () -> Pool.shutdown pool)
+
+(* ------------------------------------------------------------------ *)
+(* Bits *)
+
+let test_next_pow2 () =
+  List.iter
+    (fun (n, want) -> Alcotest.(check int) (string_of_int n) want (Bits.next_pow2 n))
+    [ (0, 1); (1, 1); (2, 2); (3, 4); (4, 4); (5, 8); (1000, 1024); (1024, 1024) ]
+
+let test_is_pow2 () =
+  Alcotest.(check bool) "1" true (Bits.is_pow2 1);
+  Alcotest.(check bool) "2" true (Bits.is_pow2 2);
+  Alcotest.(check bool) "3" false (Bits.is_pow2 3);
+  Alcotest.(check bool) "0" false (Bits.is_pow2 0);
+  Alcotest.(check bool) "-4" false (Bits.is_pow2 (-4));
+  Alcotest.(check bool) "4096" true (Bits.is_pow2 4096)
+
+let test_clz () =
+  Alcotest.(check int) "clz 1" 63 (Bits.count_leading_zeros 1);
+  Alcotest.(check int) "clz 256" 55 (Bits.count_leading_zeros 256);
+  Alcotest.check_raises "clz 0" (Invalid_argument "count_leading_zeros")
+    (fun () -> ignore (Bits.count_leading_zeros 0))
+
+(* ------------------------------------------------------------------ *)
+(* Chase-Lev deque, owner-only semantics *)
+
+let test_deque_lifo () =
+  let d = Chase_lev.create () in
+  Alcotest.(check bool) "fresh empty" true (Chase_lev.is_empty d);
+  Chase_lev.push d 1;
+  Chase_lev.push d 2;
+  Chase_lev.push d 3;
+  Alcotest.(check int) "size" 3 (Chase_lev.size d);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Chase_lev.pop d);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Chase_lev.pop d);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Chase_lev.pop d);
+  Alcotest.(check (option int)) "pop empty" None (Chase_lev.pop d)
+
+let test_deque_steal_fifo () =
+  let d = Chase_lev.create () in
+  Chase_lev.push d 1;
+  Chase_lev.push d 2;
+  Chase_lev.push d 3;
+  Alcotest.(check (option int)) "steal 1" (Some 1) (Chase_lev.steal_blocking d);
+  Alcotest.(check (option int)) "steal 2" (Some 2) (Chase_lev.steal_blocking d);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Chase_lev.pop d);
+  Alcotest.(check (option int)) "steal empty" None (Chase_lev.steal_blocking d)
+
+let test_deque_growth () =
+  let d = Chase_lev.create ~log_size:1 () in
+  let n = 10_000 in
+  for i = 1 to n do
+    Chase_lev.push d i
+  done;
+  Alcotest.(check int) "size after pushes" n (Chase_lev.size d);
+  for i = n downto 1 do
+    Alcotest.(check (option int)) "pop" (Some i) (Chase_lev.pop d)
+  done
+
+let test_deque_interleaved () =
+  (* Alternating push/pop/steal from the owner side only. *)
+  let d = Chase_lev.create ~log_size:2 () in
+  for round = 0 to 99 do
+    Chase_lev.push d (2 * round);
+    Chase_lev.push d ((2 * round) + 1);
+    (* steal takes the oldest, pop the newest *)
+    match (Chase_lev.steal_blocking d, Chase_lev.pop d) with
+    | Some s, Some p ->
+        Alcotest.(check bool) "steal older than pop" true (s < p)
+    | _ -> Alcotest.fail "expected two elements"
+  done;
+  Alcotest.(check bool) "drained" true (Chase_lev.is_empty d)
+
+(* Concurrent correctness: one owner pushing/popping, several thieves
+   stealing; every element must be seen exactly once. *)
+let test_deque_concurrent () =
+  let d = Chase_lev.create ~log_size:4 () in
+  let n = 50_000 in
+  let num_thieves = 3 in
+  let stolen = Array.init num_thieves (fun _ -> ref []) in
+  let stop = Atomic.make false in
+  let thieves =
+    List.init num_thieves (fun t ->
+        Domain.spawn (fun () ->
+            let rec go () =
+              match Chase_lev.steal d with
+              | Chase_lev.Stolen v ->
+                  stolen.(t) := v :: !(stolen.(t));
+                  go ()
+              | Chase_lev.Retry -> go ()
+              | Chase_lev.Empty -> if Atomic.get stop then () else go ()
+            in
+            go ()))
+  in
+  let popped = ref [] in
+  for i = 1 to n do
+    Chase_lev.push d i;
+    if i mod 3 = 0 then
+      match Chase_lev.pop d with
+      | Some v -> popped := v :: !popped
+      | None -> ()
+  done;
+  let rec drain () =
+    match Chase_lev.pop d with
+    | Some v ->
+        popped := v :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  List.iter Domain.join thieves;
+  let all =
+    !popped @ List.concat_map (fun r -> !r) (Array.to_list stolen)
+  in
+  Alcotest.(check int) "every element seen exactly once" n (List.length all);
+  let sorted = List.sort compare all in
+  Alcotest.(check bool) "no duplicates, no losses" true
+    (List.for_all2 (fun a b -> a = b) sorted (List.init n (fun i -> i + 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Pool and futures *)
+
+let test_pool_create_invalid () =
+  Alcotest.check_raises "zero workers"
+    (Invalid_argument "Pool.create: num_workers < 1") (fun () ->
+      ignore (Pool.create ~num_workers:0 ()))
+
+let test_pool_fork_join () =
+  with_pool 2 (fun pool ->
+      Pool.run pool (fun () ->
+          let f = Pool.fork pool (fun () -> 6 * 7) in
+          Alcotest.(check int) "future result" 42 (Pool.join pool f)))
+
+let test_pool_single_worker () =
+  (* num_workers = 1: no domain spawned, everything on the caller. *)
+  with_pool 1 (fun pool ->
+      let total =
+        Forkjoin.parallel_reduce pool ~lo:0 ~hi:100 ~init:0 ~combine:( + )
+          Fun.id
+      in
+      Alcotest.(check int) "sum" 4950 total)
+
+let test_pool_exception_propagation () =
+  with_pool 2 (fun pool ->
+      Pool.run pool (fun () ->
+          let f = Pool.fork pool (fun () -> failwith "boom") in
+          Alcotest.check_raises "join re-raises" (Failure "boom") (fun () ->
+              ignore (Pool.join pool f))))
+
+let test_pool_submit_after_shutdown () =
+  let pool = Pool.create ~num_workers:2 () in
+  Pool.shutdown pool;
+  Alcotest.check_raises "submit after shutdown" Pool.Shutdown (fun () ->
+      Pool.submit pool (fun () -> ()))
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~num_workers:3 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.(check pass) "no deadlock or exception" () ()
+
+let test_pool_many_futures () =
+  with_pool 2 (fun pool ->
+      Pool.run pool (fun () ->
+          let futs = List.init 1000 (fun i -> Pool.fork pool (fun () -> i)) in
+          let total = List.fold_left (fun acc f -> acc + Pool.join pool f) 0 futs in
+          Alcotest.(check int) "sum of 0..999" 499500 total))
+
+let test_pool_nested_forks () =
+  with_pool 2 (fun pool ->
+      let rec fib n =
+        if n < 10 then
+          let rec seq n = if n < 2 then n else seq (n - 1) + seq (n - 2) in
+          seq n
+        else
+          let a = Pool.fork pool (fun () -> fib (n - 1)) in
+          let b = fib (n - 2) in
+          Pool.join pool a + b
+      in
+      let v = Pool.run pool (fun () -> fib 20) in
+      Alcotest.(check int) "fib 20" 6765 v)
+
+let test_peek () =
+  with_pool 2 (fun pool ->
+      Pool.run pool (fun () ->
+          let f = Pool.fork pool (fun () -> 5) in
+          let v = Pool.join pool f in
+          Alcotest.(check int) "join" 5 v;
+          match Pool.peek f with
+          | Some (Ok 5) -> ()
+          | _ -> Alcotest.fail "peek after join should be Ok 5"))
+
+(* ------------------------------------------------------------------ *)
+(* Forkjoin combinators *)
+
+let test_parallel_for_covers_range () =
+  with_pool 2 (fun pool ->
+      let n = 10_000 in
+      let hits = Array.make n (Atomic.make 0) in
+      for i = 0 to n - 1 do
+        hits.(i) <- Atomic.make 0
+      done;
+      Forkjoin.parallel_for pool ~lo:0 ~hi:n (fun i -> Atomic.incr hits.(i));
+      Array.iteri
+        (fun i c ->
+          if Atomic.get c <> 1 then
+            Alcotest.failf "index %d visited %d times" i (Atomic.get c))
+        hits)
+
+let test_parallel_for_empty () =
+  with_pool 2 (fun pool ->
+      let touched = ref false in
+      Forkjoin.parallel_for pool ~lo:5 ~hi:5 (fun _ -> touched := true);
+      Forkjoin.parallel_for pool ~lo:5 ~hi:3 (fun _ -> touched := true);
+      Alcotest.(check bool) "no iteration" false !touched)
+
+let test_parallel_for_grain_one () =
+  with_pool 2 (fun pool ->
+      let count = Atomic.make 0 in
+      Forkjoin.parallel_for pool ~grain:1 ~lo:0 ~hi:100 (fun _ ->
+          Atomic.incr count);
+      Alcotest.(check int) "100 iterations" 100 (Atomic.get count))
+
+let test_parallel_reduce_sum () =
+  with_pool 2 (fun pool ->
+      let n = 1_000_000 in
+      let got =
+        Forkjoin.parallel_reduce pool ~lo:0 ~hi:n ~init:0 ~combine:( + ) Fun.id
+      in
+      Alcotest.(check int) "triangular number" (n * (n - 1) / 2) got)
+
+let test_parallel_reduce_empty () =
+  with_pool 2 (fun pool ->
+      let got =
+        Forkjoin.parallel_reduce pool ~lo:3 ~hi:3 ~init:42 ~combine:( + )
+          (fun _ -> Alcotest.fail "must not be called")
+      in
+      Alcotest.(check int) "init returned" 42 got)
+
+let test_parallel_map () =
+  with_pool 2 (fun pool ->
+      let arr = Array.init 1000 Fun.id in
+      let got = Forkjoin.parallel_map pool (fun x -> x * x) arr in
+      Alcotest.(check bool) "squares" true
+        (Array.for_all2 (fun a b -> a = b) got (Array.map (fun x -> x * x) arr)))
+
+let test_parallel_init () =
+  with_pool 2 (fun pool ->
+      let got = Forkjoin.parallel_init pool 257 (fun i -> i * 3) in
+      Alcotest.(check int) "length" 257 (Array.length got);
+      Array.iteri
+        (fun i v -> if v <> i * 3 then Alcotest.failf "wrong value at %d" i)
+        got)
+
+let test_invoke_all () =
+  with_pool 2 (fun pool ->
+      let a = Atomic.make 0 in
+      Forkjoin.invoke_all pool
+        (List.init 16 (fun _ () -> Atomic.incr a));
+      Alcotest.(check int) "all ran" 16 (Atomic.get a))
+
+let test_invoke_all_failure () =
+  with_pool 2 (fun pool ->
+      let a = Atomic.make 0 in
+      Alcotest.check_raises "first failure re-raised" (Failure "task2")
+        (fun () ->
+          Forkjoin.invoke_all pool
+            [
+              (fun () -> Atomic.incr a);
+              (fun () -> failwith "task2");
+              (fun () -> Atomic.incr a);
+            ]);
+      Alcotest.(check int) "others still ran" 2 (Atomic.get a))
+
+let test_fork_join2 () =
+  with_pool 2 (fun pool ->
+      let a, b = Forkjoin.fork_join2 pool (fun () -> "left") (fun () -> 99) in
+      Alcotest.(check string) "left" "left" a;
+      Alcotest.(check int) "right" 99 b)
+
+(* Determinism: a parallel tree reduction with an associative operator
+   must equal the sequential fold, for arbitrary data (qcheck). *)
+let prop_reduce_matches_sequential =
+  QCheck.Test.make ~name:"parallel_reduce = sequential fold" ~count:30
+    QCheck.(list small_int)
+    (fun xs ->
+      let arr = Array.of_list xs in
+      with_pool 2 (fun pool ->
+          let par =
+            Forkjoin.parallel_reduce pool ~lo:0 ~hi:(Array.length arr) ~init:0
+              ~combine:( + )
+              (fun i -> arr.(i))
+          in
+          par = Array.fold_left ( + ) 0 arr))
+
+let prop_parallel_map_matches =
+  QCheck.Test.make ~name:"parallel_map = Array.map" ~count:30
+    QCheck.(array small_int)
+    (fun arr ->
+      with_pool 2 (fun pool ->
+          let f x = (x * 31) + 7 in
+          Forkjoin.parallel_map pool f arr = Array.map f arr))
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "sched.bits",
+      [
+        tc "next_pow2" `Quick test_next_pow2;
+        tc "is_pow2" `Quick test_is_pow2;
+        tc "count_leading_zeros" `Quick test_clz;
+      ] );
+    ( "sched.deque",
+      [
+        tc "owner LIFO" `Quick test_deque_lifo;
+        tc "thief FIFO" `Quick test_deque_steal_fifo;
+        tc "buffer growth" `Quick test_deque_growth;
+        tc "interleaved push/pop/steal" `Quick test_deque_interleaved;
+        tc "concurrent owner + 3 thieves" `Slow test_deque_concurrent;
+      ] );
+    ( "sched.pool",
+      [
+        tc "invalid size" `Quick test_pool_create_invalid;
+        tc "fork/join" `Quick test_pool_fork_join;
+        tc "single worker" `Quick test_pool_single_worker;
+        tc "exception propagation" `Quick test_pool_exception_propagation;
+        tc "submit after shutdown" `Quick test_pool_submit_after_shutdown;
+        tc "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+        tc "many futures" `Quick test_pool_many_futures;
+        tc "nested forks (fib)" `Quick test_pool_nested_forks;
+        tc "peek" `Quick test_peek;
+      ] );
+    ( "sched.forkjoin",
+      [
+        tc "parallel_for covers range" `Quick test_parallel_for_covers_range;
+        tc "parallel_for empty range" `Quick test_parallel_for_empty;
+        tc "parallel_for grain=1" `Quick test_parallel_for_grain_one;
+        tc "parallel_reduce sum" `Quick test_parallel_reduce_sum;
+        tc "parallel_reduce empty" `Quick test_parallel_reduce_empty;
+        tc "parallel_map" `Quick test_parallel_map;
+        tc "parallel_init" `Quick test_parallel_init;
+        tc "invoke_all" `Quick test_invoke_all;
+        tc "invoke_all failure" `Quick test_invoke_all_failure;
+        tc "fork_join2" `Quick test_fork_join2;
+        QCheck_alcotest.to_alcotest prop_reduce_matches_sequential;
+        QCheck_alcotest.to_alcotest prop_parallel_map_matches;
+      ] );
+  ]

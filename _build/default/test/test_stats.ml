@@ -1,0 +1,135 @@
+(* Tests for the stats library: dependency-graph construction and DOT
+   export (Fig 7), annotated graphs, and phase timers with Amdahl
+   bounds (§6.3). *)
+
+open Jstar_core
+module Depgraph = Jstar_stats.Depgraph
+module Phase_timer = Jstar_stats.Phase_timer
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let pvwatts_like () =
+  let p = Program.create () in
+  let pv =
+    Program.table p "PvWatts"
+      ~columns:Schema.[ int_col "month"; int_col "power" ]
+      ~orderby:Schema.[ Lit "PvWatts" ] ()
+  in
+  let sum =
+    Program.table p "SumMonth" ~columns:Schema.[ int_col "month" ] ~key:1
+      ~orderby:Schema.[ Lit "SumMonth" ] ()
+  in
+  Program.order p [ "PvWatts"; "SumMonth" ];
+  Program.rule p "request" ~trigger:pv
+    ~puts:[ Spec.put "SumMonth" ]
+    (fun ctx t -> ctx.Rule.put (Tuple.make sum [| Tuple.get t 0 |]));
+  Program.rule p "reduce" ~trigger:sum
+    ~reads:[ Spec.read ~kind:Spec.Aggregate "PvWatts" ]
+    ~puts:[]
+    (fun _ _ -> ());
+  (p, pv, sum)
+
+let test_depgraph_structure () =
+  let p, _, _ = pvwatts_like () in
+  let g = Depgraph.of_program p in
+  Alcotest.(check int) "2 tables + 2 rules" 4 (List.length g.Depgraph.nodes);
+  (* request: trigger edge + put edge; reduce: trigger edge only (no puts
+     means its reads produce no edges either, since edges hang off puts,
+     but the trigger edge is always there) *)
+  Alcotest.(check bool) "has trigger edge PvWatts -> request" true
+    (List.exists
+       (fun e ->
+         e.Depgraph.from_node = Depgraph.Table "PvWatts"
+         && e.Depgraph.to_node = Depgraph.Rule_node "request")
+       g.Depgraph.edges);
+  Alcotest.(check bool) "has put edge request -> SumMonth" true
+    (List.exists
+       (fun e ->
+         e.Depgraph.from_node = Depgraph.Rule_node "request"
+         && e.Depgraph.to_node = Depgraph.Table "SumMonth")
+       g.Depgraph.edges)
+
+let test_depgraph_dot () =
+  let p, _, _ = pvwatts_like () in
+  let dot = Depgraph.to_dot (Depgraph.of_program p) in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle dot) then
+        Alcotest.failf "DOT output missing %S" needle)
+    [ "digraph jstar"; "t_PvWatts"; "t_SumMonth"; "r_request"; "->" ]
+
+let test_depgraph_dot_annotated () =
+  let p, pv, _ = pvwatts_like () in
+  let init = List.init 5 (fun i -> Tuple.make pv [| Value.Int (1 + (i mod 2)); Value.Int i |]) in
+  let r = Engine.run_program ~init p Config.default in
+  let dot = Depgraph.to_dot ~stats:r.Engine.stats (Depgraph.of_program p) in
+  Alcotest.(check bool) "annotated with put counts" true
+    (contains ~needle:"puts=5" dot)
+
+let test_depgraph_write () =
+  let p, _, _ = pvwatts_like () in
+  let path = Filename.temp_file "jstar_graph" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Depgraph.write_dot (Depgraph.of_program p) path;
+      let ic = open_in path in
+      let line = input_line ic in
+      close_in ic;
+      Alcotest.(check string) "header" "digraph jstar {" line)
+
+let test_phase_timer () =
+  let t = Phase_timer.create () in
+  Phase_timer.add t "read" 1.0;
+  Phase_timer.add t "compute" 3.0;
+  Phase_timer.add t "read" 1.0;
+  (* accumulates *)
+  Alcotest.(check (float 1e-9)) "total" 5.0 (Phase_timer.total t);
+  Alcotest.(check (list (pair string (float 1e-9)))) "phases in order"
+    [ ("read", 2.0); ("compute", 3.0) ]
+    (Phase_timer.phases t);
+  Alcotest.(check (list (pair string (float 1e-9)))) "fractions"
+    [ ("read", 0.4); ("compute", 0.6) ]
+    (Phase_timer.fractions t)
+
+let test_phase_timer_time () =
+  let t = Phase_timer.create () in
+  let v = Phase_timer.time t "work" (fun () -> 42) in
+  Alcotest.(check int) "returns value" 42 v;
+  Alcotest.(check bool) "recorded some time" true (Phase_timer.total t >= 0.0)
+
+let test_amdahl () =
+  let t = Phase_timer.create () in
+  (* the paper's numbers: serial read 16.9%, the rest parallel over 12 *)
+  Phase_timer.add t "read" 0.169;
+  Phase_timer.add t "rest" 0.831;
+  let bound = Phase_timer.amdahl_bound t ~serial:[ "read" ] ~workers:12 in
+  Alcotest.(check (float 0.05)) "paper's 4.2x bound" 4.2 bound
+
+let test_amdahl_all_parallel () =
+  let t = Phase_timer.create () in
+  Phase_timer.add t "work" 1.0;
+  Alcotest.(check (float 1e-9)) "ideal" 8.0
+    (Phase_timer.amdahl_bound t ~serial:[] ~workers:8)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "stats.depgraph",
+      [
+        tc "structure" `Quick test_depgraph_structure;
+        tc "DOT export" `Quick test_depgraph_dot;
+        tc "annotated DOT" `Quick test_depgraph_dot_annotated;
+        tc "write to file" `Quick test_depgraph_write;
+      ] );
+    ( "stats.phase_timer",
+      [
+        tc "accumulation and fractions" `Quick test_phase_timer;
+        tc "time combinator" `Quick test_phase_timer_time;
+        tc "Amdahl bound (paper 4.2x)" `Quick test_amdahl;
+        tc "Amdahl all-parallel" `Quick test_amdahl_all_parallel;
+      ] );
+  ]
