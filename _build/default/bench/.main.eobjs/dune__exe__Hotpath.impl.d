@@ -1,0 +1,1 @@
+bench/hotpath.ml: Array Buffer Config Engine Hashtbl Jstar_core List Printf Program Rule Schema Store Sys Tuple Unix Util Value

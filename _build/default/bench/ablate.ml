@@ -78,9 +78,9 @@ let task_granularity () =
     ~title:"Ablation: all-minimums task granularity (Dijkstra, 2 threads)"
     ~unit:"s"
     [
-      ("grain=1 (task per tuple)", time (Some 1));
-      ("grain=16", time (Some 16));
-      ("grain=auto (~8 leaves/worker)", time None);
+      ("grain=1 (task per tuple)", time (Config.Fixed 1));
+      ("grain=16", time (Config.Fixed 16));
+      ("grain=auto (~4 leaves/worker)", time Config.Auto_grain);
     ];
   Util.note "the paper creates one task per tuple; chunking is the obvious fix"
 

@@ -11,6 +11,14 @@
    machine and era); the *shapes* — who wins, by what factor, which
    programs scale — are the reproduction target.  See EXPERIMENTS.md. *)
 
+(* A bounded all-up check: the two headline figures plus the hot-path
+   ablation at smoke scale — `dune build @bench-smoke`. *)
+let smoke () =
+  Util.scale := Util.Quick;
+  Fig8.run ();
+  Fig12.run ();
+  Hotpath.run ()
+
 let targets : (string * string * (unit -> unit)) list =
   [
     ("fig6", "absolute sequential speed, JStar vs hand-coded", Fig6.run);
@@ -24,6 +32,8 @@ let targets : (string * string * (unit -> unit)) list =
     ("fig13", "Median speedup vs pool size", Fig13.run);
     ("ablate", "design-choice ablations beyond the paper", Ablate.run);
     ("micro", "Bechamel micro-benchmarks of the substrates", Micro.run);
+    ("hotpath", "hot-path knob ablation (hashes/batching/grain) + JSON", Hotpath.run);
+    ("smoke", "quick-scale fig8 + fig12 + hotpath, bounded runtime", smoke);
   ]
 
 let usage () =

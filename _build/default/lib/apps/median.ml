@@ -118,12 +118,14 @@ let make ?(seed = 7) ?(regions = 8) ~n () =
   let bufs = [| Array.make n 0.0; Array.make n 0.0 |] in
   let buf iter = bufs.(iter land 1) in
   let data_store _schema =
+    let insert t =
+      (buf (Tuple.int_at t 0)).(Tuple.int_at t 1) <- Tuple.float_at t 2;
+      true
+    in
     {
       Store.kind = "double[2][n]";
-      insert =
-        (fun t ->
-          (buf (Tuple.int_at t 0)).(Tuple.int_at t 1) <- Tuple.float_at t 2;
-          true);
+      insert;
+      insert_batch = Store.seq_batch insert;
       mem = (fun _ -> false);
       iter_prefix =
         (fun prefix f ->

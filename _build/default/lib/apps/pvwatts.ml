@@ -61,25 +61,27 @@ let month_array_store schema =
         List.iter f snapshot)
       buckets.(month - 1)
   in
+  let insert t =
+    let month_bucket, fields = shard_of t in
+    let mutex, table =
+      month_bucket.(Value.hash_array fields land (month_shards - 1))
+    in
+    Mutex.lock mutex;
+    let added =
+      if Hashtbl.mem table fields then false
+      else begin
+        Hashtbl.replace table fields t;
+        true
+      end
+    in
+    Mutex.unlock mutex;
+    if added then Atomic.incr total;
+    added
+  in
   {
     Store.kind = "month-array";
-    insert =
-      (fun t ->
-        let month_bucket, fields = shard_of t in
-        let mutex, table =
-          month_bucket.(Value.hash_array fields land (month_shards - 1))
-        in
-        Mutex.lock mutex;
-        let added =
-          if Hashtbl.mem table fields then false
-          else begin
-            Hashtbl.replace table fields t;
-            true
-          end
-        in
-        Mutex.unlock mutex;
-        if added then Atomic.incr total;
-        added);
+    insert;
+    insert_batch = Store.seq_batch insert;
     mem =
       (fun t ->
         let month_bucket, fields = shard_of t in

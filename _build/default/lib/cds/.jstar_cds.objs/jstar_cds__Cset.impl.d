@@ -1,1 +1,1 @@
-lib/cds/cset.ml: List Option Skiplist
+lib/cds/cset.ml: Array List Option Skiplist

@@ -1,1 +1,1 @@
-lib/core/schema.ml: Array Fmt Hashtbl Value
+lib/core/schema.ml: Array Bool Float Fmt Hashtbl Int String Value

@@ -1,1 +1,1 @@
-lib/core/tuple.ml: Array Fmt List Schema Stdlib Value
+lib/core/tuple.ml: Array Fmt Hashtbl Int List Schema Stdlib Value

@@ -1,1 +1,1 @@
-lib/core/tuple.mli: Format Schema Value
+lib/core/tuple.mli: Format Hashtbl Schema Value

@@ -1,1 +1,1 @@
-lib/core/value.ml: Array Fmt Hashtbl Stdlib
+lib/core/value.ml: Array Fmt Hashtbl Stdlib String

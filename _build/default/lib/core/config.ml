@@ -8,6 +8,10 @@ type data_structures =
   | Sequential_ds (* TreeMap/TreeSet family, single-threaded only *)
   | Concurrent_ds (* skip list / sharded hash family *)
 
+type grain =
+  | Auto_grain (* max 1 (n / (4 * workers)): chunked leaves, adaptive *)
+  | Fixed of int (* fixed fork/join leaf size; [Fixed 1] = task per tuple *)
+
 type t = {
   threads : int;
       (* Fork/join pool size (--threads=N); 1 = run on the caller only,
@@ -20,7 +24,13 @@ type t = {
       (* -noGamma T: never store T tuples in Gamma (§5.1). *)
   stores : (string * Store.kind_spec) list;
       (* per-table Gamma store overrides *)
-  grain : int option; (* fork/join leaf granularity *)
+  grain : grain; (* fork/join leaf granularity at engine call sites *)
+  put_batching : bool;
+      (* buffer parallel-phase puts per domain and flush them through
+         Delta.insert_batch / Store.insert_batch at the phase barriers *)
+  specialized_compare : bool;
+      (* schema-compiled comparators + cached-hash dedup tables instead
+         of generic polymorphic Value dispatch *)
   task_per_rule : bool;
       (* §5.2: "Even if a tuple triggers more than one rule, we create
          only one task for that tuple - we could create one task per
@@ -40,7 +50,9 @@ let default =
     no_delta = [];
     no_gamma = [];
     stores = [];
-    grain = None;
+    grain = Auto_grain;
+    put_batching = false;
+    specialized_compare = true;
     task_per_rule = false;
     runtime_causality_check = false;
     max_steps = None;
@@ -63,4 +75,15 @@ exception Invalid of string
 let validate t =
   if t.threads < 1 then raise (Invalid "threads must be >= 1");
   if t.threads > 1 && t.data_structures = Sequential_ds then
-    raise (Invalid "sequential data structures require threads = 1")
+    raise (Invalid "sequential data structures require threads = 1");
+  match t.grain with
+  | Fixed g when g < 1 -> raise (Invalid "grain must be >= 1")
+  | _ -> ()
+
+(* The adaptive all-minimums granularity: coarse enough that fork/join
+   overhead amortises, fine enough (4 leaves per worker) that stealing
+   can still balance uneven leaf costs. *)
+let resolve_grain t ~workers ~n =
+  match t.grain with
+  | Fixed g -> max 1 g
+  | Auto_grain -> max 1 (n / (4 * max 1 workers))

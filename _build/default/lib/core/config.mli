@@ -6,6 +6,12 @@ type data_structures =
   | Sequential_ds  (** the TreeMap/TreeSet family; single-threaded only *)
   | Concurrent_ds  (** skip list / sharded hash family *)
 
+type grain =
+  | Auto_grain
+      (** adaptive: [max 1 (n / (4 * workers))] per leaf — the "chunked
+          leaves" strategy *)
+  | Fixed of int  (** fixed leaf size; [Fixed 1] is one task per tuple *)
+
 type t = {
   threads : int;  (** fork/join pool size ([--threads=N]); 1 = caller only *)
   data_structures : data_structures;
@@ -16,7 +22,14 @@ type t = {
       (** [-noGamma T]: never store T (trigger-only tables, §5.1) *)
   stores : (string * Store.kind_spec) list;
       (** per-table Gamma store overrides *)
-  grain : int option;  (** fork/join leaf granularity *)
+  grain : grain;  (** fork/join leaf granularity at engine call sites *)
+  put_batching : bool;
+      (** buffer parallel-phase puts per domain, flushing them through
+          [Delta.insert_batch] / [Store.insert_batch] at the phase
+          barriers that already define class visibility *)
+  specialized_compare : bool;
+      (** schema-compiled comparators and cached-hash dedup tables on
+          the tuple hot path *)
   task_per_rule : bool;
       (** one task per (tuple, rule) pair instead of per tuple (§5.2) *)
   runtime_causality_check : bool;
@@ -43,4 +56,8 @@ exception Invalid of string
 
 val validate : t -> unit
 (** @raise Invalid for nonsensical combinations (0 threads, sequential
-    structures with a multi-threaded pool). *)
+    structures with a multi-threaded pool, grain < 1). *)
+
+val resolve_grain : t -> workers:int -> n:int -> int
+(** The fork/join leaf size for an [n]-iteration loop on [workers]
+    workers under this configuration's {!field-grain}. *)

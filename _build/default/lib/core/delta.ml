@@ -25,32 +25,97 @@ type mode = Sequential | Concurrent
 
 (* -- leaf sets: deduplicating tuple sets ---------------------------- *)
 
+(* Two dedup-table families back the leaves.  The legacy one keys a
+   polymorphic [Hashtbl] by (schema id, fields) and re-hashes the boxed
+   field array on every probe (two bucket walks per mem+replace); the
+   specialized one is {!Tuple.Dset} — member-or-add in a single probe
+   against the lazily-cached structural hash.
+   [Config.specialized_compare] picks the family, so the ablation bench
+   can price the difference. *)
+module type Tuple_table = sig
+  type table
+
+  val create : int -> table
+
+  val add_if_absent : table -> Tuple.t -> bool
+  (* The one dedup primitive leaves need: [true] iff newly added. *)
+
+  val fold_clear : table -> Tuple.t list -> Tuple.t list
+  val length : table -> int
+  val hash : Tuple.t -> int (* shard selector, same family as the table *)
+end
+
 type tkey = int * Value.t array (* schema id + fields: structural key *)
 
 let tkey_of t = ((Tuple.schema t).Schema.id, Tuple.fields t)
+let tkey_hash (id, fields) = (id * 0x01000193) lxor Value.hash_array fields
+
+module Legacy_table : Tuple_table = struct
+  type table = (tkey, Tuple.t) Hashtbl.t
+
+  let create n = Hashtbl.create n
+
+  let add_if_absent tb t =
+    let k = tkey_of t in
+    if Hashtbl.mem tb k then false
+    else begin
+      Hashtbl.replace tb k t;
+      true
+    end
+
+  let fold_clear tb acc =
+    let items = Hashtbl.fold (fun _ t acc -> t :: acc) tb acc in
+    Hashtbl.reset tb;
+    items
+
+  let length = Hashtbl.length
+  let hash t = tkey_hash (tkey_of t)
+end
+
+module Fast_table : Tuple_table = struct
+  type table = Tuple.Dset.t
+
+  let create n = Tuple.Dset.create n
+  let add_if_absent = Tuple.Dset.add_if_absent
+
+  let fold_clear tb acc =
+    let items = Tuple.Dset.fold (fun acc t -> t :: acc) tb acc in
+    Tuple.Dset.clear tb;
+    items
+
+  let length = Tuple.Dset.length
+  let hash = Tuple.hash
+end
 
 type leaf = {
   l_add : Tuple.t -> bool;
+  l_add_many : Tuple.t array -> int list -> (int -> unit) -> int;
+      (* Batch entry point: the caller's tuple array plus the positions
+         of this run, in input order.  Marks the position of each tuple
+         actually inserted (the first occurrence of an in-batch
+         duplicate wins) and returns the number inserted.  Takes each
+         shard lock at most once. *)
   l_pop_all : unit -> Tuple.t list;
   l_is_empty : unit -> bool;
 }
 
-let sequential_leaf () =
-  let table : (tkey, Tuple.t) Hashtbl.t = Hashtbl.create 8 in
+let sequential_leaf (module T : Tuple_table) () =
+  let table = T.create 8 in
   {
-    l_add =
-      (fun t ->
-        let k = tkey_of t in
-        if Hashtbl.mem table k then false
-        else (
-          Hashtbl.replace table k t;
-          true));
-    l_pop_all =
-      (fun () ->
-        let items = Hashtbl.fold (fun _ t acc -> t :: acc) table [] in
-        Hashtbl.reset table;
-        items);
-    l_is_empty = (fun () -> Hashtbl.length table = 0);
+    l_add = (fun t -> T.add_if_absent table t);
+    l_add_many =
+      (fun tuples run mark ->
+        let added = ref 0 in
+        List.iter
+          (fun p ->
+            if T.add_if_absent table tuples.(p) then begin
+              mark p;
+              incr added
+            end)
+          run;
+        !added);
+    l_pop_all = (fun () -> T.fold_clear table []);
+    l_is_empty = (fun () -> T.length table = 0);
   }
 
 (* A few mutex-protected shards balance two costs: insert bursts into
@@ -61,40 +126,57 @@ let sequential_leaf () =
    ~20x more expensive to extract).  Eight shards keep both ends cheap. *)
 let leaf_shards = 8
 
-let tkey_hash (id, fields) = (id * 0x01000193) lxor Value.hash_array fields
-
-let concurrent_leaf () =
+let concurrent_leaf (module T : Tuple_table) () =
   let shards =
-    Array.init leaf_shards (fun _ ->
-        (Mutex.create (), (Hashtbl.create 8 : (tkey, Tuple.t) Hashtbl.t)))
+    Array.init leaf_shards (fun _ -> (Mutex.create (), T.create 8))
   in
   let count = Atomic.make 0 in
   {
     l_add =
       (fun t ->
-        let k = tkey_of t in
-        let mutex, table =
-          shards.(tkey_hash k land (leaf_shards - 1))
-        in
+        let mutex, table = shards.(T.hash t land (leaf_shards - 1)) in
         Mutex.lock mutex;
-        let added =
-          if Hashtbl.mem table k then false
-          else begin
-            Hashtbl.replace table k t;
-            true
-          end
-        in
+        let added = T.add_if_absent table t in
         Mutex.unlock mutex;
         if added then Atomic.incr count;
         added);
+    l_add_many =
+      (fun tuples run mark ->
+        (* Partition by shard, then take each shard's lock exactly once.
+           Prepending while walking forward reverses each bucket, so
+           reverse back before inserting: the first in-batch duplicate
+           must stay first. *)
+        let buckets = Array.make leaf_shards [] in
+        List.iter
+          (fun p ->
+            let s = T.hash tuples.(p) land (leaf_shards - 1) in
+            buckets.(s) <- p :: buckets.(s))
+          run;
+        let added = ref 0 in
+        Array.iteri
+          (fun s entries ->
+            if entries <> [] then begin
+              let mutex, table = shards.(s) in
+              Mutex.lock mutex;
+              List.iter
+                (fun p ->
+                  if T.add_if_absent table tuples.(p) then begin
+                    mark p;
+                    incr added
+                  end)
+                (List.rev entries);
+              Mutex.unlock mutex
+            end)
+          buckets;
+        if !added > 0 then ignore (Atomic.fetch_and_add count !added);
+        !added);
     l_pop_all =
       (fun () ->
         let items = ref [] in
         Array.iter
           (fun (mutex, table) ->
             Mutex.lock mutex;
-            items := Hashtbl.fold (fun _ t acc -> t :: acc) table !items;
-            Hashtbl.reset table;
+            items := T.fold_clear table !items;
             Mutex.unlock mutex)
           shards;
         Atomic.set count 0;
@@ -207,36 +289,51 @@ let make_stripes () = Array.init stripe_count (fun _ -> Atomic.make 0)
 let stripe_incr (c : stripe_counter) =
   Atomic.incr c.((Domain.self () :> int) land (stripe_count - 1))
 
+let stripe_add (c : stripe_counter) k =
+  if k > 0 then
+    ignore
+      (Atomic.fetch_and_add
+         c.((Domain.self () :> int) land (stripe_count - 1))
+         k)
+
 let stripe_read (c : stripe_counter) =
   Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c
 
 type t = {
   mode : mode;
+  specialized : bool; (* cached-hash tuple tables in the leaves *)
   nlits : int; (* size of literal-rank arrays, fixed at freeze time *)
   root : node;
   inserted : stripe_counter; (* lifetime statistics *)
   deduped : stripe_counter;
 }
 
-let make_leaf mode =
+let make_leaf mode specialized =
+  let table =
+    if specialized then (module Fast_table : Tuple_table)
+    else (module Legacy_table : Tuple_table)
+  in
   match mode with
-  | Sequential -> sequential_leaf ()
-  | Concurrent -> concurrent_leaf ()
+  | Sequential -> sequential_leaf table ()
+  | Concurrent -> concurrent_leaf table ()
 
-let make_node mode =
+let make_node_spec mode specialized =
   {
     count = Atomic.make 0;
-    leaf = make_leaf mode;
+    leaf = make_leaf mode specialized;
     lit = Atomic.make None;
     seq = Atomic.make None;
     par = Atomic.make None;
   }
 
-let create ~mode ~nlits () =
+let make_node t = make_node_spec t.mode t.specialized
+
+let create ~mode ?(specialized = true) ~nlits () =
   {
     mode;
+    specialized;
     nlits = max nlits 1;
-    root = make_node mode;
+    root = make_node_spec mode specialized;
     inserted = make_stripes ();
     deduped = make_stripes ();
   }
@@ -265,7 +362,7 @@ let lit_child t slots rank =
   match Atomic.get slots.(rank) with
   | Some n -> n
   | None ->
-      let fresh = make_node t.mode in
+      let fresh = make_node t in
       if Atomic.compare_and_set slots.(rank) None (Some fresh) then fresh
       else Option.get (Atomic.get slots.(rank))
 
@@ -295,10 +392,10 @@ let insert t tuple ts =
       | Timestamp.CLit (rank, _) ->
           go (lit_child t (lit_children t node) rank) (depth + 1)
       | Timestamp.CSeq v ->
-          go ((seq_children t node).om_find_or_add v (fun () -> make_node t.mode))
+          go ((seq_children t node).om_find_or_add v (fun () -> make_node t))
             (depth + 1)
       | Timestamp.CPar v ->
-          go ((par_children t node).pm_find_or_add v (fun () -> make_node t.mode))
+          go ((par_children t node).pm_find_or_add v (fun () -> make_node t))
             (depth + 1));
       Atomic.incr node.count)
   in
@@ -309,6 +406,69 @@ let insert t tuple ts =
   with Duplicate ->
     stripe_incr t.deduped;
     false
+
+(* -- batched insertion ---------------------------------------------- *)
+
+(* Descend (creating nodes as needed) along a timestamp; returns every
+   node on the path, root first, so counts can be bumped once per run. *)
+let node_path t (ts : Timestamp.t) =
+  let depth = Array.length ts in
+  let path = Array.make (depth + 1) t.root in
+  for d = 0 to depth - 1 do
+    let node = path.(d) in
+    let child =
+      match ts.(d) with
+      | Timestamp.CLit (rank, _) -> lit_child t (lit_children t node) rank
+      | Timestamp.CSeq v ->
+          (seq_children t node).om_find_or_add v (fun () -> make_node t)
+      | Timestamp.CPar v ->
+          (par_children t node).pm_find_or_add v (fun () -> make_node t)
+    in
+    path.(d + 1) <- child
+  done;
+  path
+
+let insert_batch t (tuples : Tuple.t array) (tss : Timestamp.t array) n =
+  let res = Array.make (max n 0) false in
+  if n > 0 then begin
+    (* Group by timestamp: structural equality of timestamps IS tree-path
+       identity ([par] components with different values live in different
+       subtrees), so one hash-table pass — O(n), no comparator sort —
+       yields the per-leaf runs.  Each run costs one descent and one lock
+       round per shard; within a run input order is kept, so the *first*
+       occurrence of an in-batch duplicate is the one reported
+       inserted. *)
+    let groups : (Timestamp.t, int list ref) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    for i = n - 1 downto 0 do
+      (* reverse iteration + prepend = input order inside each group *)
+      let ts = tss.(i) in
+      match Hashtbl.find_opt groups ts with
+      | Some cell -> cell := i :: !cell
+      | None ->
+          let cell = ref [ i ] in
+          Hashtbl.replace groups ts cell;
+          order := ts :: !order
+    done;
+    let inserted = ref 0 in
+    List.iter
+      (fun ts ->
+        let run = !(Hashtbl.find groups ts) in
+        let path = node_path t ts in
+        let leaf_node = path.(Array.length path - 1) in
+        let added =
+          leaf_node.leaf.l_add_many tuples run (fun p -> res.(p) <- true)
+        in
+        if added > 0 then
+          Array.iter
+            (fun nd -> ignore (Atomic.fetch_and_add nd.count added))
+            path;
+        inserted := !inserted + added)
+      !order;
+    stripe_add t.inserted !inserted;
+    stripe_add t.deduped (n - !inserted)
+  end;
+  res
 
 (* Extraction of the minimal equivalence class.  Single-threaded; uses
    the subtree counts to skip empty children in O(1).  Decrements counts

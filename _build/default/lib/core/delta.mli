@@ -13,13 +13,27 @@ type mode = Sequential | Concurrent
     [Map]/[Hashtbl] (the paper's TreeMap path, single-threaded only) or
     the concurrent skip list / sharded hash map. *)
 
-val create : mode:mode -> nlits:int -> unit -> t
+val create : mode:mode -> ?specialized:bool -> nlits:int -> unit -> t
 (** [nlits] is the number of order literals at program freeze time; it
-    fixes the width of named-branch arrays. *)
+    fixes the width of named-branch arrays.  [specialized] (default
+    [true]) keys the leaf dedup tables directly by tuples with their
+    cached structural hash; [false] keeps the legacy polymorphic
+    (id, fields) tables, for ablation. *)
 
 val insert : t -> Tuple.t -> Timestamp.t -> bool
 (** Add a pending tuple under its timestamp.  Returns [false] (and
     leaves the tree unchanged) when an equal tuple is already pending. *)
+
+val insert_batch : t -> Tuple.t array -> Timestamp.t array -> int -> bool array
+(** [insert_batch t tuples tss n] inserts items [0..n-1] of the two
+    parallel arrays at once (parallel arrays, not pairs, so batching
+    buffers allocate nothing per put).  The batch is grouped by
+    timestamp internally (one hash pass, no sort) so that tuples sharing
+    a tree path become one run that pays a single descent and takes each
+    leaf-shard lock at most once.  Result slot [i] is [true] iff item
+    [i] was newly inserted; of several equal tuples in one batch, the
+    first by input position wins.  Safe to run concurrently with
+    {!insert}. *)
 
 val extract_min_class : t -> Tuple.t list
 (** Remove and return all minimal tuples — one equivalence class of the

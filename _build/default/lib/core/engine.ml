@@ -46,6 +46,34 @@ type result = {
   phases : phase_times;
 }
 
+(* One stripe of the put-batching buffer: growable parallel arrays
+   (tuples and timestamps separately — no per-entry pair allocation)
+   under a mutex.  Each domain lands on its own stripe in steady state,
+   so the lock is uncontended; capacity is kept across flushes, so after
+   the first step a put costs two plain stores. *)
+type put_buf = {
+  pb_mutex : Mutex.t;
+  mutable pb_tuples : Tuple.t array;
+  mutable pb_ts : Timestamp.t array;
+  mutable pb_len : int;
+}
+
+let put_buf_push b tuple ts =
+  Mutex.lock b.pb_mutex;
+  let cap = Array.length b.pb_tuples in
+  if b.pb_len = cap then begin
+    let ncap = if cap = 0 then 1024 else 2 * cap in
+    let bigger_t = Array.make ncap tuple and bigger_s = Array.make ncap ts in
+    Array.blit b.pb_tuples 0 bigger_t 0 cap;
+    Array.blit b.pb_ts 0 bigger_s 0 cap;
+    b.pb_tuples <- bigger_t;
+    b.pb_ts <- bigger_s
+  end;
+  b.pb_tuples.(b.pb_len) <- tuple;
+  b.pb_ts.(b.pb_len) <- ts;
+  b.pb_len <- b.pb_len + 1;
+  Mutex.unlock b.pb_mutex
+
 type state = {
   frozen : Program.frozen;
   config : Config.t;
@@ -63,16 +91,25 @@ type state = {
   pool : Jstar_sched.Pool.t option;
   out_buf : string Jstar_cds.Treiber_stack.t; (* per-step println sink *)
   outputs : string list ref; (* accumulated, reverse order *)
+  outputs_count : int ref; (* length of [outputs], kept incrementally *)
+  put_bufs : put_buf array;
+      (* Config.put_batching: domain-striped buffers of pending Delta
+         inserts, drained through Delta.insert_batch at the phase
+         barriers (which already define class visibility, so buffering
+         inside a phase cannot change what any rule observes) *)
   current_ts : Timestamp.t option ref;
   processed : int ref;
   phases : phase_times;
 }
 
+let put_stripes = 16
+
 let store_for config ~parallel schema =
+  let specialized = config.Config.specialized_compare in
   let name = schema.Schema.name in
   match List.assoc_opt name config.Config.stores with
-  | Some spec -> Store.of_spec spec schema
-  | None -> Store.default_for ~parallel schema
+  | Some spec -> Store.of_spec ~specialized spec schema
+  | None -> Store.default_for ~specialized ~parallel schema
 
 let null_store schema =
   (* -noGamma: accept and forget.  [mem] is always false, so set-dedup
@@ -83,9 +120,11 @@ let null_store schema =
       (Schema.Schema_error
          (schema.Schema.name ^ " is -noGamma and cannot be queried"))
   in
+  let insert _ = true in
   {
     Store.kind = "none";
-    insert = (fun _ -> true);
+    insert;
+    insert_batch = Store.seq_batch insert;
     mem = (fun _ -> false);
     iter_prefix = (fun _ _ -> cannot_query ());
     iter = (fun _ -> cannot_query ());
@@ -104,13 +143,15 @@ let make_state frozen config =
         if no_gamma.(i) then null_store s else store_for config ~parallel s)
       tables
   in
+  let order = Program.order_rel frozen.Program.program in
   {
     frozen;
     config;
-    order = Program.order_rel frozen.Program.program;
+    order;
     delta =
       Delta.create
         ~mode:(Config.effective_mode config)
+        ~specialized:config.Config.specialized_compare
         ~nlits:frozen.Program.nlits ();
     gamma;
     no_delta = Array.map (in_list config.Config.no_delta) tables;
@@ -127,9 +168,7 @@ let make_state frozen config =
             Some
               (Array.map
                  (function
-                   | Schema.Lit l ->
-                       Timestamp.CLit
-                         (Order_rel.rank (Program.order_rel frozen.Program.program) l, l)
+                   | Schema.Lit l -> Timestamp.CLit (Order_rel.rank order l, l)
                    | Schema.Seq _ | Schema.Par _ -> assert false)
                  s.Schema.orderby)
           else None)
@@ -143,6 +182,15 @@ let make_state frozen config =
        else None);
     out_buf = Jstar_cds.Treiber_stack.create ();
     outputs = ref [];
+    outputs_count = ref 0;
+    put_bufs =
+      Array.init put_stripes (fun _ ->
+          {
+            pb_mutex = Mutex.create ();
+            pb_tuples = [||];
+            pb_ts = [||];
+            pb_len = 0;
+          });
     current_ts = ref None;
     processed = ref 0;
     phases = { t_extract = 0.0; t_gamma = 0.0; t_rules = 0.0 };
@@ -179,9 +227,53 @@ let rec route_put st ctx tuple =
   else if st.gamma.(id).Store.mem tuple then
     (* Already processed: set semantics drop. *)
     Table_stats.incr c.Table_stats.gamma_dups
+  else if st.config.Config.put_batching then
+    (* Defer to the barrier flush.  Gamma of a Delta-bound table only
+       changes at Phase A, so the [mem] precheck above cannot go stale
+       between here and the flush. *)
+    put_buf_push
+      st.put_bufs.((Domain.self () :> int) land (put_stripes - 1))
+      tuple ts
   else if Delta.insert st.delta tuple ts then
     Table_stats.incr c.Table_stats.delta_inserts
   else Table_stats.incr c.Table_stats.delta_dups
+
+and flush_puts st =
+  (* Drain the striped put buffers into Delta in one sorted batch.
+     Runs only at barriers (after initial puts, at the end of each
+     step), never concurrently with rule tasks. *)
+  if st.config.Config.put_batching then begin
+    (* Stripes hold disjoint items and [Delta.insert_batch] is safe
+       under concurrent insertion, so each stripe can flush as its own
+       task; which copy of a cross-stripe duplicate wins is then racy,
+       but the copies are equal tuples, so nothing observable changes.
+       Stats are aggregated per table first — two atomic ops per stripe
+       and table instead of one per item. *)
+    let ntab = Array.length st.gamma in
+    let flush_stripe b =
+      if b.pb_len > 0 then begin
+        let n = b.pb_len in
+        let res = Delta.insert_batch st.delta b.pb_tuples b.pb_ts n in
+        let ins = Array.make ntab 0 and dup = Array.make ntab 0 in
+        for i = 0 to n - 1 do
+          let id = (Tuple.schema b.pb_tuples.(i)).Schema.id in
+          if res.(i) then ins.(id) <- ins.(id) + 1
+          else dup.(id) <- dup.(id) + 1
+        done;
+        b.pb_len <- 0;
+        for id = 0 to ntab - 1 do
+          let c = Table_stats.counters st.stats id in
+          Table_stats.add c.Table_stats.delta_inserts ins.(id);
+          Table_stats.add c.Table_stats.delta_dups dup.(id)
+        done
+      end
+    in
+    match st.pool with
+    | Some pool ->
+        Jstar_sched.Forkjoin.parallel_for pool ~grain:1 ~lo:0 ~hi:put_stripes
+          (fun s -> flush_stripe st.put_bufs.(s))
+    | None -> Array.iter flush_stripe st.put_bufs
+  end
 
 and fire_rules st ctx tuple =
   let id = (Tuple.schema tuple).Schema.id in
@@ -214,8 +306,11 @@ let make_ctx st =
         (fun lo hi f ->
           match st.pool with
           | Some pool when hi - lo > 1 ->
-              Jstar_sched.Forkjoin.parallel_for pool ?grain:st.config.Config.grain
-                ~lo ~hi f
+              let grain =
+                Config.resolve_grain st.config
+                  ~workers:(Jstar_sched.Pool.size pool) ~n:(hi - lo)
+              in
+              Jstar_sched.Forkjoin.parallel_for pool ~grain ~lo ~hi f
           | _ ->
               for i = lo to hi - 1 do
                 f i
@@ -234,8 +329,11 @@ let for_range_parallel st n f =
         f i
       done
   | Some pool ->
-      Jstar_sched.Forkjoin.parallel_for pool ?grain:st.config.Config.grain
-        ~lo:0 ~hi:n f
+      let grain =
+        Config.resolve_grain st.config ~workers:(Jstar_sched.Pool.size pool)
+          ~n
+      in
+      Jstar_sched.Forkjoin.parallel_for pool ~grain ~lo:0 ~hi:n f
 
 (* Deterministic side effects for one class: output-table formatting and
    action handlers run sequentially over the class sorted by tuple
@@ -270,7 +368,8 @@ let flush_step_outputs st =
   | lines ->
       (* Sort within the step so the order is schedule-independent. *)
       let lines = List.sort String.compare lines in
-      st.outputs := List.rev_append lines !(st.outputs)
+      st.outputs := List.rev_append lines !(st.outputs);
+      st.outputs_count := !(st.outputs_count) + List.length lines
 
 let now () = Unix.gettimeofday ()
 
@@ -288,27 +387,82 @@ let run_step st ctx tuples =
       !(st.current_ts) n;
   (* Phase A: the whole class becomes visible in Gamma. *)
   let t0 = now () in
-  let survivors = Array.make n None in
-  for_range_parallel st n (fun i ->
-      let t = tuples.(i) in
-      let id = (Tuple.schema t).Schema.id in
-      let c = Table_stats.counters st.stats id in
-      if st.gamma.(id).Store.insert t then begin
-        Table_stats.incr c.Table_stats.gamma_inserts;
-        survivors.(i) <- Some t
-      end
-      else
-        (* Raced back into Delta after processing: set-semantics drop. *)
-        Table_stats.incr c.Table_stats.gamma_dups);
+  let to_fire =
+    if st.config.Config.put_batching && n > 1 then begin
+      (* Batched Phase A.  A class usually comes from one table, and
+         extraction emits each par-subtree's leaf contiguously, so the
+         class is already grouped the way the stores want it: a stable
+         partition by table (identity when the class is single-table) is
+         enough — no comparator sort. *)
+      let first_id = (Tuple.schema tuples.(0)).Schema.id in
+      let single = ref true in
+      for i = 1 to n - 1 do
+        if (Tuple.schema tuples.(i)).Schema.id <> first_id then single := false
+      done;
+      let grouped =
+        if !single then tuples
+        else begin
+          let by_id : (int, Tuple.t list ref) Hashtbl.t = Hashtbl.create 4 in
+          let ids = ref [] in
+          for i = n - 1 downto 0 do
+            let id = (Tuple.schema tuples.(i)).Schema.id in
+            match Hashtbl.find_opt by_id id with
+            | Some cell -> cell := tuples.(i) :: !cell
+            | None ->
+                Hashtbl.replace by_id id (ref [ tuples.(i) ]);
+                ids := id :: !ids
+          done;
+          Array.of_list
+            (List.concat_map (fun id -> !(Hashtbl.find by_id id)) !ids)
+        end
+      in
+      let fired = ref [] in
+      let lo = ref 0 in
+      while !lo < n do
+        let id = (Tuple.schema grouped.(!lo)).Schema.id in
+        let hi = ref (!lo + 1) in
+        while !hi < n && (Tuple.schema grouped.(!hi)).Schema.id = id do
+          incr hi
+        done;
+        let res = st.gamma.(id).Store.insert_batch grouped !lo !hi in
+        let c = Table_stats.counters st.stats id in
+        Array.iteri
+          (fun k inserted ->
+            if inserted then begin
+              Table_stats.incr c.Table_stats.gamma_inserts;
+              fired := grouped.(!lo + k) :: !fired
+            end
+            else
+              (* Raced back into Delta after processing. *)
+              Table_stats.incr c.Table_stats.gamma_dups)
+          res;
+        lo := !hi
+      done;
+      Array.of_list (List.rev !fired)
+    end
+    else begin
+      let survivors = Array.make n None in
+      for_range_parallel st n (fun i ->
+          let t = tuples.(i) in
+          let id = (Tuple.schema t).Schema.id in
+          let c = Table_stats.counters st.stats id in
+          if st.gamma.(id).Store.insert t then begin
+            Table_stats.incr c.Table_stats.gamma_inserts;
+            survivors.(i) <- Some t
+          end
+          else
+            (* Raced back into Delta after processing: set-semantics
+               drop. *)
+            Table_stats.incr c.Table_stats.gamma_dups);
+      Array.of_list (List.filter_map Fun.id (Array.to_list survivors))
+    end
+  in
   st.phases.t_gamma <- st.phases.t_gamma +. (now () -. t0);
   run_class_effects st ctx tuples;
   (* Phase B: fire all rules of the class in parallel — one task per
      tuple by default, or one per (tuple, rule) pair under the §5.2
      [task_per_rule] strategy. *)
   let t1 = now () in
-  let to_fire =
-    Array.of_list (List.filter_map Fun.id (Array.to_list survivors))
-  in
   if st.config.Config.task_per_rule then begin
     let pairs =
       Array.of_list
@@ -330,12 +484,16 @@ let run_step st ctx tuples =
     for_range_parallel st (Array.length to_fire) (fun i ->
         fire_rules st ctx to_fire.(i));
   st.phases.t_rules <- st.phases.t_rules +. (now () -. t1);
+  (* Barrier: everything the class put becomes pending before the next
+     class is extracted. *)
+  flush_puts st;
   flush_step_outputs st
 
 let run_state st ~init =
   let t_start = now () in
   let ctx = make_ctx st in
   List.iter (fun t -> route_put st ctx t) init;
+  flush_puts st;
   flush_step_outputs st;
   let steps = ref 0 in
   let rec loop () =
@@ -405,6 +563,7 @@ let feed session tuples =
 let drain session =
   if session.finished then invalid_arg "Engine.drain: session finished";
   let st = session.st in
+  flush_puts st;
   flush_step_outputs st;
   let rec loop () =
     match Delta.extract_min_class st.delta with
@@ -419,11 +578,17 @@ let drain session =
         loop ()
   in
   loop ();
-  let all = List.rev !(st.outputs) in
-  let fresh =
-    List.filteri (fun i _ -> i >= session.outputs_seen) all
+  (* [outputs] is newest-first and [outputs_count] tracks its length, so
+     the lines produced since the last drain are exactly its first
+     [count - seen] elements — no full-list [length]/[filteri] rescan
+     (which made a drain loop quadratic in total output). *)
+  let fresh_n = !(st.outputs_count) - session.outputs_seen in
+  let rec take n l acc =
+    if n = 0 then acc
+    else match l with [] -> acc | x :: tl -> take (n - 1) tl (x :: acc)
   in
-  session.outputs_seen <- List.length all;
+  let fresh = take fresh_n !(st.outputs) [] in
+  session.outputs_seen <- !(st.outputs_count);
   fresh
 
 let session_gamma session schema =

@@ -19,6 +19,9 @@ type t = {
   orderby : orderby_entry array;
   index : (string, int) Hashtbl.t; (* column name -> position *)
   orderby_fields : int array; (* column position per orderby entry; -1 = Lit *)
+  mutable fields_cmp : (Value.t array -> Value.t array -> int) option;
+      (* schema-specialized field comparator, compiled on first use;
+         a racy double compile is benign (both closures are equivalent) *)
 }
 
 exception Schema_error of string
@@ -65,7 +68,8 @@ let make ~id ~name ~columns ~key_arity ~orderby =
                      (Fmt.str "%s: orderby refers to unknown field %s" name f))))
       orderby
   in
-  { id; name; columns; key_arity; orderby; index; orderby_fields }
+  { id; name; columns; key_arity; orderby; index; orderby_fields;
+    fields_cmp = None }
 
 let arity t = Array.length t.columns
 
@@ -79,6 +83,78 @@ let field_ty t i = t.columns.(i).col_ty
 let key_columns t = Array.sub t.columns 0 t.key_arity
 
 let has_key t = t.key_arity > 0
+
+(* -- schema-specialized field comparison ----------------------------- *)
+
+(* Per-column monomorphic comparators.  Each must induce exactly the
+   order of [Value.compare]: in particular a TFloat column may legally
+   hold an [Int] (the widening rule), and [Value.compare] orders mixed
+   [Int]/[Float] by constructor rank, so the float fast path only fires
+   on a [Float]/[Float] pair. *)
+let column_cmp = function
+  | Value.TInt -> (
+      fun a b ->
+        match (a, b) with
+        | Value.Int x, Value.Int y -> Int.compare x y
+        | _ -> Value.compare a b)
+  | Value.TFloat -> (
+      fun a b ->
+        match (a, b) with
+        | Value.Float x, Value.Float y -> Float.compare x y
+        | Value.Int x, Value.Int y -> Int.compare x y
+        | _ -> Value.compare a b)
+  | Value.TStr -> (
+      fun a b ->
+        match (a, b) with
+        | Value.Str x, Value.Str y -> String.compare x y
+        | _ -> Value.compare a b)
+  | Value.TBool -> (
+      fun a b ->
+        match (a, b) with
+        | Value.Bool x, Value.Bool y -> Bool.compare x y
+        | _ -> Value.compare a b)
+
+let compile_fields_compare columns =
+  let n = Array.length columns in
+  let all ty = Array.for_all (fun c -> c.col_ty = ty) columns in
+  if all Value.TInt then (fun a b ->
+    (* The common all-int schema: one tight loop, no per-field closure. *)
+    if Array.length a <> n || Array.length b <> n then Value.compare_arrays a b
+    else
+      let rec go i =
+        if i >= n then 0
+        else
+          match (Array.unsafe_get a i, Array.unsafe_get b i) with
+          | Value.Int x, Value.Int y ->
+              if x < y then -1 else if x > y then 1 else go (i + 1)
+          | va, vb ->
+              let c = Value.compare va vb in
+              if c <> 0 then c else go (i + 1)
+      in
+      go 0)
+  else
+    let cmps = Array.map (fun c -> column_cmp c.col_ty) columns in
+    fun a b ->
+      if Array.length a <> n || Array.length b <> n then Value.compare_arrays a b
+      else
+        let rec go i =
+          if i >= n then 0
+          else
+            let c =
+              (Array.unsafe_get cmps i) (Array.unsafe_get a i)
+                (Array.unsafe_get b i)
+            in
+            if c <> 0 then c else go (i + 1)
+        in
+        go 0
+
+let fields_compare t =
+  match t.fields_cmp with
+  | Some f -> f
+  | None ->
+      let f = compile_fields_compare t.columns in
+      t.fields_cmp <- Some f;
+      f
 
 let pp ppf t =
   let pp_col ppf c = Fmt.pf ppf "%s %s" (Value.ty_name c.col_ty) c.col_name in

@@ -21,12 +21,18 @@
 type t = {
   kind : string;
   insert : Tuple.t -> bool; (* false = duplicate; store unchanged *)
+  insert_batch : Tuple.t array -> int -> int -> bool array;
+      (* insert arr.(lo..hi-1); slot i reports arr.(lo+i).  Stores that
+         can amortise work across a sorted run (one bucket lock, one
+         descent) override the element-wise default. *)
   mem : Tuple.t -> bool;
   iter_prefix : Value.t array -> (Tuple.t -> unit) -> unit;
       (* all tuples whose leading fields equal the prefix *)
   iter : (Tuple.t -> unit) -> unit;
   size : unit -> int;
 }
+
+let seq_batch insert arr lo hi = Array.init (hi - lo) (fun k -> insert arr.(lo + k))
 
 type kind_spec =
   | Tree
@@ -50,18 +56,41 @@ let lower_bound_fields schema prefix =
       if i < Array.length prefix then prefix.(i)
       else min_value_of_ty (Schema.field_ty schema i))
 
-module TSet = Set.Make (Tuple)
+(* The comparator is picked once at store creation — the only place the
+   [specialized_compare] flag touches Gamma.  Both orders are identical
+   on well-typed rows; the specialized one binds the schema-compiled
+   field comparator right here, so the per-comparison cost is one closure
+   call with monomorphic fast paths — no option lookup, no per-field
+   dispatch. *)
+let tuple_cmp specialized schema =
+  if specialized then (
+    let fc = Schema.fields_compare schema in
+    fun a b ->
+      if a == b then 0
+      else
+        let c =
+          Int.compare (Tuple.schema a).Schema.id (Tuple.schema b).Schema.id
+        in
+        if c <> 0 then c else fc (Tuple.fields a) (Tuple.fields b))
+  else Tuple.compare
 
-let tree schema =
+let tree ?(specialized = true) schema =
+  let module TSet = Set.Make (struct
+    type t = Tuple.t
+
+    let compare = tuple_cmp specialized schema
+  end) in
   let set = ref TSet.empty in
+  let insert t =
+    if TSet.mem t !set then false
+    else (
+      set := TSet.add t !set;
+      true)
+  in
   {
     kind = "tree";
-    insert =
-      (fun t ->
-        if TSet.mem t !set then false
-        else (
-          set := TSet.add t !set;
-          true));
+    insert;
+    insert_batch = seq_batch insert;
     mem = (fun t -> TSet.mem t !set);
     iter_prefix =
       (fun prefix f ->
@@ -84,11 +113,13 @@ let tree schema =
     size = (fun () -> TSet.cardinal !set);
   }
 
-let skiplist schema =
-  let set = Jstar_cds.Cset.create ~compare:Tuple.compare () in
+let skiplist ?(specialized = true) schema =
+  let set = Jstar_cds.Cset.create ~compare:(tuple_cmp specialized schema) () in
   {
     kind = "skiplist";
     insert = (fun t -> Jstar_cds.Cset.add set t);
+    insert_batch =
+      (fun arr lo hi -> Jstar_cds.Cset.add_batch set (Array.sub arr lo (hi - lo)));
     mem = (fun t -> Jstar_cds.Cset.mem set t);
     iter_prefix =
       (fun prefix f ->
@@ -105,13 +136,39 @@ let skiplist schema =
 (* ------------------------------------------------------------------ *)
 (* Hash-indexed store                                                  *)
 
+(* Per-bucket dedup probe.  Specialized: keyed by the tuple itself with
+   its cached structural hash (one hash per tuple lifetime).  Legacy:
+   polymorphic hashing of the boxed field array on every probe. *)
+type seen = { s_mem : Tuple.t -> bool; s_add_if_absent : Tuple.t -> bool }
+
+let make_seen specialized =
+  if specialized then (
+    let tbl = Tuple.Dset.create 16 in
+    {
+      s_mem = (fun t -> Tuple.Dset.mem tbl t);
+      s_add_if_absent = (fun t -> Tuple.Dset.add_if_absent tbl t);
+    })
+  else
+    let tbl : (Value.t array, unit) Hashtbl.t = Hashtbl.create 16 in
+    {
+      s_mem = (fun t -> Hashtbl.mem tbl (Tuple.fields t));
+      s_add_if_absent =
+        (fun t ->
+          let k = Tuple.fields t in
+          if Hashtbl.mem tbl k then false
+          else begin
+            Hashtbl.replace tbl k ();
+            true
+          end);
+    }
+
 type bucket = {
   b_mutex : Mutex.t;
-  b_seen : (Value.t array, unit) Hashtbl.t;
+  b_seen : seen;
   mutable b_items : Tuple.t list; (* reverse insertion order *)
 }
 
-let hash_index ~prefix_len schema =
+let hash_index ?(specialized = true) ~prefix_len schema =
   if prefix_len < 1 || prefix_len > Schema.arity schema then
     raise
       (Schema.Schema_error
@@ -125,7 +182,7 @@ let hash_index ~prefix_len schema =
     Jstar_cds.Chashmap.find_or_add buckets prefix (fun () ->
         {
           b_mutex = Mutex.create ();
-          b_seen = Hashtbl.create 16;
+          b_seen = make_seen specialized;
           b_items = [];
         })
   in
@@ -134,24 +191,48 @@ let hash_index ~prefix_len schema =
     Fun.protect f ~finally:(fun () -> Mutex.unlock b.b_mutex)
   in
   let prefix_of_tuple t = Array.sub (Tuple.fields t) 0 prefix_len in
+  (* Unlocked primitive; callers hold [b.b_mutex]. *)
+  let bucket_insert b t =
+    if b.b_seen.s_add_if_absent t then (
+      b.b_items <- t :: b.b_items;
+      Atomic.incr total;
+      true)
+    else false
+  in
   {
     kind = Fmt.str "hash[%d]" prefix_len;
     insert =
       (fun t ->
         let b = bucket_of (prefix_of_tuple t) in
-        with_bucket b (fun () ->
-            let rest = Tuple.fields t in
-            if Hashtbl.mem b.b_seen rest then false
-            else (
-              Hashtbl.replace b.b_seen rest ();
-              b.b_items <- t :: b.b_items;
-              Atomic.incr total;
-              true)));
+        with_bucket b (fun () -> bucket_insert b t));
+    insert_batch =
+      (fun arr lo hi ->
+        (* Batches arrive sorted, so equal prefixes are contiguous: pay
+           one bucket lookup and one lock acquisition per run instead of
+           one per tuple. *)
+        let res = Array.make (hi - lo) false in
+        let k = ref lo in
+        while !k < hi do
+          let p = prefix_of_tuple arr.(!k) in
+          let e = ref (!k + 1) in
+          while
+            !e < hi && Value.compare_arrays (prefix_of_tuple arr.(!e)) p = 0
+          do
+            incr e
+          done;
+          let b = bucket_of p in
+          with_bucket b (fun () ->
+              for j = !k to !e - 1 do
+                if bucket_insert b arr.(j) then res.(j - lo) <- true
+              done);
+          k := !e
+        done;
+        res);
     mem =
       (fun t ->
         match Jstar_cds.Chashmap.find_opt buckets (prefix_of_tuple t) with
         | None -> false
-        | Some b -> with_bucket b (fun () -> Hashtbl.mem b.b_seen (Tuple.fields t)));
+        | Some b -> with_bucket b (fun () -> b.b_seen.s_mem t));
     iter_prefix =
       (fun prefix f ->
         if Array.length prefix >= prefix_len then (
@@ -252,19 +333,21 @@ let native_int_array ~dims schema =
          (Array.map (fun k -> Value.Int k) keys)
          [| Value.Int data.(idx) |])
   in
+  let insert t =
+    let keys = keys_of_tuple t in
+    let i = flat_index dims keys in
+    if Bytes.get present i <> '\000' then false
+    else (
+      data.(i) <- Tuple.int_at t nkeys;
+      Bytes.set present i '\001';
+      Atomic.incr count;
+      true)
+  in
   let store =
     {
       kind = "native-int";
-      insert =
-        (fun t ->
-          let keys = keys_of_tuple t in
-          let i = flat_index dims keys in
-          if Bytes.get present i <> '\000' then false
-          else (
-            data.(i) <- Tuple.int_at t nkeys;
-            Bytes.set present i '\001';
-            Atomic.incr count;
-            true));
+      insert;
+      insert_batch = seq_batch insert;
       mem =
         (fun t ->
           let i = flat_index dims (keys_of_tuple t) in
@@ -338,19 +421,21 @@ let native_float_array ~dims schema =
          (Array.map (fun k -> Value.Int k) keys)
          [| Value.Float data.(idx) |])
   in
+  let insert t =
+    let keys = keys_of_tuple t in
+    let i = flat_index dims keys in
+    if Bytes.get present i <> '\000' then false
+    else (
+      data.(i) <- Tuple.float_at t nkeys;
+      Bytes.set present i '\001';
+      Atomic.incr count;
+      true)
+  in
   let store =
     {
       kind = "native-float";
-      insert =
-        (fun t ->
-          let keys = keys_of_tuple t in
-          let i = flat_index dims keys in
-          if Bytes.get present i <> '\000' then false
-          else (
-            data.(i) <- Tuple.float_at t nkeys;
-            Bytes.set present i '\001';
-            Atomic.incr count;
-            true));
+      insert;
+      insert_batch = seq_batch insert;
       mem =
         (fun t ->
           let i = flat_index dims (keys_of_tuple t) in
@@ -374,15 +459,15 @@ let native_float_array ~dims schema =
   in
   (store, handle)
 
-let of_spec spec schema =
+let of_spec ?(specialized = true) spec schema =
   match spec with
-  | Tree -> tree schema
-  | Skiplist -> skiplist schema
-  | Hash_index k -> hash_index ~prefix_len:k schema
+  | Tree -> tree ~specialized schema
+  | Skiplist -> skiplist ~specialized schema
+  | Hash_index k -> hash_index ~specialized ~prefix_len:k schema
   | Custom f -> f schema
 
-let default_for ~parallel schema =
-  if parallel then skiplist schema else tree schema
+let default_for ?(specialized = true) ~parallel schema =
+  if parallel then skiplist ~specialized schema else tree ~specialized schema
 
 
 (* ------------------------------------------------------------------ *)
@@ -423,24 +508,26 @@ let windowed ~field ~width inner schema =
   let live () =
     Hashtbl.fold (fun _ b acc -> b :: acc) buckets []
   in
+  let insert t =
+    let v = Value.to_int (Tuple.get t pos) in
+    with_lock (fun () ->
+        if !high <> min_int && v <= !high - width then
+          (* The tuple is already outside the window: dropping it is
+             the caller's declared intent, and [false] keeps the
+             set-semantics contract ("not newly stored"). *)
+          false
+        else begin
+          if v > !high then begin
+            high := v;
+            evict_older_than (v - width + 1)
+          end;
+          (bucket_of v).insert t
+        end)
+  in
   {
     kind = Fmt.str "windowed[%s,%d]" field width;
-    insert =
-      (fun t ->
-        let v = Value.to_int (Tuple.get t pos) in
-        with_lock (fun () ->
-            if !high <> min_int && v <= !high - width then
-              (* The tuple is already outside the window: dropping it is
-                 the caller's declared intent, and [false] keeps the
-                 set-semantics contract ("not newly stored"). *)
-              false
-            else begin
-              if v > !high then begin
-                high := v;
-                evict_older_than (v - width + 1)
-              end;
-              (bucket_of v).insert t
-            end));
+    insert;
+    insert_batch = seq_batch insert;
     mem =
       (fun t ->
         let v = Value.to_int (Tuple.get t pos) in

@@ -5,6 +5,13 @@ type t = {
   kind : string;  (** human-readable store family, for reports *)
   insert : Tuple.t -> bool;
       (** Set-semantics insert: [false] = duplicate, store unchanged. *)
+  insert_batch : Tuple.t array -> int -> int -> bool array;
+      (** [insert_batch arr lo hi] inserts [arr.(lo)..arr.(hi-1)]; slot
+          [i] of the result reports [arr.(lo+i)].  Semantically equal to
+          element-wise {!field-insert} (first of equal tuples wins), but
+          stores amortise locks and descents over a sorted run — feed it
+          runs sorted by tuple order.  Build custom stores' default with
+          {!seq_batch}. *)
   mem : Tuple.t -> bool;
   iter_prefix : Value.t array -> (Tuple.t -> unit) -> unit;
       (** Visit every tuple whose leading fields equal the prefix. *)
@@ -24,10 +31,22 @@ type kind_spec =
       (** Application-supplied store — the "override the factory method"
           hook of §6.2. *)
 
-val tree : Schema.t -> t
-val skiplist : Schema.t -> t
+val seq_batch :
+  (Tuple.t -> bool) -> Tuple.t array -> int -> int -> bool array
+(** Element-wise batch fallback: [seq_batch insert arr lo hi] applies
+    [insert] in order.  The default [insert_batch] of every store that
+    has nothing to amortise. *)
 
-val hash_index : prefix_len:int -> Schema.t -> t
+(** The [?specialized] flag on the builders below (default [true])
+    selects the schema-compiled comparator ({!Tuple.fast_compare}) and
+    cached-hash dedup tables; [false] keeps the generic
+    [Value.compare] / polymorphic-hash path, for ablation
+    ([Config.specialized_compare]). *)
+
+val tree : ?specialized:bool -> Schema.t -> t
+val skiplist : ?specialized:bool -> Schema.t -> t
+
+val hash_index : ?specialized:bool -> prefix_len:int -> Schema.t -> t
 (** @raise Schema.Schema_error when [prefix_len] exceeds the arity. *)
 
 type int_array_handle = {
@@ -57,8 +76,8 @@ val native_float_array : dims:int array -> Schema.t -> t * float_array_handle
     [(int keys -> double value)] table over a flat [float array] — the
     Median program's [double[2][100000000]] Gamma. *)
 
-val of_spec : kind_spec -> Schema.t -> t
-val default_for : parallel:bool -> Schema.t -> t
+val of_spec : ?specialized:bool -> kind_spec -> Schema.t -> t
+val default_for : ?specialized:bool -> parallel:bool -> Schema.t -> t
 (** [Skiplist] when parallel, [Tree] otherwise. *)
 
 val flat_index : int array -> int array -> int

@@ -8,6 +8,10 @@
 type counter
 
 val incr : counter -> unit
+
+val add : counter -> int -> unit
+(** Bulk increment, one atomic op for a whole batch. *)
+
 val read : counter -> int
 
 type counters = {

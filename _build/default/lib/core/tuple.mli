@@ -1,6 +1,10 @@
 (** Immutable tuples — rows of a relation. *)
 
-type t = private { schema : Schema.t; fields : Value.t array }
+type t = private {
+  schema : Schema.t;
+  fields : Value.t array;
+  mutable hcache : int;  (** lazily-cached structural hash; use {!hash} *)
+}
 
 exception Tuple_error of string
 
@@ -36,7 +40,36 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 (** By table id, then fields lexicographically. *)
 
+val fast_compare : t -> t -> int
+(** Same total order as {!compare}, but through the schema-compiled
+    monomorphic comparator ({!Schema.fields_compare}) — the hot-path
+    variant selected by [Config.specialized_compare]. *)
+
 val hash : t -> int
+(** Structural hash, computed once per tuple and cached. *)
+
+(** Hash tables keyed by tuples, using the cached hash — the dedup-probe
+    fast path for Delta leaves and hash-indexed Gamma stores. *)
+module Tbl : Hashtbl.S with type key = t
+
+(** Chained hash set specialised for set-semantics dedup: one hash (a
+    cached-field read after the first probe of a tuple) and one bucket
+    walk per operation, with stored-vs-probe cached-hash comparison
+    short-circuiting the field comparison on non-duplicates. *)
+module Dset : sig
+  type tuple = t
+  type t
+
+  val create : int -> t
+  val add_if_absent : t -> tuple -> bool
+  (** [true] iff the tuple was absent and has been added. *)
+
+  val mem : t -> tuple -> bool
+  val length : t -> int
+  val fold : ('a -> tuple -> 'a) -> t -> 'a -> 'a
+  val clear : t -> unit
+end
+
 val pp : Format.formatter -> t -> unit
 val show : t -> string
 

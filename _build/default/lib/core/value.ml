@@ -40,7 +40,15 @@ let compare a b =
       let rank = function Int _ -> 0 | Float _ -> 1 | Str _ -> 2 | Bool _ -> 3 in
       Stdlib.compare (rank a) (rank b)
 
-let equal a b = compare a b = 0
+(* Same equivalence as [compare ... = 0] (including nan = nan for
+   floats, via the float compare), without the rank detour. *)
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Stdlib.compare x y = 0
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | _ -> false
 
 let hash = function
   | Int x -> x * 0x9e3779b1
@@ -94,7 +102,19 @@ let compare_arrays a b =
   in
   go 0
 
-let equal_arrays a b = compare_arrays a b = 0
+let equal_arrays a b =
+  let la = Array.length a in
+  la = Array.length b
+  &&
+  let rec go i =
+    i >= la || (equal (Array.unsafe_get a i) (Array.unsafe_get b i) && go (i + 1))
+  in
+  go 0
 
 let hash_array a =
-  Array.fold_left (fun acc v -> (acc * 31) + hash v) (Array.length a) a
+  let n = Array.length a in
+  let h = ref n in
+  for i = 0 to n - 1 do
+    h := (!h * 31) + hash (Array.unsafe_get a i)
+  done;
+  !h

@@ -349,6 +349,40 @@ let test_delta_concurrent_inserts () =
   drain ();
   Alcotest.(check int) "drained all" (domains * per_domain) !total
 
+(* Batched insertion must agree with element-wise insertion on set
+   semantics: of equal tuples in one batch the first wins, tuples
+   already pending are duplicates, and an empty batch is a no-op. *)
+let run_delta_insert_batch mode specialized () =
+  let p = Program.create () in
+  let t =
+    Program.table p "T"
+      ~columns:Schema.[ int_col "region"; int_col "v" ]
+      ~orderby:Schema.[ Lit "T"; Par "region" ]
+      ()
+  in
+  let order = Program.order_rel p in
+  let delta = Delta.create ~mode ~specialized ~nlits:1 () in
+  let mk r v = Tuple.make t [| v_int r; v_int v |] in
+  let ts tup = Timestamp.of_tuple order tup in
+  let pre = mk 0 7 in
+  Alcotest.(check bool) "pre insert" true (Delta.insert delta pre (ts pre));
+  let items = [| mk 0 1; mk 1 2; mk 0 1; mk 0 7; mk 1 3 |] in
+  let tss = Array.map ts items in
+  let res = Delta.insert_batch delta items tss (Array.length items) in
+  Alcotest.(check (array bool)) "first occurrence wins"
+    [| true; true; false; false; true |]
+    res;
+  Alcotest.(check int) "size" 4 (Delta.size delta);
+  Alcotest.(check int) "dedup total" 2 (Delta.deduped_total delta);
+  Alcotest.(check int) "inserted total" 4 (Delta.inserted_total delta);
+  let res0 = Delta.insert_batch delta [||] [||] 0 in
+  Alcotest.(check int) "empty batch result" 0 (Array.length res0);
+  Alcotest.(check int) "empty batch is no-op" 4 (Delta.size delta);
+  (* the two par subtrees are one equivalence class *)
+  let klass = Delta.extract_min_class delta in
+  Alcotest.(check int) "whole class extracted" 4 (List.length klass);
+  Alcotest.(check bool) "drained" true (Delta.is_empty delta)
+
 (* ------------------------------------------------------------------ *)
 (* Stores *)
 
@@ -413,6 +447,44 @@ let test_store_tree_ordered_iteration () =
   store.Store.iter_prefix [| v_int 2012; v_int 1 |] (fun t ->
       days := Tuple.int t "day" :: !days);
   Alcotest.(check (list int)) "ordered" [ 1; 2; 3 ] (List.rev !days)
+
+(* Store.insert_batch must match element-wise insert on set semantics
+   and respect the [lo, hi) window, for every family and both
+   comparator/table variants. *)
+let test_store_insert_batch () =
+  let p = Program.create () in
+  let s =
+    Program.table p "S"
+      ~columns:Schema.[ int_col "k"; int_col "v" ]
+      ~orderby:Schema.[ Lit "S" ]
+      ()
+  in
+  let mk k v = Tuple.make s [| v_int k; v_int v |] in
+  let check_store name store =
+    Alcotest.(check bool) (name ^ ": pre insert") true
+      (store.Store.insert (mk 0 0));
+    (* arr.(0) sits below [lo] and must be ignored; inside the window:
+       a fresh tuple, an in-batch duplicate, a duplicate of the
+       pre-inserted tuple, another fresh tuple *)
+    let arr = [| mk 9 9; mk 1 1; mk 1 1; mk 0 0; mk 2 2 |] in
+    let res = store.Store.insert_batch arr 1 5 in
+    Alcotest.(check (array bool)) (name ^ ": dedup flags")
+      [| true; false; false; true |]
+      res;
+    Alcotest.(check int) (name ^ ": size") 3 (store.Store.size ());
+    Alcotest.(check bool) (name ^ ": inserted visible") true
+      (store.Store.mem (mk 2 2));
+    Alcotest.(check bool) (name ^ ": below-lo skipped") false
+      (store.Store.mem (mk 9 9));
+    let empty = store.Store.insert_batch arr 2 2 in
+    Alcotest.(check int) (name ^ ": empty window") 0 (Array.length empty)
+  in
+  check_store "tree" (Store.tree s);
+  check_store "tree/legacy" (Store.tree ~specialized:false s);
+  check_store "skiplist" (Store.skiplist s);
+  check_store "skiplist/legacy" (Store.skiplist ~specialized:false s);
+  check_store "hash" (Store.hash_index ~prefix_len:1 s);
+  check_store "hash/legacy" (Store.hash_index ~specialized:false ~prefix_len:1 s)
 
 let test_store_native_int () =
   let p = Program.create () in
@@ -829,6 +901,14 @@ let suite =
         tc "par level extraction" `Quick test_delta_par_level;
         tc "literal levels" `Quick test_delta_literal_levels;
         tc "concurrent inserts + drain" `Slow test_delta_concurrent_inserts;
+        tc "insert_batch dedup (seq, specialized)" `Quick
+          (run_delta_insert_batch Delta.Sequential true);
+        tc "insert_batch dedup (seq, legacy)" `Quick
+          (run_delta_insert_batch Delta.Sequential false);
+        tc "insert_batch dedup (conc, specialized)" `Quick
+          (run_delta_insert_batch Delta.Concurrent true);
+        tc "insert_batch dedup (conc, legacy)" `Quick
+          (run_delta_insert_batch Delta.Concurrent false);
       ] );
     ( "core.store",
       [
@@ -836,6 +916,7 @@ let suite =
         tc "skiplist contract" `Quick test_store_skiplist;
         tc "hash index contract" `Quick test_store_hash_index;
         tc "tree ordered prefix" `Quick test_store_tree_ordered_iteration;
+        tc "insert_batch dedup (all families)" `Quick test_store_insert_batch;
         tc "native int array" `Quick test_store_native_int;
       ] );
     ( "core.reducer",

@@ -294,6 +294,99 @@ let prop_solver_sound =
       if Jstar_causality.Dlsolver.proves_lt [] a b then eval off_a < eval off_b
       else true)
 
+(* ------------------------------------------------------------------ *)
+(* Hot-path knobs (specialized comparators, put batching, adaptive
+   grain) are pure optimizations: every combination, at every thread
+   count, must print exactly the same lines.  Outputs are sorted per
+   step by the engine, so plain list equality is the right check. *)
+
+let knob_grid =
+  List.concat_map
+    (fun threads ->
+      List.concat_map
+        (fun batching ->
+          List.map
+            (fun specialized -> (threads, batching, specialized))
+            [ false; true ])
+        [ false; true ])
+    [ 1; 2; 4 ]
+
+let with_knobs base (batching, specialized) =
+  {
+    base with
+    Config.put_batching = batching;
+    specialized_compare = specialized;
+    grain = Config.Auto_grain;
+  }
+
+(* [run ~threads knobs] must return the output lines of one engine run;
+   all twelve grid points have to agree. *)
+let outputs_agree run =
+  match
+    List.map
+      (fun (threads, batching, specialized) ->
+        run ~threads (batching, specialized))
+      knob_grid
+  with
+  | [] -> true
+  | reference :: rest -> List.for_all (fun o -> o = reference) rest
+
+let prop_knobs_closure_invariant =
+  QCheck.Test.make
+    ~name:"hot-path knobs preserve transitive-closure outputs" ~count:4
+    QCheck.(
+      list_of_size (Gen.int_range 1 12) (pair (int_range 0 5) (int_range 0 5)))
+    (fun edges ->
+      outputs_agree (fun ~threads knobs ->
+          let p = Program.create () in
+          let edge =
+            Program.table p "Edge"
+              ~columns:Schema.[ int_col "a"; int_col "b" ]
+              ~orderby:Schema.[ Lit "Edge" ]
+              ()
+          in
+          let path =
+            Program.table p "Path"
+              ~columns:Schema.[ int_col "a"; int_col "b" ]
+              ~orderby:Schema.[ Lit "Path" ]
+              ()
+          in
+          Program.order p [ "Edge"; "Path" ];
+          Program.rule p "seed" ~trigger:edge (fun ctx e ->
+              ctx.Rule.put (Tuple.make path [| Tuple.get e 0; Tuple.get e 1 |]));
+          Program.rule p "close" ~trigger:path (fun ctx t ->
+              let x = Tuple.get t 0 and y = Tuple.int t "b" in
+              Query.fold ctx edge ~prefix:[| v_int y |] ~init:()
+                ~f:(fun () e ->
+                  ctx.Rule.put (Tuple.make path [| x; Tuple.get e 1 |]))
+                ());
+          Program.output p path (fun t ->
+              Printf.sprintf "path %d %d" (Tuple.int t "a") (Tuple.int t "b"));
+          let init =
+            List.map (fun (a, b) -> Tuple.make edge [| v_int a; v_int b |]) edges
+          in
+          let base =
+            if threads = 1 then Config.default else Config.parallel ~threads ()
+          in
+          let r = Engine.run_program ~init p (with_knobs base knobs) in
+          r.Engine.outputs))
+
+let prop_knobs_pvwatts_invariant =
+  QCheck.Test.make ~name:"hot-path knobs preserve PvWatts-small outputs"
+    ~count:2
+    (QCheck.make QCheck.Gen.(int_range 1 2))
+    (fun installations ->
+      let data =
+        Jstar_csv.Pvwatts_data.to_bytes ~installations
+          ~ordering:Jstar_csv.Pvwatts_data.Month_major
+      in
+      outputs_agree (fun ~threads knobs ->
+          let cfg =
+            with_knobs (Jstar_apps.Pvwatts.config ~threads ()) knobs
+          in
+          let r = Jstar_apps.Pvwatts.run ~data cfg in
+          r.Engine.outputs))
+
 let suite =
   [
     ( "props",
@@ -311,5 +404,7 @@ let suite =
           prop_parallel_scan_matches;
           prop_solver_coherent;
           prop_solver_sound;
+          prop_knobs_closure_invariant;
+          prop_knobs_pvwatts_invariant;
         ] );
   ]

@@ -18,6 +18,8 @@ type t = private {
   index : (string, int) Hashtbl.t;
   orderby_fields : int array;
       (** Column position for each orderby entry; [-1] for literals. *)
+  mutable fields_cmp : (Value.t array -> Value.t array -> int) option;
+      (** Compiled specialized comparator cache; use {!fields_compare}. *)
 }
 
 exception Schema_error of string
@@ -47,6 +49,13 @@ val field_pos : t -> string -> int
 val field_ty : t -> int -> Value.ty
 val key_columns : t -> column array
 val has_key : t -> bool
+
+(** [fields_compare t] is a field-array comparator compiled once per
+    schema from the column types: monomorphic int/float/string/bool fast
+    paths instead of the generic per-field [Value.compare] dispatch.
+    Induces exactly the same order as {!Value.compare_arrays} on
+    well-typed rows of this schema.  Compiled lazily and cached. *)
+val fields_compare : t -> Value.t array -> Value.t array -> int
 val orderby_entry_field : orderby_entry -> string option
 val pp : Format.formatter -> t -> unit
 val pp_orderby_entry : Format.formatter -> orderby_entry -> unit

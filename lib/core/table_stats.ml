@@ -15,6 +15,11 @@ let make_counter () = Array.init stripes (fun _ -> Atomic.make 0)
 let incr (c : counter) =
   Atomic.incr c.((Domain.self () :> int) land (stripes - 1))
 
+let add (c : counter) k =
+  if k > 0 then
+    ignore
+      (Atomic.fetch_and_add c.((Domain.self () :> int) land (stripes - 1)) k)
+
 let read (c : counter) = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c
 
 type counters = {
