@@ -1,1 +1,1 @@
-bench/sec63.ml: Array Bytes Delta Fmt Jstar_apps Jstar_core Jstar_csv Jstar_stats Order_rel Program Reducer Schema Store Timestamp Tuple Util Value
+bench/sec63.ml: Array Bytes Delta Fmt Jstar_apps Jstar_core Jstar_csv Jstar_obs Jstar_stats Order_rel Program Reducer Schema Store Timestamp Tuple Util Value

@@ -40,7 +40,7 @@ let usage () =
   Fmt.pr "targets:@.";
   List.iter (fun (n, d, _) -> Fmt.pr "  %-8s %s@." n d) targets;
   Fmt.pr "  %-8s %s@." "all" "run every target (default)";
-  Fmt.pr "options: --scale quick|default|paper@."
+  Fmt.pr "options: --scale quick|default|paper  --trace-out FILE@."
 
 let () =
   Util.tune_runtime ();
@@ -48,6 +48,9 @@ let () =
   let rec parse acc = function
     | "--scale" :: s :: rest ->
         Util.scale := Util.parse_scale s;
+        parse acc rest
+    | "--trace-out" :: path :: rest ->
+        Util.trace_out := Some path;
         parse acc rest
     | ("--help" | "-h") :: _ ->
         usage ();

@@ -21,6 +21,14 @@ let run () =
       ~ordering:Jstar_csv.Pvwatts_data.Month_major
   in
   let timer = Jstar_stats.Phase_timer.create () in
+  (* The same decomposition doubles as a trace artifact: each phase
+     becomes a named span, exported Perfetto-ready via --trace-out. *)
+  let tracer = Jstar_obs.Tracer.create ~level:Jstar_obs.Level.Spans () in
+  let phase name f =
+    let kind = Jstar_obs.Tracer.register_kind tracer name in
+    Jstar_obs.Tracer.span tracer kind (fun () ->
+        Jstar_stats.Phase_timer.time timer name f)
+  in
   let p = Program.create () in
   let pv =
     Program.table p "PvWatts"
@@ -37,12 +45,12 @@ let run () =
   let fields = Array.make 6 0 in
   (* 1. reading and parsing *)
   let checksum = ref 0 in
-  Jstar_stats.Phase_timer.time timer "read+parse" (fun () ->
+  phase "read+parse" (fun () ->
       Jstar_csv.Parse.iter_records data 0 (Bytes.length data) (fun s e ->
           ignore (Jstar_csv.Parse.int_fields_into data s e fields);
           checksum := !checksum + fields.(5)));
   (* 2. creating tuples and inserting into Gamma *)
-  Jstar_stats.Phase_timer.time timer "create+insert Gamma" (fun () ->
+  phase "create+insert Gamma" (fun () ->
       Jstar_csv.Parse.iter_records data 0 (Bytes.length data) (fun s e ->
           ignore (Jstar_csv.Parse.int_fields_into data s e fields);
           let t =
@@ -65,7 +73,7 @@ let run () =
   let order = Program.order_rel p in
   ignore (Order_rel.rank order "SumMonth");
   let delta = Delta.create ~mode:Delta.Concurrent ~nlits:4 () in
-  Jstar_stats.Phase_timer.time timer "SumMonth Delta insert" (fun () ->
+  phase "SumMonth Delta insert" (fun () ->
       Jstar_csv.Parse.iter_records data 0 (Bytes.length data) (fun s e ->
           ignore (Jstar_csv.Parse.int_fields_into data s e fields);
           let t =
@@ -73,7 +81,7 @@ let run () =
           in
           ignore (Delta.insert delta t (Timestamp.of_tuple order t))));
   (* 4. the Statistics reducer per month *)
-  Jstar_stats.Phase_timer.time timer "Statistics reduce" (fun () ->
+  phase "Statistics reduce" (fun () ->
       for month = 1 to 12 do
         let stats = ref Reducer.Statistics.empty in
         store.Store.iter_prefix
@@ -94,4 +102,9 @@ let run () =
   in
   Util.note
     "Amdahl bound with a serial reader and 12 consumers: %.2fx (paper: 4.2x)"
-    bound
+    bound;
+  match !Util.trace_out with
+  | Some path ->
+      Jstar_obs.Export.write_chrome_trace path tracer;
+      Util.note "phase trace -> %s (open in Perfetto)" path
+  | None -> ()

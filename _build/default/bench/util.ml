@@ -6,6 +6,10 @@ type scale = Quick | Default | Paper
 
 let scale = ref Default
 
+(* --trace-out FILE: targets that support it (sec63) write a Chrome
+   trace-event JSON of their phase structure here. *)
+let trace_out : string option ref = ref None
+
 let parse_scale = function
   | "quick" -> Quick
   | "default" -> Default

@@ -22,9 +22,36 @@ let threads =
   let doc = "Fork/join pool size; 1 runs sequentially on the caller." in
   Arg.(value & opt int 2 & info [ "t"; "threads" ] ~docv:"N" ~doc)
 
-let trace =
-  let doc = "Log every execution step (equivalence class) to stderr." in
-  Arg.(value & flag & info [ "trace" ] ~doc)
+let tracing =
+  let doc =
+    "Runtime observability level: $(b,off) (zero overhead), \
+     $(b,counters) (metrics registry), or $(b,spans) (metrics plus \
+     per-domain event rings for Chrome-trace export)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("off", Jstar_obs.Level.Off);
+             ("counters", Jstar_obs.Level.Counters);
+             ("spans", Jstar_obs.Level.Spans) ])
+        Jstar_obs.Level.Off
+    & info [ "tracing" ] ~docv:"LEVEL" ~doc)
+
+let trace_out =
+  let doc =
+    "Write a Chrome trace-event JSON file (open in Perfetto or \
+     chrome://tracing).  Implies $(b,--tracing spans)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out =
+  let doc =
+    "Write the metrics registry snapshot as CSV.  Implies at least \
+     $(b,--tracing counters)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
 let causality_check =
   let doc = "Assert the law of causality dynamically at every put." in
@@ -38,15 +65,26 @@ let show_stats =
   let doc = "Print per-table usage statistics after the run." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
-let apply_common config ~trace ~causality_check ~task_per_rule =
+(* [--trace-out] / [--metrics-out] imply the level they need, so
+   "--trace-out t.json" alone produces a useful trace. *)
+let effective_tracing tracing ~trace_out ~metrics_out =
+  match tracing with
+  | Jstar_obs.Level.Spans -> tracing
+  | _ when trace_out <> None -> Jstar_obs.Level.Spans
+  | Jstar_obs.Level.Counters -> tracing
+  | Jstar_obs.Level.Off when metrics_out <> None -> Jstar_obs.Level.Counters
+  | _ -> tracing
+
+let apply_common config ~tracing ~trace_out ~metrics_out ~causality_check
+    ~task_per_rule =
   {
     config with
-    Config.trace;
+    Config.tracing = effective_tracing tracing ~trace_out ~metrics_out;
     runtime_causality_check = causality_check;
     task_per_rule;
   }
 
-let report ?(max_lines = 20) result show_stats =
+let report ?(max_lines = 20) ?trace_out ?metrics_out result show_stats =
   let outputs = result.Engine.outputs in
   let n = List.length outputs in
   List.iteri
@@ -57,7 +95,24 @@ let report ?(max_lines = 20) result show_stats =
     result.Engine.elapsed result.Engine.steps result.Engine.tuples_processed
     result.Engine.delta_inserted result.Engine.delta_deduped;
   if show_stats then
-    Fmt.pr "%a" Table_stats.pp_snapshot (Table_stats.snapshot result.Engine.stats)
+    Fmt.pr "%a" Table_stats.pp_snapshot (Table_stats.snapshot result.Engine.stats);
+  let tracer = result.Engine.tracer in
+  if Jstar_obs.Tracer.counters_on tracer then
+    Jstar_obs.Export.console Fmt.stdout ~metrics:result.Engine.metrics tracer;
+  (match trace_out with
+  | Some path ->
+      Jstar_obs.Export.write_chrome_trace path tracer;
+      Fmt.pr "trace -> %s (%d events, %d dropped)@." path
+        (List.fold_left
+           (fun acc r -> acc + Jstar_obs.Ring.length r)
+           0 (Jstar_obs.Tracer.rings tracer))
+        (Jstar_obs.Tracer.dropped tracer)
+  | None -> ());
+  match metrics_out with
+  | Some path ->
+      Jstar_obs.Export.write_metrics_csv path result.Engine.metrics;
+      Fmt.pr "metrics -> %s@." path
+  | None -> ()
 
 (* -- pvwatts ---------------------------------------------------------- *)
 
@@ -95,7 +150,7 @@ let pvwatts_cmd =
            ~doc:"Write the program's dependency graph in Graphviz format.")
   in
   let run installations threads naive store sorted disruptor consumers dot
-      trace causality_check task_per_rule show_stats =
+      tracing trace_out metrics_out causality_check task_per_rule show_stats =
     tune_runtime ();
     let ordering =
       if sorted then Jstar_csv.Pvwatts_data.Round_robin
@@ -127,10 +182,11 @@ let pvwatts_cmd =
           Fmt.pr "dependency graph -> %s@." path
       | None -> ());
       let config =
-        apply_common ~trace ~causality_check ~task_per_rule
+        apply_common ~tracing ~trace_out ~metrics_out ~causality_check
+          ~task_per_rule
           (Jstar_apps.Pvwatts.config ~threads ~no_delta:(not naive) ~store ())
       in
-      report
+      report ?trace_out ?metrics_out
         (Engine.run_program ~init:app.Jstar_apps.Pvwatts.init
            app.Jstar_apps.Pvwatts.program config)
         show_stats
@@ -140,7 +196,8 @@ let pvwatts_cmd =
     (Cmd.info "pvwatts" ~doc:"Monthly solar-power averages (§6.2-6.3).")
     Term.(
       const run $ installations $ threads $ naive $ store $ sorted $ disruptor
-      $ consumers $ dot $ trace $ causality_check $ task_per_rule $ show_stats)
+      $ consumers $ dot $ tracing $ trace_out $ metrics_out $ causality_check
+      $ task_per_rule $ show_stats)
 
 (* -- matmul ----------------------------------------------------------- *)
 
@@ -156,9 +213,12 @@ let matmul_cmd =
   let verify =
     Arg.(value & flag & info [ "verify" ] ~doc:"Check against the naive baseline.")
   in
-  let run n threads boxed verify trace causality_check task_per_rule show_stats =
+  let run n threads boxed verify tracing causality_check task_per_rule
+      show_stats =
     tune_runtime ();
-    ignore (trace, causality_check, task_per_rule);
+    (* Matmul builds its config internally; observability options don't
+       apply here. *)
+    ignore (tracing, causality_check, task_per_rule);
     let variant = if boxed then Jstar_apps.Matmul.Boxed else Jstar_apps.Matmul.Unboxed in
     let t0 = Unix.gettimeofday () in
     let result, get = Jstar_apps.Matmul.run ~n ~variant ~threads () in
@@ -186,7 +246,7 @@ let matmul_cmd =
   Cmd.v
     (Cmd.info "matmul" ~doc:"Naive matrix multiplication (§6.4).")
     Term.(
-      const run $ n $ threads $ boxed $ verify $ trace $ causality_check
+      const run $ n $ threads $ boxed $ verify $ tracing $ causality_check
       $ task_per_rule $ show_stats)
 
 (* -- dijkstra ---------------------------------------------------------- *)
@@ -203,10 +263,10 @@ let dijkstra_cmd =
   let verify =
     Arg.(value & flag & info [ "verify" ] ~doc:"Check against the binary-heap baseline.")
   in
-  let run vertices threads tasks verify trace causality_check task_per_rule
+  let run vertices threads tasks verify tracing causality_check task_per_rule
       show_stats =
     tune_runtime ();
-    ignore (trace, causality_check, task_per_rule);
+    ignore (tracing, causality_check, task_per_rule);
     let result, app = Jstar_apps.Shortest_path.run ~tasks ~vertices ~threads () in
     Fmt.pr "reached %d of %d vertices@."
       (app.Jstar_apps.Shortest_path.reached_count ())
@@ -233,8 +293,8 @@ let dijkstra_cmd =
   Cmd.v
     (Cmd.info "dijkstra" ~doc:"Single-source shortest paths (§6.5, Fig 5).")
     Term.(
-      const run $ vertices $ threads $ tasks $ verify $ trace $ causality_check
-      $ task_per_rule $ show_stats)
+      const run $ vertices $ threads $ tasks $ verify $ tracing
+      $ causality_check $ task_per_rule $ show_stats)
 
 (* -- median ------------------------------------------------------------ *)
 
@@ -247,36 +307,40 @@ let median_cmd =
     Arg.(value & opt int 8 & info [ "regions" ] ~docv:"N"
            ~doc:"Parallel partition regions per round.")
   in
-  let run n threads regions trace causality_check task_per_rule show_stats =
+  let run n threads regions tracing causality_check task_per_rule show_stats =
     tune_runtime ();
-    ignore (trace, causality_check, task_per_rule);
+    ignore (tracing, causality_check, task_per_rule);
     let result = Jstar_apps.Median.run ~regions ~n ~threads () in
     report result show_stats
   in
   Cmd.v
     (Cmd.info "median" ~doc:"Median of N random doubles (§6.6).")
     Term.(
-      const run $ n $ threads $ regions $ trace $ causality_check
+      const run $ n $ threads $ regions $ tracing $ causality_check
       $ task_per_rule $ show_stats)
 
 (* -- ship -------------------------------------------------------------- *)
 
 let ship_cmd =
-  let run threads trace causality_check task_per_rule show_stats =
+  let run threads tracing trace_out metrics_out causality_check task_per_rule
+      show_stats =
     tune_runtime ();
     let app = Jstar_apps.Spaceinvaders.make () in
     let config =
-      apply_common ~trace ~causality_check ~task_per_rule
+      apply_common ~tracing ~trace_out ~metrics_out ~causality_check
+        ~task_per_rule
         { Config.default with threads }
     in
-    report
+    report ?trace_out ?metrics_out
       (Engine.run_program ~init:app.Jstar_apps.Spaceinvaders.init
          app.Jstar_apps.Spaceinvaders.program config)
       show_stats
   in
   Cmd.v
     (Cmd.info "ship" ~doc:"The Space Invaders Ship example of §3 (Fig 2).")
-    Term.(const run $ threads $ trace $ causality_check $ task_per_rule $ show_stats)
+    Term.(
+      const run $ threads $ tracing $ trace_out $ metrics_out
+      $ causality_check $ task_per_rule $ show_stats)
 
 (* -- check ------------------------------------------------------------- *)
 

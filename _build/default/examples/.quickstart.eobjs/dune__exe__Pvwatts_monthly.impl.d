@@ -1,1 +1,1 @@
-examples/pvwatts_monthly.ml: Array Bytes Engine Fmt Jstar_apps Jstar_causality Jstar_core Jstar_csv Jstar_stats List Program Rule Schema Spec Sys Table_stats Tuple
+examples/pvwatts_monthly.ml: Array Bytes Config Engine Fmt Jstar_apps Jstar_causality Jstar_core Jstar_csv Jstar_obs Jstar_stats List Program Rule Schema Spec Sys Table_stats Tuple

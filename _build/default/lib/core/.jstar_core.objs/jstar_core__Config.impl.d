@@ -1,1 +1,1 @@
-lib/core/config.ml: Delta Store
+lib/core/config.ml: Delta Jstar_obs Store

@@ -1,1 +1,1 @@
-lib/core/config.mli: Delta Store
+lib/core/config.mli: Delta Jstar_obs Store

@@ -1,1 +1,1 @@
-lib/core/engine.ml: Array Config Delta Domain Fmt Fun Hashtbl Jstar_cds Jstar_sched List Mutex Order_rel Program Rule Schema Store String Table_stats Timestamp Tuple Unix
+lib/core/engine.ml: Array Config Delta Domain Fmt Fun Hashtbl Jstar_cds Jstar_obs Jstar_sched List Mutex Order_rel Program Rule Schema Store String Table_stats Timestamp Tuple Unix

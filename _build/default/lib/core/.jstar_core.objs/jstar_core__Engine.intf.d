@@ -1,1 +1,1 @@
-lib/core/engine.mli: Config Program Schema Store Table_stats Tuple
+lib/core/engine.mli: Config Jstar_obs Program Schema Store Table_stats Tuple

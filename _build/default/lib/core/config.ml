@@ -40,7 +40,9 @@ type t = {
   max_steps : int option; (* safety valve for runaway programs *)
   print_directly : bool;
       (* bypass deterministic output collection (debugging only) *)
-  trace : bool; (* per-step logging to stderr *)
+  tracing : Jstar_obs.Level.t;
+      (* Off: zero-cost; Counters: metrics registry only; Spans: also
+         record per-domain span rings for Chrome-trace export *)
 }
 
 let default =
@@ -57,12 +59,15 @@ let default =
     runtime_causality_check = false;
     max_steps = None;
     print_directly = false;
-    trace = false;
+    tracing = Jstar_obs.Level.Off;
   }
 
 let sequential = default
 
-let parallel ?(threads = 4) () = { default with threads }
+(* Parallel defaults include the hot-path optimisations that EXPERIMENTS.md
+   showed strictly helping multi-threaded runs; [default] keeps them off so
+   ablations still have a baseline. *)
+let parallel ?(threads = 4) () = { default with threads; put_batching = true }
 
 let effective_mode t =
   match t.data_structures with

@@ -36,7 +36,9 @@ type t = {
       (** assert at every put that the tuple is not in the past *)
   max_steps : int option;  (** abort runaway programs *)
   print_directly : bool;  (** bypass deterministic output collection *)
-  trace : bool;  (** per-step logging to stderr *)
+  tracing : Jstar_obs.Level.t;
+      (** [Off]: zero-cost; [Counters]: metrics registry only; [Spans]:
+          also record per-domain span rings for Chrome-trace export *)
 }
 
 val default : t
@@ -47,7 +49,10 @@ val sequential : t
 (** Alias of {!default} — the [-sequential] compiler flag. *)
 
 val parallel : ?threads:int -> unit -> t
-(** Parallel defaults ([threads] defaults to 4). *)
+(** Parallel defaults ([threads] defaults to 4): put batching and
+    specialized comparators on — the knobs EXPERIMENTS.md showed
+    strictly helping multi-threaded runs.  {!default} keeps both off so
+    ablation baselines remain reachable. *)
 
 val effective_mode : t -> Delta.mode
 (** Which structure family the configuration resolves to. *)

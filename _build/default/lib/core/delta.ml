@@ -191,6 +191,7 @@ type 'v omap = {
   om_min : unit -> (Value.t * 'v) option;
   om_remove : Value.t -> unit;
   om_is_empty : unit -> bool;
+  om_iter : (Value.t -> 'v -> unit) -> unit;
 }
 
 module VMap = Map.Make (Value)
@@ -209,6 +210,7 @@ let sequential_omap () =
     om_min = (fun () -> VMap.min_binding_opt !map);
     om_remove = (fun k -> map := VMap.remove k !map);
     om_is_empty = (fun () -> VMap.is_empty !map);
+    om_iter = (fun f -> VMap.iter f !map);
   }
 
 let concurrent_omap () =
@@ -218,6 +220,7 @@ let concurrent_omap () =
     om_min = (fun () -> Jstar_cds.Skiplist.min_binding_opt sl);
     om_remove = (fun k -> ignore (Jstar_cds.Skiplist.remove sl k));
     om_is_empty = (fun () -> Jstar_cds.Skiplist.is_empty sl);
+    om_iter = (fun f -> Jstar_cds.Skiplist.iter sl f);
   }
 
 (* -- unordered child maps (par levels) ------------------------------ *)
@@ -342,6 +345,35 @@ let size t = Atomic.get t.root.count
 let is_empty t = size t = 0
 let inserted_total t = stripe_read t.inserted
 let deduped_total t = stripe_read t.deduped
+
+(* Depth of the deepest subtree still holding pending tuples — an
+   observability gauge for how far timestamps fan out at runtime.
+   Subtrees whose count has drained to 0 are skipped, so cost tracks
+   live structure, not insertion history.  Racing inserts can skew the
+   answer by a level; fine for a gauge read between steps. *)
+let depth t =
+  let rec go node d acc =
+    if Atomic.get node.count = 0 then acc
+    else begin
+      let deepest = ref (max d acc) in
+      let visit child = deepest := go child (d + 1) !deepest in
+      (match Atomic.get node.lit with
+      | None -> ()
+      | Some slots ->
+          Array.iter
+            (fun slot ->
+              match Atomic.get slot with Some c -> visit c | None -> ())
+            slots);
+      (match Atomic.get node.seq with
+      | None -> ()
+      | Some om -> om.om_iter (fun _ c -> visit c));
+      (match Atomic.get node.par with
+      | None -> ()
+      | Some pm -> List.iter (fun (_, c) -> visit c) (pm.pm_entries ()));
+      !deepest
+    end
+  in
+  go t.root 0 0
 
 (* Install-or-get for the lazily created child containers. *)
 let get_or_install atom mk =

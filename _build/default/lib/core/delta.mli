@@ -50,3 +50,9 @@ val inserted_total : t -> int
 
 val deduped_total : t -> int
 (** Lifetime count of duplicate tuples dropped on insert. *)
+
+val depth : t -> int
+(** Depth of the deepest subtree still holding pending tuples (0 when
+    empty) — a gauge for how far timestamps fan out at runtime.  Reads
+    racing concurrent inserts may be off by a level; intended for
+    metrics snapshots between steps. *)

@@ -44,6 +44,8 @@ type result = {
   delta_deduped : int;
   stats : Table_stats.t;
   phases : phase_times;
+  tracer : Jstar_obs.Tracer.t;
+  metrics : Jstar_obs.Metrics.t;
 }
 
 (* One stripe of the put-batching buffer: growable parallel arrays
@@ -100,9 +102,15 @@ type state = {
   current_ts : Timestamp.t option ref;
   processed : int ref;
   phases : phase_times;
+  obs : Jstar_obs.Tracer.t;
+  metrics : Jstar_obs.Metrics.t;
+  trace_spans : bool;
+      (* [Tracer.spans_on obs], cached: recording sites test one
+         immutable bool instead of chasing the tracer's level *)
+  counters_on : bool; (* likewise [Tracer.counters_on obs] *)
+  h_rule_latency : Jstar_obs.Metrics.histogram; (* seconds per fire *)
+  h_class_width : Jstar_obs.Metrics.histogram; (* tuples per class *)
 }
-
-let put_stripes = 16
 
 let store_for config ~parallel schema =
   let specialized = config.Config.specialized_compare in
@@ -144,7 +152,18 @@ let make_state frozen config =
       tables
   in
   let order = Program.order_rel frozen.Program.program in
-  {
+  let obs =
+    match config.Config.tracing with
+    | Jstar_obs.Level.Off -> Jstar_obs.Tracer.disabled
+    | level -> Jstar_obs.Tracer.create ~level ()
+  in
+  let metrics = Jstar_obs.Metrics.create () in
+  (* Stripe count scales with the pool so domains rarely share a stripe
+     lock, with a floor of 16 to keep small pools spread out too. *)
+  let put_stripes =
+    Jstar_sched.Bits.next_pow2 (max 16 (2 * config.Config.threads))
+  in
+  let st = {
     frozen;
     config;
     order;
@@ -178,7 +197,9 @@ let make_state frozen config =
         (Array.to_list (Array.map (fun s -> s.Schema.name) tables));
     pool =
       (if config.Config.threads > 1 then
-         Some (Jstar_sched.Pool.create ~num_workers:config.Config.threads ())
+         Some
+           (Jstar_sched.Pool.create ~num_workers:config.Config.threads
+              ~tracer:obs ())
        else None);
     out_buf = Jstar_cds.Treiber_stack.create ();
     outputs = ref [];
@@ -194,7 +215,50 @@ let make_state frozen config =
     current_ts = ref None;
     processed = ref 0;
     phases = { t_extract = 0.0; t_gamma = 0.0; t_rules = 0.0 };
+    obs;
+    metrics;
+    trace_spans = Jstar_obs.Tracer.spans_on obs;
+    counters_on = Jstar_obs.Tracer.counters_on obs;
+    h_rule_latency =
+      Jstar_obs.Metrics.histogram metrics ~name:"engine.rule_fire_latency_s";
+    h_class_width =
+      Jstar_obs.Metrics.histogram metrics ~name:"engine.class_width";
   }
+  in
+  (* Pull-based registry sources: closures read live engine state only
+     when a snapshot is taken, so registration costs nothing per put. *)
+  Jstar_obs.Metrics.register_gauge metrics ~name:"delta.size" (fun () ->
+      Jstar_obs.Metrics.Int (Delta.size st.delta));
+  Jstar_obs.Metrics.register_gauge metrics ~name:"delta.depth" (fun () ->
+      Jstar_obs.Metrics.Int (Delta.depth st.delta));
+  Jstar_obs.Metrics.register_gauge metrics ~name:"engine.put_stripes"
+    (fun () -> Jstar_obs.Metrics.Int (Array.length st.put_bufs));
+  Jstar_obs.Metrics.register_gauge metrics ~name:"engine.put_buf_fill"
+    (fun () ->
+      Jstar_obs.Metrics.Int
+        (Array.fold_left (fun acc b -> acc + b.pb_len) 0 st.put_bufs));
+  Array.iteri
+    (fun id s ->
+      let table = s.Schema.name in
+      let c = Table_stats.counters st.stats id in
+      let reg field counter =
+        Jstar_obs.Metrics.register_counter metrics
+          ~name:(String.concat "." [ "table"; table; field ])
+          (fun () -> Table_stats.read counter)
+      in
+      reg "puts" c.Table_stats.puts;
+      reg "delta_inserts" c.Table_stats.delta_inserts;
+      reg "delta_dups" c.Table_stats.delta_dups;
+      reg "gamma_inserts" c.Table_stats.gamma_inserts;
+      reg "gamma_dups" c.Table_stats.gamma_dups;
+      reg "triggers" c.Table_stats.triggers;
+      reg "queries" c.Table_stats.queries;
+      if not st.no_gamma.(id) then
+        Jstar_obs.Metrics.register_gauge metrics
+          ~name:(String.concat "." [ "gamma"; table; "size" ])
+          (fun () -> Jstar_obs.Metrics.Int (st.gamma.(id).Store.size ())))
+    tables;
+  st
 
 (* ------------------------------------------------------------------ *)
 (* Put routing and rule firing                                         *)
@@ -232,7 +296,7 @@ let rec route_put st ctx tuple =
        changes at Phase A, so the [mem] precheck above cannot go stale
        between here and the flush. *)
     put_buf_push
-      st.put_bufs.((Domain.self () :> int) land (put_stripes - 1))
+      st.put_bufs.((Domain.self () :> int) land (Array.length st.put_bufs - 1))
       tuple ts
   else if Delta.insert st.delta tuple ts then
     Table_stats.incr c.Table_stats.delta_inserts
@@ -249,6 +313,12 @@ and flush_puts st =
        but the copies are equal tuples, so nothing observable changes.
        Stats are aggregated per table first — two atomic ops per stripe
        and table instead of one per item. *)
+    let flush_t0 = if st.trace_spans then Jstar_obs.Monotonic.now_ns () else 0 in
+    let pending =
+      if st.trace_spans then
+        Array.fold_left (fun acc b -> acc + b.pb_len) 0 st.put_bufs
+      else 0
+    in
     let ntab = Array.length st.gamma in
     let flush_stripe b =
       if b.pb_len > 0 then begin
@@ -268,11 +338,16 @@ and flush_puts st =
         done
       end
     in
-    match st.pool with
+    (match st.pool with
     | Some pool ->
-        Jstar_sched.Forkjoin.parallel_for pool ~grain:1 ~lo:0 ~hi:put_stripes
-          (fun s -> flush_stripe st.put_bufs.(s))
-    | None -> Array.iter flush_stripe st.put_bufs
+        Jstar_sched.Forkjoin.parallel_for pool ~grain:1 ~lo:0
+          ~hi:(Array.length st.put_bufs) (fun s ->
+            flush_stripe st.put_bufs.(s))
+    | None -> Array.iter flush_stripe st.put_bufs);
+    if st.trace_spans then
+      Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.barrier_flush
+        ~arg:pending ~ts:flush_t0
+        ~dur:(Jstar_obs.Monotonic.now_ns () - flush_t0)
   end
 
 and fire_rules st ctx tuple =
@@ -281,11 +356,19 @@ and fire_rules st ctx tuple =
   | [] -> ()
   | rules ->
       let c = Table_stats.counters st.stats id in
+      let t0 = if st.counters_on then Jstar_obs.Monotonic.now_ns () else 0 in
       List.iter
         (fun r ->
           Table_stats.incr c.Table_stats.triggers;
           r.Rule.body ctx tuple)
-        rules
+        rules;
+      if st.counters_on then begin
+        let dur = Jstar_obs.Monotonic.now_ns () - t0 in
+        Jstar_obs.Metrics.observe st.h_rule_latency (float_of_int dur *. 1e-9);
+        if st.trace_spans then
+          Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.rule_fire ~arg:id
+            ~ts:t0 ~dur
+      end
 
 let make_ctx st =
   let rec ctx =
@@ -374,6 +457,7 @@ let flush_step_outputs st =
 let now () = Unix.gettimeofday ()
 
 let run_step st ctx tuples =
+  let step_t0 = if st.counters_on then Jstar_obs.Monotonic.now_ns () else 0 in
   let tuples = Array.of_list tuples in
   let n = Array.length tuples in
   st.processed := !(st.processed) + n;
@@ -381,11 +465,8 @@ let run_step st ctx tuples =
     (if n > 0 then
        Some (timestamp_of st (Tuple.schema tuples.(0)).Schema.id tuples.(0))
      else None);
-  if st.config.Config.trace then
-    Fmt.epr "[step] class %a: %d tuple(s)@."
-      (Fmt.option Timestamp.pp)
-      !(st.current_ts) n;
   (* Phase A: the whole class becomes visible in Gamma. *)
+  let gamma_t0 = if st.trace_spans then Jstar_obs.Monotonic.now_ns () else 0 in
   let t0 = now () in
   let to_fire =
     if st.config.Config.put_batching && n > 1 then begin
@@ -458,6 +539,10 @@ let run_step st ctx tuples =
     end
   in
   st.phases.t_gamma <- st.phases.t_gamma +. (now () -. t0);
+  if st.trace_spans then
+    Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.gamma_insert ~arg:n
+      ~ts:gamma_t0
+      ~dur:(Jstar_obs.Monotonic.now_ns () - gamma_t0);
   run_class_effects st ctx tuples;
   (* Phase B: fire all rules of the class in parallel — one task per
      tuple by default, or one per (tuple, rule) pair under the §5.2
@@ -475,10 +560,21 @@ let run_step st ctx tuples =
     in
     for_range_parallel st (Array.length pairs) (fun i ->
         let t, r = pairs.(i) in
+        let id = (Tuple.schema t).Schema.id in
         Table_stats.incr
-          (Table_stats.counters st.stats (Tuple.schema t).Schema.id)
-            .Table_stats.triggers;
-        r.Rule.body ctx t)
+          (Table_stats.counters st.stats id).Table_stats.triggers;
+        let f0 =
+          if st.counters_on then Jstar_obs.Monotonic.now_ns () else 0
+        in
+        r.Rule.body ctx t;
+        if st.counters_on then begin
+          let dur = Jstar_obs.Monotonic.now_ns () - f0 in
+          Jstar_obs.Metrics.observe st.h_rule_latency
+            (float_of_int dur *. 1e-9);
+          if st.trace_spans then
+            Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.rule_fire
+              ~arg:id ~ts:f0 ~dur
+        end)
   end
   else
     for_range_parallel st (Array.length to_fire) (fun i ->
@@ -487,7 +583,14 @@ let run_step st ctx tuples =
   (* Barrier: everything the class put becomes pending before the next
      class is extracted. *)
   flush_puts st;
-  flush_step_outputs st
+  flush_step_outputs st;
+  if st.counters_on then begin
+    Jstar_obs.Metrics.observe st.h_class_width (float_of_int n);
+    if st.trace_spans then
+      Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.step ~arg:n
+        ~ts:step_t0
+        ~dur:(Jstar_obs.Monotonic.now_ns () - step_t0)
+  end
 
 let run_state st ~init =
   let t_start = now () in
@@ -497,9 +600,14 @@ let run_state st ~init =
   flush_step_outputs st;
   let steps = ref 0 in
   let rec loop () =
+    let e0 = if st.trace_spans then Jstar_obs.Monotonic.now_ns () else 0 in
     let t0 = now () in
     let klass = Delta.extract_min_class st.delta in
     st.phases.t_extract <- st.phases.t_extract +. (now () -. t0);
+    if st.trace_spans then
+      Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.extract
+        ~arg:(List.length klass) ~ts:e0
+        ~dur:(Jstar_obs.Monotonic.now_ns () - e0);
     match klass with
     | [] -> ()
     | tuples ->
@@ -520,6 +628,8 @@ let run_state st ~init =
     delta_deduped = Delta.deduped_total st.delta;
     stats = st.stats;
     phases = st.phases;
+    tracer = st.obs;
+    metrics = st.metrics;
   }
 
 let run_with_gamma ?(init = []) frozen config =
@@ -563,10 +673,19 @@ let feed session tuples =
 let drain session =
   if session.finished then invalid_arg "Engine.drain: session finished";
   let st = session.st in
+  let drain_t0 =
+    if st.trace_spans then Jstar_obs.Monotonic.now_ns () else 0
+  in
   flush_puts st;
   flush_step_outputs st;
   let rec loop () =
-    match Delta.extract_min_class st.delta with
+    let e0 = if st.trace_spans then Jstar_obs.Monotonic.now_ns () else 0 in
+    let klass = Delta.extract_min_class st.delta in
+    if st.trace_spans then
+      Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.extract
+        ~arg:(List.length klass) ~ts:e0
+        ~dur:(Jstar_obs.Monotonic.now_ns () - e0);
+    match klass with
     | [] -> ()
     | tuples ->
         session.session_steps <- session.session_steps + 1;
@@ -578,6 +697,10 @@ let drain session =
         loop ()
   in
   loop ();
+  if st.trace_spans then
+    Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.drain
+      ~arg:session.session_steps ~ts:drain_t0
+      ~dur:(Jstar_obs.Monotonic.now_ns () - drain_t0);
   (* [outputs] is newest-first and [outputs_count] tracks its length, so
      the lines produced since the last drain are exactly its first
      [count - seen] elements — no full-list [length]/[filteri] rescan
@@ -610,4 +733,6 @@ let finish session =
     delta_deduped = Delta.deduped_total session.st.delta;
     stats = session.st.stats;
     phases = session.st.phases;
+    tracer = session.st.obs;
+    metrics = session.st.metrics;
   }

@@ -29,6 +29,12 @@ type result = {
   delta_deduped : int;
   stats : Table_stats.t;
   phases : phase_times;
+  tracer : Jstar_obs.Tracer.t;
+      (** the run's span rings ({!Jstar_obs.Tracer.disabled} when
+          [tracing = Off]); export with {!Jstar_obs.Export} *)
+  metrics : Jstar_obs.Metrics.t;
+      (** registry over the engine, Delta and Gamma — gauges and
+          histograms alongside the {!Table_stats} counters *)
 }
 
 val run : ?init:Tuple.t list -> Program.frozen -> Config.t -> result

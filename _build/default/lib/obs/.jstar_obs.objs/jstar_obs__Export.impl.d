@@ -1,0 +1,1 @@
+lib/obs/export.ml: Buffer Fmt Fun Json List Metrics Printf Ring Tracer

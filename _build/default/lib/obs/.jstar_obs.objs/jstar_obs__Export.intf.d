@@ -1,0 +1,1 @@
+lib/obs/export.mli: Buffer Format Metrics Tracer

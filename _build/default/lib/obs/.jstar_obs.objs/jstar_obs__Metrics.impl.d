@@ -1,0 +1,1 @@
+lib/obs/metrics.ml: Array Atomic Buffer Float Fmt List Mutex Printf

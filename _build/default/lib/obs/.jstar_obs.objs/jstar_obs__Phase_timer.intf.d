@@ -1,0 +1,1 @@
+lib/obs/phase_timer.mli: Format

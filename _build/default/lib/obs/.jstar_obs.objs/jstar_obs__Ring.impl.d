@@ -1,0 +1,1 @@
+lib/obs/ring.ml: Array

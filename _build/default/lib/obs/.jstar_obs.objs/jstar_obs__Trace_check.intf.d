@@ -1,0 +1,1 @@
+lib/obs/trace_check.mli: Json

@@ -1,0 +1,1 @@
+lib/obs/tracer.ml: Array Atomic Domain Fun Kind Level List Monotonic Mutex Printf Ring

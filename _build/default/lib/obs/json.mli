@@ -1,0 +1,25 @@
+(** Minimal JSON reader/writer used to validate and round-trip the
+    tracer's Chrome-trace output without an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete document. *)
+
+val member : string -> t -> t option
+(** Field lookup on objects; [None] elsewhere. *)
+
+val to_float_opt : t -> float option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -1,0 +1,36 @@
+(* Span/event kinds.  Represented as small ints so a ring slot is four
+   scalar stores; the builtin ones cover the engine and pool call
+   sites, and tracers hand out further ids for user-registered names
+   (bench phases, application spans). *)
+
+type t = int
+
+let step = 0
+let extract = 1
+let gamma_insert = 2
+let rule_fire = 3
+let barrier_flush = 4
+let drain = 5
+let spawn = 6
+let steal = 7
+let idle = 8
+let builtin_count = 9
+
+let builtin_names =
+  [|
+    "step";
+    "class-extract";
+    "gamma-insert";
+    "rule-fire";
+    "barrier-flush";
+    "drain";
+    "pool-spawn";
+    "pool-steal";
+    "pool-idle";
+  |]
+
+let builtin_name k =
+  if k >= 0 && k < builtin_count then Some builtin_names.(k) else None
+
+let to_int k = k
+let custom i = builtin_count + i

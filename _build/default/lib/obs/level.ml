@@ -1,0 +1,20 @@
+(* How much the runtime records about itself.  The levels are ordered:
+   each one includes everything below it, so call sites test with the
+   [counters_on]/[spans_on] predicates rather than equality. *)
+
+type t = Off | Counters | Spans
+
+let rank = function Off -> 0 | Counters -> 1 | Spans -> 2
+let counters_on t = rank t >= 1
+let spans_on t = rank t >= 2
+
+let to_string = function
+  | Off -> "off"
+  | Counters -> "counters"
+  | Spans -> "spans"
+
+let of_string = function
+  | "off" -> Some Off
+  | "counters" -> Some Counters
+  | "spans" -> Some Spans
+  | _ -> None

@@ -1,0 +1,20 @@
+(** Tracing level, replacing the old [Config.trace : bool].  Ordered:
+    [Spans] implies [Counters].
+
+    - [Off]: zero overhead — hot paths take one branch and allocate
+      nothing extra.
+    - [Counters]: metrics registry live (histograms observed, gauges
+      readable); no event rings.
+    - [Spans]: everything, plus per-domain span rings for Chrome-trace
+      export. *)
+
+type t = Off | Counters | Spans
+
+val counters_on : t -> bool
+(** [Counters] or [Spans]. *)
+
+val spans_on : t -> bool
+(** [Spans] only. *)
+
+val to_string : t -> string
+val of_string : string -> t option

@@ -1,0 +1,179 @@
+(* The metrics registry: a named collection of counters (monotonic
+   callbacks), gauges (point-in-time callbacks) and histograms
+   (explicitly observed distributions), snapshotable between session
+   drains.
+
+   Counters and gauges are pull-based — registering one costs a list
+   cell and reading happens only at snapshot time, so instrumented
+   subsystems (Table_stats stripes, Delta occupancy, store sizes) pay
+   nothing between snapshots.  Histograms are push-based and sized for
+   concurrent observation: power-of-two buckets with atomic counts, and
+   sum/max kept in fixed-point micro-units so they can be maintained
+   with fetch-and-add/CAS instead of a lock around a float. *)
+
+type value = Int of int | Float of float
+
+let pp_value ppf = function
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.pf ppf "%.6g" f
+
+(* -- histograms ------------------------------------------------------ *)
+
+let hist_buckets = 64
+
+(* Bucket [b] holds values in (2^(b-33), 2^(b-32)]: frexp exponents
+   shifted so everything from sub-nanosecond latencies to billions
+   lands inside the array. *)
+let bucket_of v =
+  if v <= 0.0 then 0
+  else
+    let _, e = Float.frexp v in
+    min (hist_buckets - 1) (max 0 (e + 32))
+
+let bucket_upper b = Float.ldexp 1.0 (b - 32)
+
+type histogram = {
+  h_counts : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum_micro : int Atomic.t; (* sum of observations, in 1e-6 units *)
+  h_max_micro : int Atomic.t;
+}
+
+let observe h v =
+  Atomic.incr h.h_count;
+  Atomic.incr h.h_counts.(bucket_of v);
+  let micro = int_of_float (v *. 1e6) in
+  ignore (Atomic.fetch_and_add h.h_sum_micro micro);
+  let rec bump () =
+    let m = Atomic.get h.h_max_micro in
+    if micro > m && not (Atomic.compare_and_set h.h_max_micro m micro) then
+      bump ()
+  in
+  bump ()
+
+let hist_count h = Atomic.get h.h_count
+let hist_sum h = float_of_int (Atomic.get h.h_sum_micro) *. 1e-6
+let hist_max h = float_of_int (Atomic.get h.h_max_micro) *. 1e-6
+
+let hist_mean h =
+  let n = hist_count h in
+  if n = 0 then 0.0 else hist_sum h /. float_of_int n
+
+(* Quantile estimate: the upper bound of the bucket where the q-th
+   observation falls — exact to within one power of two. *)
+let hist_quantile h q =
+  let n = hist_count h in
+  if n = 0 then 0.0
+  else begin
+    let target = int_of_float (Float.of_int n *. q) + 1 in
+    let target = min n target in
+    let acc = ref 0 and found = ref 0.0 and hit = ref false in
+    for b = 0 to hist_buckets - 1 do
+      if not !hit then begin
+        acc := !acc + Atomic.get h.h_counts.(b);
+        if !acc >= target then begin
+          hit := true;
+          found := bucket_upper b
+        end
+      end
+    done;
+    !found
+  end
+
+(* -- registry -------------------------------------------------------- *)
+
+type source =
+  | Counter of (unit -> int)
+  | Gauge of (unit -> value)
+  | Hist of histogram
+
+type t = {
+  mutable sources : (string * source) list; (* newest first *)
+  mutex : Mutex.t;
+}
+
+let create () = { sources = []; mutex = Mutex.create () }
+
+let add_source t name src =
+  Mutex.lock t.mutex;
+  t.sources <- (name, src) :: t.sources;
+  Mutex.unlock t.mutex
+
+let register_counter t ~name read = add_source t name (Counter read)
+let register_gauge t ~name read = add_source t name (Gauge read)
+
+let histogram t ~name =
+  let h =
+    {
+      h_counts = Array.init hist_buckets (fun _ -> Atomic.make 0);
+      h_count = Atomic.make 0;
+      h_sum_micro = Atomic.make 0;
+      h_max_micro = Atomic.make 0;
+    }
+  in
+  add_source t name (Hist h);
+  h
+
+(* -- snapshots ------------------------------------------------------- *)
+
+type row = {
+  name : string;
+  kind : string; (* "counter" | "gauge" | "histogram" *)
+  fields : (string * value) list;
+}
+
+let row_of (name, src) =
+  match src with
+  | Counter read -> { name; kind = "counter"; fields = [ ("value", Int (read ())) ] }
+  | Gauge read -> { name; kind = "gauge"; fields = [ ("value", read ()) ] }
+  | Hist h ->
+      {
+        name;
+        kind = "histogram";
+        fields =
+          [
+            ("count", Int (hist_count h));
+            ("sum", Float (hist_sum h));
+            ("mean", Float (hist_mean h));
+            ("p50", Float (hist_quantile h 0.50));
+            ("p90", Float (hist_quantile h 0.90));
+            ("p99", Float (hist_quantile h 0.99));
+            ("max", Float (hist_max h));
+          ];
+      }
+
+let snapshot t =
+  Mutex.lock t.mutex;
+  let srcs = List.rev t.sources in
+  Mutex.unlock t.mutex;
+  List.map row_of srcs
+
+(* -- rendering ------------------------------------------------------- *)
+
+let to_csv buf rows =
+  Buffer.add_string buf "name,kind,field,value\n";
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (field, v) ->
+          Buffer.add_string buf r.name;
+          Buffer.add_char buf ',';
+          Buffer.add_string buf r.kind;
+          Buffer.add_char buf ',';
+          Buffer.add_string buf field;
+          Buffer.add_char buf ',';
+          (match v with
+          | Int i -> Buffer.add_string buf (string_of_int i)
+          | Float f -> Buffer.add_string buf (Printf.sprintf "%.6g" f));
+          Buffer.add_char buf '\n')
+        r.fields)
+    rows
+
+let pp ppf rows =
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "  %-34s %-9s %a@." r.name r.kind
+        (Fmt.list ~sep:(Fmt.any "  ")
+           (Fmt.pair ~sep:(Fmt.any "=") Fmt.string pp_value))
+        r.fields)
+    rows

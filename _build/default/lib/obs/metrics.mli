@@ -1,0 +1,50 @@
+(** The metrics registry: named counters, gauges and histograms over
+    the runtime, snapshotable between session drains.
+
+    Counters and gauges are pull-based callbacks (free between
+    snapshots); histograms are push-based with atomic buckets, safe to
+    observe from any domain. *)
+
+type value = Int of int | Float of float
+
+type t
+
+val create : unit -> t
+
+val register_counter : t -> name:string -> (unit -> int) -> unit
+(** A monotonically increasing count, read at snapshot time. *)
+
+val register_gauge : t -> name:string -> (unit -> value) -> unit
+(** A point-in-time reading (sizes, depths, fills). *)
+
+type histogram
+
+val histogram : t -> name:string -> histogram
+(** Create and register a histogram (power-of-two buckets). *)
+
+val observe : histogram -> float -> unit
+(** Record one observation; lock-free, callable from any domain. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_mean : histogram -> float
+val hist_max : histogram -> float
+
+val hist_quantile : histogram -> float -> float
+(** Upper bound of the bucket containing the q-th observation — exact
+    to within one power of two. *)
+
+type row = {
+  name : string;
+  kind : string;  (** ["counter"], ["gauge"] or ["histogram"] *)
+  fields : (string * value) list;
+}
+
+val snapshot : t -> row list
+(** Registration order.  Histogram rows carry
+    count/sum/mean/p50/p90/p99/max fields. *)
+
+val to_csv : Buffer.t -> row list -> unit
+(** [name,kind,field,value] lines with a header. *)
+
+val pp : Format.formatter -> row list -> unit

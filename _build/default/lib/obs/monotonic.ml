@@ -1,0 +1,17 @@
+(* The tracer's clock: integer nanoseconds since process start.
+
+   Integer timestamps keep the span hot path allocation-free (an OCaml
+   [int] is immediate; a [float] result would be boxed) and give the
+   exporters exact arithmetic.  The source is [Unix.gettimeofday]
+   anchored at module initialisation — the stdlib exposes no
+   CLOCK_MONOTONIC and we take no external clock dependency — so the
+   clock is monotonic up to NTP slew, which is far below the
+   microsecond granularity Chrome-trace viewers display.  [now_ns] is
+   clamped to be non-decreasing against the anchor so a backwards step
+   can never produce a negative timestamp. *)
+
+let epoch = Unix.gettimeofday ()
+
+let now_ns () =
+  let dt = Unix.gettimeofday () -. epoch in
+  if dt <= 0.0 then 0 else int_of_float (dt *. 1e9)

@@ -1,1 +1,1 @@
-lib/sched/pool.ml: Array Atomic Backoff Chase_lev Condition Domain Fun List Mutex Printexc Queue
+lib/sched/pool.ml: Array Atomic Backoff Chase_lev Condition Domain Fun Jstar_obs List Mutex Printexc Queue

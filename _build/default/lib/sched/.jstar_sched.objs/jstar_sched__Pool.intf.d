@@ -1,1 +1,1 @@
-lib/sched/pool.mli:
+lib/sched/pool.mli: Jstar_obs

@@ -40,6 +40,10 @@ type t = {
   shutdown : bool Atomic.t;
   mutable domains : unit Domain.t list;
   size : int;
+  tracer : Jstar_obs.Tracer.t;
+      (* spawn/steal/idle events; [Tracer.disabled] unless the creator
+         passes one, so untraced pools take a single dead branch per
+         steal *)
 }
 
 exception Shutdown
@@ -89,7 +93,11 @@ let try_steal pool w =
       if victim.wid = w.wid then go (i + 1) retry
       else
         match Chase_lev.steal victim.deque with
-        | Chase_lev.Stolen t -> Some t
+        | Chase_lev.Stolen t ->
+            if Jstar_obs.Tracer.spans_on pool.tracer then
+              Jstar_obs.Tracer.instant pool.tracer Jstar_obs.Kind.steal
+                ~arg:victim.wid;
+            Some t
         | Chase_lev.Empty -> go (i + 1) retry
         | Chase_lev.Retry -> go (i + 1) true
   in
@@ -126,8 +134,13 @@ let park pool =
     Atomic.decr pool.idlers
   else (
     Mutex.lock pool.inj_mutex;
-    if (not (any_work_visible pool)) && not (Atomic.get pool.shutdown) then
+    if (not (any_work_visible pool)) && not (Atomic.get pool.shutdown) then begin
+      (* Only a real wait is worth an idle span: the fast re-check
+         paths above return in nanoseconds and would flood the ring. *)
+      let t0 = Jstar_obs.Tracer.start pool.tracer in
       Condition.wait pool.inj_cond pool.inj_mutex;
+      Jstar_obs.Tracer.stop pool.tracer Jstar_obs.Kind.idle t0
+    end;
     Mutex.unlock pool.inj_mutex;
     Atomic.decr pool.idlers)
 
@@ -168,6 +181,8 @@ let with_context pool w f =
 
 let worker_loop pool w =
   with_context pool w (fun () ->
+      if Jstar_obs.Tracer.spans_on pool.tracer then
+        Jstar_obs.Tracer.instant pool.tracer Jstar_obs.Kind.spawn ~arg:w.wid;
       let backoff = Backoff.create () in
       while not (Atomic.get pool.shutdown) do
         match find_task pool w with
@@ -185,7 +200,7 @@ let worker_loop pool w =
       done);
   Atomic.decr pool.live
 
-let create ~num_workers () =
+let create ~num_workers ?(tracer = Jstar_obs.Tracer.disabled) () =
   if num_workers < 1 then invalid_arg "Pool.create: num_workers < 1";
   let pool =
     {
@@ -202,6 +217,7 @@ let create ~num_workers () =
       shutdown = Atomic.make false;
       domains = [];
       size = num_workers;
+      tracer;
     }
   in
   pool.domains <-

@@ -15,8 +15,11 @@ type t
 exception Shutdown
 (** Raised by {!submit} and {!fork} after {!shutdown}. *)
 
-val create : num_workers:int -> unit -> t
+val create : num_workers:int -> ?tracer:Jstar_obs.Tracer.t -> unit -> t
 (** [create ~num_workers ()] spawns [num_workers - 1] worker domains.
+    When [tracer] records spans, the pool emits pool-spawn / pool-steal
+    instants and a pool-idle span per parked wait; the default
+    {!Jstar_obs.Tracer.disabled} costs one dead branch per steal.
     @raise Invalid_argument if [num_workers < 1]. *)
 
 val size : t -> int

@@ -1,1 +1,1 @@
-lib/stats/phase_timer.ml: Fmt List Unix
+lib/stats/phase_timer.ml: Jstar_obs

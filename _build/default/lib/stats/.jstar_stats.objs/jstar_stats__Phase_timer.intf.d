@@ -1,1 +1,1 @@
-lib/stats/phase_timer.mli: Format
+lib/stats/phase_timer.mli: Jstar_obs

@@ -1,54 +1,3 @@
-(* Named phase timing, for breakdowns like the §6.3 measurement that
-   attributes 16.9% of PvWatts' single-thread time to reading/parsing,
-   63.7% to Gamma insertion, 3.8% to Delta insertion and 15.6% to the
-   reducers — the numbers that motivate the Disruptor redesign and its
-   Amdahl bound. *)
-
-type t = {
-  mutable phases : (string * float) list; (* reverse registration order *)
-}
-
-let create () = { phases = [] }
-
-let add t name seconds =
-  if List.mem_assoc name t.phases then
-    (* accumulate in place, preserving first-registration order *)
-    t.phases <-
-      List.map
-        (fun (n, s) -> if n = name then (n, s +. seconds) else (n, s))
-        t.phases
-  else t.phases <- (name, seconds) :: t.phases
-
-let time t name f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  add t name (Unix.gettimeofday () -. t0);
-  r
-
-let total t = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 t.phases
-
-let phases t = List.rev t.phases
-
-let fractions t =
-  let tot = total t in
-  if tot <= 0.0 then []
-  else List.map (fun (n, s) -> (n, s /. tot)) (phases t)
-
-(* Amdahl's law: maximum speedup when everything except the phases named
-   in [serial] is parallelised over [workers] ways — the paper's
-   1 / (0.169 + (1 - 0.169) / 12) = 4.2x computation. *)
-let amdahl_bound t ~serial ~workers =
-  let serial_frac =
-    List.fold_left
-      (fun acc (n, f) -> if List.mem n serial then acc +. f else acc)
-      0.0 (fractions t)
-  in
-  1.0 /. (serial_frac +. ((1.0 -. serial_frac) /. float_of_int workers))
-
-let pp ppf t =
-  let tot = total t in
-  List.iter
-    (fun (name, s) ->
-      Fmt.pf ppf "  %-28s %8.3fs  %5.1f%%@." name s
-        (if tot > 0.0 then 100.0 *. s /. tot else 0.0))
-    (phases t)
+(* Absorbed into the observability layer; re-exported here so existing
+   [Jstar_stats.Phase_timer] users keep working. *)
+include Jstar_obs.Phase_timer

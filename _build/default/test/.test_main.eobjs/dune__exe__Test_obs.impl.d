@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Array Buffer Config Engine Export Gc Json Jstar_core Jstar_obs Kind Level List Metrics Program Ring Rule Schema String Sys Trace_check Tracer Tuple Value

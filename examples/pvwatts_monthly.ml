@@ -9,6 +9,8 @@
        --naive             disable the -noDelta optimisation
        --store KIND        skiplist | hash | month-array (default)
        --dot FILE          write the dependency graph (Fig 7 view)
+       --trace FILE        record span tracing and write a Chrome
+                           trace-event JSON (open in Perfetto)
        --no-order          omit [order Req < ... < SumMonth] and show
                            the resulting stratification error          *)
 
@@ -80,10 +82,15 @@ let () =
       let graph = Jstar_stats.Depgraph.of_program app.Jstar_apps.Pvwatts.program in
       Jstar_stats.Depgraph.write_dot graph path;
       Fmt.pr "dependency graph written to %s@." path);
+  let trace_path = arg_value "--trace" "" in
   let config =
     Jstar_apps.Pvwatts.config ~threads
       ~no_delta:(not (arg_flag "--naive"))
       ~store ()
+  in
+  let config =
+    if trace_path = "" then config
+    else { config with Config.tracing = Jstar_obs.Level.Spans }
   in
   let result =
     Engine.run_program ~init:app.Jstar_apps.Pvwatts.init
@@ -93,4 +100,11 @@ let () =
   List.iter (Fmt.pr "  %s@.") result.Engine.outputs;
   Fmt.pr "@.%.3fs, %d steps, %d tuples; per-table usage:@."
     result.Engine.elapsed result.Engine.steps result.Engine.tuples_processed;
-  Fmt.pr "%a@." Table_stats.pp_snapshot (Table_stats.snapshot result.Engine.stats)
+  Fmt.pr "%a@." Table_stats.pp_snapshot (Table_stats.snapshot result.Engine.stats);
+  if trace_path <> "" then begin
+    Jstar_obs.Export.write_chrome_trace trace_path result.Engine.tracer;
+    Jstar_obs.Export.console Fmt.stdout ~metrics:result.Engine.metrics
+      result.Engine.tracer;
+    Fmt.pr "trace written to %s — open it at https://ui.perfetto.dev@."
+      trace_path
+  end

@@ -1,0 +1,6 @@
+(** Integer-nanosecond clock for span timestamps, anchored at process
+    start.  Unboxed ([int]) so reading it adds no allocation pressure
+    to instrumented hot paths. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since the process loaded this library; non-negative. *)

@@ -1,0 +1,29 @@
+(** Named phase timing for breakdowns like §6.3's (16.9% read / 63.7%
+    Gamma insert / 3.8% Delta / 15.6% reduce) and the Amdahl bounds
+    derived from them.  Accumulation is O(1) per call (Hashtbl-keyed);
+    reports keep first-registration order. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> float -> unit
+(** Accumulate seconds into a named phase. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run a thunk, accumulating its wall-clock time into the phase. *)
+
+val total : t -> float
+
+val phases : t -> (string * float) list
+(** In first-registration order. *)
+
+val fractions : t -> (string * float) list
+(** Each phase's share of the total. *)
+
+val amdahl_bound : t -> serial:string list -> workers:int -> float
+(** Maximum speedup when every phase not named in [serial] parallelises
+    over [workers] ways — the paper's 1 / (0.169 + (1-0.169)/12) = 4.2x
+    computation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+(* A fixed-capacity event ring for one domain.
+
+   Struct-of-arrays layout: four parallel scalar arrays, so recording
+   an event is four plain stores plus a cursor bump — no allocation,
+   no lock.  Exactly one domain writes a given ring (the tracer hands
+   each domain its own); readers run at quiescence.
+
+   The ring wraps: once [head] passes the capacity the oldest events
+   are overwritten and counted as dropped, keeping the most recent
+   window — the useful one when diagnosing where a long run ended up.
+   Capacity is rounded up to a power of two so the slot index is a
+   mask, not a division. *)
+
+type t = {
+  tid : int; (* writer's domain id: the export track *)
+  mask : int;
+  kinds : int array;
+  ts : int array; (* start, ns *)
+  dur : int array; (* ns; -1 marks an instant event *)
+  arg : int array;
+  mutable head : int; (* events ever recorded *)
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ~capacity ~tid =
+  let cap = next_pow2 (max 2 capacity) in
+  {
+    tid;
+    mask = cap - 1;
+    kinds = Array.make cap 0;
+    ts = Array.make cap 0;
+    dur = Array.make cap 0;
+    arg = Array.make cap 0;
+    head = 0;
+  }
+
+let tid t = t.tid
+let capacity t = t.mask + 1
+
+let record t ~kind ~ts ~dur ~arg =
+  let i = t.head land t.mask in
+  t.kinds.(i) <- kind;
+  t.ts.(i) <- ts;
+  t.dur.(i) <- dur;
+  t.arg.(i) <- arg;
+  t.head <- t.head + 1
+
+let length t = min t.head (t.mask + 1)
+let dropped t = max 0 (t.head - (t.mask + 1))
+
+(* Oldest retained event first. *)
+let iter t f =
+  let cap = t.mask + 1 in
+  let n = length t in
+  let first = if t.head > cap then t.head - cap else 0 in
+  for j = 0 to n - 1 do
+    let i = (first + j) land t.mask in
+    f ~kind:t.kinds.(i) ~ts:t.ts.(i) ~dur:t.dur.(i) ~arg:t.arg.(i)
+  done

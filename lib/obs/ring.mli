@@ -1,0 +1,25 @@
+(** Fixed-capacity per-domain event ring: no locks, no allocation per
+    event, a dropped counter once it wraps.  Single writer (the owning
+    domain); read at quiescence. *)
+
+type t
+
+val create : capacity:int -> tid:int -> t
+(** Capacity is rounded up to a power of two, minimum 2. *)
+
+val tid : t -> int
+val capacity : t -> int
+
+val record : t -> kind:int -> ts:int -> dur:int -> arg:int -> unit
+(** Four scalar stores and a cursor bump.  [dur = -1] marks an instant
+    event; otherwise [dur] is the span length in ns.  Overwrites the
+    oldest event when full. *)
+
+val length : t -> int
+(** Events currently retained. *)
+
+val dropped : t -> int
+(** Events overwritten by wrapping. *)
+
+val iter : t -> (kind:int -> ts:int -> dur:int -> arg:int -> unit) -> unit
+(** Oldest retained event first. *)
