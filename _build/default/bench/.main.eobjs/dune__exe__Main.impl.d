@@ -1,1 +1,1 @@
-bench/main.ml: Ablate Array Fig10 Fig11 Fig12 Fig13 Fig6 Fig8 Fmt Hotpath List Micro Sec62 Sec63 Sys Table1 Unix Util
+bench/main.ml: Ablate Array Fig10 Fig11 Fig12 Fig13 Fig6 Fig8 Fmt Hotpath List Micro Query Sec62 Sec63 Sys Table1 Unix Util

@@ -1,0 +1,1 @@
+bench/query.ml: Buffer Config Engine Hashtbl Jstar_core List Printf Program Query Reducer Rule Schema Store Tuple Unix Util Value

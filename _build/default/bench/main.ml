@@ -32,7 +32,8 @@ let targets : (string * string * (unit -> unit)) list =
     ("fig13", "Median speedup vs pool size", Fig13.run);
     ("ablate", "design-choice ablations beyond the paper", Ablate.run);
     ("micro", "Bechamel micro-benchmarks of the substrates", Micro.run);
-    ("hotpath", "hot-path knob ablation (hashes/batching/grain) + JSON", Hotpath.run);
+    ("hotpath", "hot-path knob ablation (batching/grain) + JSON", Hotpath.run);
+    ("query", "query acceleration: indexes + agg cache vs scan + JSON", Query.run);
     ("smoke", "quick-scale fig8 + fig12 + hotpath, bounded runtime", smoke);
   ]
 

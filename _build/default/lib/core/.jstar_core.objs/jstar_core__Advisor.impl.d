@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Array Atomic List Store Table_stats

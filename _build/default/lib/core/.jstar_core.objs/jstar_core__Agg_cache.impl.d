@@ -1,0 +1,1 @@
+lib/core/agg_cache.ml: Array Atomic Fun List Mutex Schema Tuple

@@ -1,0 +1,1 @@
+lib/core/agg_cache.mli: Tuple

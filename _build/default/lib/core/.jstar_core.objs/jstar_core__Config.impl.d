@@ -1,1 +1,1 @@
-lib/core/config.ml: Delta Jstar_obs Store
+lib/core/config.ml: Delta Jstar_obs List Store

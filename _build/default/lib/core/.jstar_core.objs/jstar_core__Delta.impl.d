@@ -1,1 +1,1 @@
-lib/core/delta.ml: Array Atomic Domain Fun Hashtbl Jstar_cds List Map Mutex Option Schema Timestamp Tuple Value
+lib/core/delta.ml: Array Atomic Domain Fun Hashtbl Jstar_cds List Map Mutex Option Timestamp Tuple Value

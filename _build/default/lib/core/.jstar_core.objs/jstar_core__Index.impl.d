@@ -1,0 +1,1 @@
+lib/core/index.ml: Atomic Fmt Jstar_cds List Mutex Schema Tuple Value

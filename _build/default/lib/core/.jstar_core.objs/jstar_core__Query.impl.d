@@ -1,1 +1,1 @@
-lib/core/query.ml: List Reducer Rule Schema Tuple
+lib/core/query.ml: Agg_cache Array Atomic Fmt Hashtbl List Option Reducer Rule Schema Stdlib Tuple Value

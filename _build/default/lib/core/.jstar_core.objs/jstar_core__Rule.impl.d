@@ -1,1 +1,1 @@
-lib/core/rule.ml: Fmt Schema Spec Store Timestamp Tuple Value
+lib/core/rule.ml: Agg_cache Fmt Schema Spec Store Timestamp Tuple Value

@@ -1,1 +1,1 @@
-lib/core/rule.mli: Format Schema Spec Store Timestamp Tuple Value
+lib/core/rule.mli: Agg_cache Format Schema Spec Store Timestamp Tuple Value

@@ -1,1 +1,1 @@
-lib/core/store.ml: Array Atomic Bytes Fmt Fun Hashtbl Int Jstar_cds List Mutex Schema Seq Set Tuple Value
+lib/core/store.ml: Array Atomic Bytes Fmt Fun Hashtbl Index Int Jstar_cds List Mutex Schema Seq Set Tuple Value

@@ -1,0 +1,109 @@
+(* The adaptive store advisor.
+
+   "Late commitment to data structures" (§6) is a manual knob: someone
+   reads the Table_stats report, notices a table is scanned by a prefix
+   its store cannot index, and re-runs with a different store.  The
+   advisor closes that loop at runtime: it extends the per-table
+   [queries] counter into a per-prefix-length histogram (striped like
+   every hot-path counter), and at Phase-A barriers — the only points
+   where Gamma and its indexes may change — reviews the histogram and
+   promotes a hot scan pattern to a secondary index through the table's
+   {!Store.indexed} handle.
+
+   Reviews are amortised: a review runs only once the total query count
+   crosses [next_review] (warm-up first, then every [warmup/2] or 64
+   queries, whichever is larger), so the per-step barrier cost is one
+   striped-counter read and a compare.
+
+   Determinism: the engine's class sequence is schedule-independent, so
+   the histogram values observed at each barrier are too (Phase B has
+   fully completed); promotion decisions therefore replay identically
+   across thread counts, and an index only changes *how* a prefix query
+   iterates, never which tuples it visits. *)
+
+type table = {
+  t_name : string;
+  t_handle : Store.indexed_handle option; (* None: not an indexable store *)
+  t_counts : Table_stats.counter array; (* queries by prefix length 0..arity *)
+  t_size : unit -> int;
+}
+
+type t = {
+  warmup : int;
+  min_queries : int;
+  min_size : int;
+  tables : table array;
+  total : Table_stats.counter;
+  mutable next_review : int;
+  promotions : int Atomic.t;
+}
+
+let make_table ~name ~arity ~handle ~size =
+  {
+    t_name = name;
+    t_handle = handle;
+    t_counts = Array.init (arity + 1) (fun _ -> Table_stats.make_counter ());
+    t_size = size;
+  }
+
+let create ~warmup ~min_queries ~min_size tables =
+  {
+    warmup;
+    min_queries;
+    min_size;
+    tables;
+    total = Table_stats.make_counter ();
+    next_review = max warmup 1;
+    promotions = Atomic.make 0;
+  }
+
+let note_query t id plen =
+  let tb = t.tables.(id) in
+  if plen < Array.length tb.t_counts then Table_stats.incr tb.t_counts.(plen);
+  Table_stats.incr t.total
+
+let promotions_total t = Atomic.get t.promotions
+
+let histogram t id =
+  Array.to_list
+    (Array.mapi (fun k c -> (k, Table_stats.read c)) t.tables.(id).t_counts)
+
+let table_name t id = t.tables.(id).t_name
+let index_lens t id =
+  match t.tables.(id).t_handle with
+  | Some h -> h.Store.ih_lens ()
+  | None -> []
+
+(* A review promotes, per table, the hottest prefix length k >= 1 whose
+   scan count clears [min_queries] and which no existing index already
+   serves (an index on j <= k answers k-queries from its j-bucket; a
+   second, tighter index would only split the same traffic). *)
+let review t ~on_promote =
+  let total = Table_stats.read t.total in
+  if total >= t.next_review then begin
+    t.next_review <- total + max 64 (t.warmup / 2);
+    Array.iteri
+      (fun id tb ->
+        match tb.t_handle with
+        | None -> ()
+        | Some h ->
+            if tb.t_size () >= t.min_size then begin
+              let lens = h.Store.ih_lens () in
+              let best = ref 0 and best_n = ref 0 in
+              Array.iteri
+                (fun k c ->
+                  if k >= 1 && not (List.exists (fun l -> l <= k) lens) then begin
+                    let n = Table_stats.read c in
+                    if n >= t.min_queries && n > !best_n then begin
+                      best := k;
+                      best_n := n
+                    end
+                  end)
+                tb.t_counts;
+              if !best > 0 && h.Store.ih_promote !best then begin
+                Atomic.incr t.promotions;
+                on_promote ~table_id:id ~prefix_len:!best
+              end
+            end)
+      t.tables
+  end

@@ -1,0 +1,46 @@
+(** Adaptive store advisor: per-prefix-length query histograms over
+    every table, reviewed at Phase-A barriers, promoting hot scan
+    patterns to secondary indexes mid-run through {!Store.indexed}
+    handles.  Decisions are deterministic (the histogram at a barrier
+    is a function of the schedule-independent class sequence) and only
+    change how queries iterate, never their results.  Created by the
+    engine from {!Config.advisor}. *)
+
+type t
+type table
+
+val make_table :
+  name:string ->
+  arity:int ->
+  handle:Store.indexed_handle option ->
+  size:(unit -> int) ->
+  table
+(** One slot per table id; [handle = None] marks stores the advisor
+    may observe but never index (custom, windowed, native, -noGamma). *)
+
+val create : warmup:int -> min_queries:int -> min_size:int -> table array -> t
+
+val note_query : t -> int -> int -> unit
+(** [note_query t id plen]: one prefix query of length [plen] hit table
+    [id].  Striped; called from concurrent rule bodies. *)
+
+val review : t -> on_promote:(table_id:int -> prefix_len:int -> unit) -> unit
+(** Barrier hook.  Cheap no-op until the total query count crosses the
+    next review threshold; then promotes at most one index per table
+    and reports each through [on_promote].  Must run with no concurrent
+    store operations (the engine's Phase-A barrier). *)
+
+val promotions_total : t -> int
+(** Lifetime promotions — exported as the [advisor.promotions]
+    counter. *)
+
+val histogram : t -> int -> (int * int) list
+(** [(prefix_len, queries)] pairs for a table id, lengths [0..arity] —
+    the per-prefix-length query histogram behind the metrics
+    registry. *)
+
+val table_name : t -> int -> string
+
+val index_lens : t -> int -> int list
+(** Current secondary-index lengths on a table ([] when not
+    indexable). *)

@@ -1,0 +1,84 @@
+(* Memoized monoid aggregates.
+
+   An aggregate query ([Query.count]/[reduce]/[min_by]) over a prefix
+   re-scans Gamma on every rule firing — the SumMonth cost of §6.2.
+   This cache keeps, per (table, memo), a hash table from group key
+   (the first [prefix_len] fields) to the monoid partial over every
+   tuple of that group, and *updates* it on each class insert instead
+   of invalidating: commutative monoids absorb new tuples in any order,
+   so the partial equals the full re-scan no matter how the schedule
+   interleaved the inserts.
+
+   Synchronization rides the engine's phase structure, like the
+   secondary indexes:
+   - updates run at the Phase-A barrier, single-threaded, over exactly
+     the tuples the store accepted (dedup drops never reach a partial);
+   - reads and first-touch registrations run during Phase B, when Gamma
+     and the partials are frozen; registration of distinct memos from
+     concurrent rule bodies is serialized by one mutex, and the entry
+     list is published through an [Atomic] so barrier updates observe
+     complete entries only.
+   Tables whose Gamma can change outside the barrier or can evict
+   ([-noDelta], [-noGamma], custom/windowed stores) are declared
+   non-cacheable by the engine and always fall back to the scan.
+
+   The typed side lives in {!Query}: a memo token carries its own
+   extension constructor of [univ] below, which is how a ['a] lookup
+   function crosses the untyped engine-side entry list and comes back
+   at the right type. *)
+
+type univ = ..
+
+type entry = {
+  e_memo : int;
+  e_update : Tuple.t -> unit;
+  e_state : univ;
+}
+
+type t = {
+  mutex : Mutex.t;
+  cacheable : bool array; (* by table id *)
+  entries : entry list Atomic.t array; (* by table id *)
+}
+
+let create ~cacheable =
+  {
+    mutex = Mutex.create ();
+    cacheable;
+    entries = Array.init (Array.length cacheable) (fun _ -> Atomic.make []);
+  }
+
+let cacheable t table =
+  table < Array.length t.cacheable && t.cacheable.(table)
+
+let get_or_register t ~table ~memo_id ~mk =
+  if not (cacheable t table) then None
+  else
+    let find () =
+      List.find_opt (fun e -> e.e_memo = memo_id) (Atomic.get t.entries.(table))
+    in
+    match find () with
+    | Some e -> Some e.e_state
+    | None ->
+        Mutex.lock t.mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.mutex)
+          (fun () ->
+            match find () with
+            | Some e -> Some e.e_state
+            | None ->
+                let e_update, e_state = mk () in
+                Atomic.set t.entries.(table)
+                  ({ e_memo = memo_id; e_update; e_state }
+                  :: Atomic.get t.entries.(table));
+                Some e_state)
+
+let note_inserted t tuple =
+  let id = (Tuple.schema tuple).Schema.id in
+  if id < Array.length t.entries then
+    match Atomic.get t.entries.(id) with
+    | [] -> ()
+    | es -> List.iter (fun e -> e.e_update tuple) es
+
+let entries_count t =
+  Array.fold_left (fun acc a -> acc + List.length (Atomic.get a)) 0 t.entries

@@ -1,0 +1,39 @@
+(** Memoized monoid aggregates: per-(table, memo) caches of monoid
+    partials by group key, updated at the Phase-A barrier instead of
+    invalidated, so an aggregate query is O(1) after its first touch.
+    Typed access goes through {!Query.memo}; the engine owns the
+    lifecycle (creation per run, {!note_inserted} per accepted class
+    tuple). *)
+
+type t
+
+type univ = ..
+(** Universal type bridging the untyped engine-side entry list and the
+    typed lookup closures: each {!Query.memo} token mints a private
+    extension constructor and injects/projects through it. *)
+
+val create : cacheable:bool array -> t
+(** [cacheable.(id)] = the engine guarantees table [id]'s Gamma grows
+    only at Phase-A barriers and never evicts; others always miss. *)
+
+val cacheable : t -> int -> bool
+
+val get_or_register :
+  t ->
+  table:int ->
+  memo_id:int ->
+  mk:(unit -> (Tuple.t -> unit) * univ) ->
+  univ option
+(** The Phase-B read path.  Returns the cached state for
+    [(table, memo_id)], running [mk] first if this is the first touch —
+    [mk] must scan current Gamma and return the update closure plus the
+    injected state.  [None] iff the table is not cacheable.
+    Registrations from concurrent rule bodies are serialized. *)
+
+val note_inserted : t -> Tuple.t -> unit
+(** The barrier write path: feed one tuple the store newly accepted
+    (never a dedup drop) to every registered partial of its table.
+    Single-threaded by the engine's phase structure. *)
+
+val entries_count : t -> int
+(** Registered (table, memo) partials — exported as a gauge. *)

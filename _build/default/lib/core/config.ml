@@ -12,6 +12,18 @@ type grain =
   | Auto_grain (* max 1 (n / (4 * workers)): chunked leaves, adaptive *)
   | Fixed of int (* fixed fork/join leaf size; [Fixed 1] = task per tuple *)
 
+type advisor = {
+  adv_warmup : int;
+      (* total prefix queries across all tables before the advisor
+         reviews scan patterns at all *)
+  adv_min_queries : int;
+      (* scans of one (table, prefix length) needed to justify an index *)
+  adv_min_size : int; (* don't index tables smaller than this *)
+}
+
+let advisor_default =
+  { adv_warmup = 512; adv_min_queries = 128; adv_min_size = 256 }
+
 type t = {
   threads : int;
       (* Fork/join pool size (--threads=N); 1 = run on the caller only,
@@ -29,8 +41,19 @@ type t = {
       (* buffer parallel-phase puts per domain and flush them through
          Delta.insert_batch / Store.insert_batch at the phase barriers *)
   specialized_compare : bool;
-      (* schema-compiled comparators + cached-hash dedup tables instead
-         of generic polymorphic Value dispatch *)
+      (* no-op, kept so existing configs build: the generic-comparator
+         path it used to toggle is retired and the schema-compiled
+         comparators + cached-hash dedup tables are the only path *)
+  indexes : (string * int list) list;
+      (* declared secondary indexes: table name -> prefix lengths,
+         maintained at the Phase-A barrier (Store.indexed) *)
+  agg_cache : bool;
+      (* memoized monoid aggregates: serve Query.count / memo_reduce
+         from barrier-maintained partials instead of Gamma scans *)
+  advisor : advisor option;
+      (* adaptive store advisor: watch per-prefix-length query
+         histograms and promote hot scan patterns to secondary indexes
+         mid-run *)
   task_per_rule : bool;
       (* §5.2: "Even if a tuple triggers more than one rule, we create
          only one task for that tuple - we could create one task per
@@ -43,6 +66,9 @@ type t = {
   tracing : Jstar_obs.Level.t;
       (* Off: zero-cost; Counters: metrics registry only; Spans: also
          record per-domain span rings for Chrome-trace export *)
+  trace_suppress : string list;
+      (* builtin span kinds (by name, e.g. "rule-fire") dropped even at
+         Spans level — the per-kind mask for rule-fire-heavy runs *)
 }
 
 let default =
@@ -55,11 +81,15 @@ let default =
     grain = Auto_grain;
     put_batching = false;
     specialized_compare = true;
+    indexes = [];
+    agg_cache = false;
+    advisor = None;
     task_per_rule = false;
     runtime_causality_check = false;
     max_steps = None;
     print_directly = false;
     tracing = Jstar_obs.Level.Off;
+    trace_suppress = [];
   }
 
 let sequential = default
@@ -67,7 +97,14 @@ let sequential = default
 (* Parallel defaults include the hot-path optimisations that EXPERIMENTS.md
    showed strictly helping multi-threaded runs; [default] keeps them off so
    ablations still have a baseline. *)
-let parallel ?(threads = 4) () = { default with threads; put_batching = true }
+let parallel ?(threads = 4) () =
+  {
+    default with
+    threads;
+    put_batching = true;
+    agg_cache = true;
+    advisor = Some advisor_default;
+  }
 
 let effective_mode t =
   match t.data_structures with
@@ -81,9 +118,30 @@ let validate t =
   if t.threads < 1 then raise (Invalid "threads must be >= 1");
   if t.threads > 1 && t.data_structures = Sequential_ds then
     raise (Invalid "sequential data structures require threads = 1");
-  match t.grain with
+  (match t.grain with
   | Fixed g when g < 1 -> raise (Invalid "grain must be >= 1")
-  | _ -> ()
+  | _ -> ());
+  List.iter
+    (fun (table, lens) ->
+      if lens = [] then
+        raise (Invalid ("empty index length list for table " ^ table));
+      List.iter
+        (fun l ->
+          if l < 1 then
+            raise (Invalid ("index prefix length must be >= 1 for " ^ table)))
+        lens)
+    t.indexes;
+  (match t.advisor with
+  | Some a ->
+      if a.adv_warmup < 0 || a.adv_min_queries < 1 || a.adv_min_size < 0 then
+        raise (Invalid "advisor thresholds out of range")
+  | None -> ());
+  List.iter
+    (fun name ->
+      match Jstar_obs.Kind.of_name name with
+      | Some _ -> ()
+      | None -> raise (Invalid ("unknown span kind in trace_suppress: " ^ name)))
+    t.trace_suppress
 
 (* The adaptive all-minimums granularity: coarse enough that fork/join
    overhead amortises, fine enough (4 leaves per worker) that stealing

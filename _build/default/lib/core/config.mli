@@ -12,6 +12,20 @@ type grain =
           leaves" strategy *)
   | Fixed of int  (** fixed leaf size; [Fixed 1] is one task per tuple *)
 
+type advisor = {
+  adv_warmup : int;
+      (** total prefix queries (across tables) before the advisor
+          reviews scan patterns *)
+  adv_min_queries : int;
+      (** scans of one (table, prefix length) needed to justify
+          promoting an index *)
+  adv_min_size : int;  (** tables smaller than this are never indexed *)
+}
+
+val advisor_default : advisor
+(** warmup 512, min queries 128, min size 256 — conservative enough
+    that short runs never pay a backfill. *)
+
 type t = {
   threads : int;  (** fork/join pool size ([--threads=N]); 1 = caller only *)
   data_structures : data_structures;
@@ -28,8 +42,23 @@ type t = {
           [Delta.insert_batch] / [Store.insert_batch] at the phase
           barriers that already define class visibility *)
   specialized_compare : bool;
-      (** schema-compiled comparators and cached-hash dedup tables on
-          the tuple hot path *)
+      (** No-op, kept for config compatibility: the generic-comparator
+          path it used to toggle was retired (the schema-compiled
+          comparators and cached-hash dedup tables are now the only
+          path — see EXPERIMENTS.md "Hot-path ablation"). *)
+  indexes : (string * int list) list;
+      (** declared secondary indexes (table name, prefix lengths),
+          built empty at engine start and maintained at the Phase-A
+          barrier — see {!Store.indexed} *)
+  agg_cache : bool;
+      (** memoized monoid aggregates: [Query.count] and
+          [Query.memo_reduce] answer from barrier-maintained partials
+          instead of re-scanning Gamma *)
+  advisor : advisor option;
+      (** adaptive store advisor: watches per-prefix-length query
+          histograms and promotes hot scan patterns to secondary
+          indexes mid-run, reporting through metrics and the
+          [advisor-promote] span kind *)
   task_per_rule : bool;
       (** one task per (tuple, rule) pair instead of per tuple (§5.2) *)
   runtime_causality_check : bool;
@@ -39,6 +68,11 @@ type t = {
   tracing : Jstar_obs.Level.t;
       (** [Off]: zero-cost; [Counters]: metrics registry only; [Spans]:
           also record per-domain span rings for Chrome-trace export *)
+  trace_suppress : string list;
+      (** builtin span kinds, by name (e.g. ["rule-fire"]), never
+          recorded even at [Spans] — the per-kind mask that keeps
+          step/extract spans while dropping per-task events on
+          rule-fire-heavy runs *)
 }
 
 val default : t
@@ -49,10 +83,10 @@ val sequential : t
 (** Alias of {!default} — the [-sequential] compiler flag. *)
 
 val parallel : ?threads:int -> unit -> t
-(** Parallel defaults ([threads] defaults to 4): put batching and
-    specialized comparators on — the knobs EXPERIMENTS.md showed
-    strictly helping multi-threaded runs.  {!default} keeps both off so
-    ablation baselines remain reachable. *)
+(** Parallel defaults ([threads] defaults to 4): put batching, the
+    aggregate cache and the store advisor on — the knobs EXPERIMENTS.md
+    showed strictly helping multi-threaded runs.  {!default} keeps them
+    off so ablation baselines remain reachable. *)
 
 val effective_mode : t -> Delta.mode
 (** Which structure family the configuration resolves to. *)
@@ -61,7 +95,9 @@ exception Invalid of string
 
 val validate : t -> unit
 (** @raise Invalid for nonsensical combinations (0 threads, sequential
-    structures with a multi-threaded pool, grain < 1). *)
+    structures with a multi-threaded pool, grain < 1, empty or
+    non-positive index length lists, advisor thresholds out of range,
+    unknown kind names in [trace_suppress]). *)
 
 val resolve_grain : t -> workers:int -> n:int -> int
 (** The fork/join leaf size for an [n]-iteration loop on [workers]

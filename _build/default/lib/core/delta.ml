@@ -25,67 +25,16 @@ type mode = Sequential | Concurrent
 
 (* -- leaf sets: deduplicating tuple sets ---------------------------- *)
 
-(* Two dedup-table families back the leaves.  The legacy one keys a
-   polymorphic [Hashtbl] by (schema id, fields) and re-hashes the boxed
-   field array on every probe (two bucket walks per mem+replace); the
-   specialized one is {!Tuple.Dset} — member-or-add in a single probe
-   against the lazily-cached structural hash.
-   [Config.specialized_compare] picks the family, so the ablation bench
-   can price the difference. *)
-module type Tuple_table = sig
-  type table
+(* Leaves dedup with {!Tuple.Dset} — member-or-add in a single probe
+   against the lazily-cached structural hash.  (A legacy family keyed a
+   polymorphic [Hashtbl] by (id, fields) and re-hashed the boxed field
+   array on every probe; it was retired once the ablation priced it —
+   see EXPERIMENTS.md "Hot-path ablation".) *)
 
-  val create : int -> table
-
-  val add_if_absent : table -> Tuple.t -> bool
-  (* The one dedup primitive leaves need: [true] iff newly added. *)
-
-  val fold_clear : table -> Tuple.t list -> Tuple.t list
-  val length : table -> int
-  val hash : Tuple.t -> int (* shard selector, same family as the table *)
-end
-
-type tkey = int * Value.t array (* schema id + fields: structural key *)
-
-let tkey_of t = ((Tuple.schema t).Schema.id, Tuple.fields t)
-let tkey_hash (id, fields) = (id * 0x01000193) lxor Value.hash_array fields
-
-module Legacy_table : Tuple_table = struct
-  type table = (tkey, Tuple.t) Hashtbl.t
-
-  let create n = Hashtbl.create n
-
-  let add_if_absent tb t =
-    let k = tkey_of t in
-    if Hashtbl.mem tb k then false
-    else begin
-      Hashtbl.replace tb k t;
-      true
-    end
-
-  let fold_clear tb acc =
-    let items = Hashtbl.fold (fun _ t acc -> t :: acc) tb acc in
-    Hashtbl.reset tb;
-    items
-
-  let length = Hashtbl.length
-  let hash t = tkey_hash (tkey_of t)
-end
-
-module Fast_table : Tuple_table = struct
-  type table = Tuple.Dset.t
-
-  let create n = Tuple.Dset.create n
-  let add_if_absent = Tuple.Dset.add_if_absent
-
-  let fold_clear tb acc =
-    let items = Tuple.Dset.fold (fun acc t -> t :: acc) tb acc in
-    Tuple.Dset.clear tb;
-    items
-
-  let length = Tuple.Dset.length
-  let hash = Tuple.hash
-end
+let fold_clear tb acc =
+  let items = Tuple.Dset.fold (fun acc t -> t :: acc) tb acc in
+  Tuple.Dset.clear tb;
+  items
 
 type leaf = {
   l_add : Tuple.t -> bool;
@@ -99,23 +48,23 @@ type leaf = {
   l_is_empty : unit -> bool;
 }
 
-let sequential_leaf (module T : Tuple_table) () =
-  let table = T.create 8 in
+let sequential_leaf () =
+  let table = Tuple.Dset.create 8 in
   {
-    l_add = (fun t -> T.add_if_absent table t);
+    l_add = (fun t -> Tuple.Dset.add_if_absent table t);
     l_add_many =
       (fun tuples run mark ->
         let added = ref 0 in
         List.iter
           (fun p ->
-            if T.add_if_absent table tuples.(p) then begin
+            if Tuple.Dset.add_if_absent table tuples.(p) then begin
               mark p;
               incr added
             end)
           run;
         !added);
-    l_pop_all = (fun () -> T.fold_clear table []);
-    l_is_empty = (fun () -> T.length table = 0);
+    l_pop_all = (fun () -> fold_clear table []);
+    l_is_empty = (fun () -> Tuple.Dset.length table = 0);
   }
 
 (* A few mutex-protected shards balance two costs: insert bursts into
@@ -126,17 +75,17 @@ let sequential_leaf (module T : Tuple_table) () =
    ~20x more expensive to extract).  Eight shards keep both ends cheap. *)
 let leaf_shards = 8
 
-let concurrent_leaf (module T : Tuple_table) () =
+let concurrent_leaf () =
   let shards =
-    Array.init leaf_shards (fun _ -> (Mutex.create (), T.create 8))
+    Array.init leaf_shards (fun _ -> (Mutex.create (), Tuple.Dset.create 8))
   in
   let count = Atomic.make 0 in
   {
     l_add =
       (fun t ->
-        let mutex, table = shards.(T.hash t land (leaf_shards - 1)) in
+        let mutex, table = shards.(Tuple.hash t land (leaf_shards - 1)) in
         Mutex.lock mutex;
-        let added = T.add_if_absent table t in
+        let added = Tuple.Dset.add_if_absent table t in
         Mutex.unlock mutex;
         if added then Atomic.incr count;
         added);
@@ -149,7 +98,7 @@ let concurrent_leaf (module T : Tuple_table) () =
         let buckets = Array.make leaf_shards [] in
         List.iter
           (fun p ->
-            let s = T.hash tuples.(p) land (leaf_shards - 1) in
+            let s = Tuple.hash tuples.(p) land (leaf_shards - 1) in
             buckets.(s) <- p :: buckets.(s))
           run;
         let added = ref 0 in
@@ -160,7 +109,7 @@ let concurrent_leaf (module T : Tuple_table) () =
               Mutex.lock mutex;
               List.iter
                 (fun p ->
-                  if T.add_if_absent table tuples.(p) then begin
+                  if Tuple.Dset.add_if_absent table tuples.(p) then begin
                     mark p;
                     incr added
                   end)
@@ -176,7 +125,7 @@ let concurrent_leaf (module T : Tuple_table) () =
         Array.iter
           (fun (mutex, table) ->
             Mutex.lock mutex;
-            items := T.fold_clear table !items;
+            items := fold_clear table !items;
             Mutex.unlock mutex)
           shards;
         Atomic.set count 0;
@@ -304,39 +253,33 @@ let stripe_read (c : stripe_counter) =
 
 type t = {
   mode : mode;
-  specialized : bool; (* cached-hash tuple tables in the leaves *)
   nlits : int; (* size of literal-rank arrays, fixed at freeze time *)
   root : node;
   inserted : stripe_counter; (* lifetime statistics *)
   deduped : stripe_counter;
 }
 
-let make_leaf mode specialized =
-  let table =
-    if specialized then (module Fast_table : Tuple_table)
-    else (module Legacy_table : Tuple_table)
-  in
+let make_leaf mode =
   match mode with
-  | Sequential -> sequential_leaf table ()
-  | Concurrent -> concurrent_leaf table ()
+  | Sequential -> sequential_leaf ()
+  | Concurrent -> concurrent_leaf ()
 
-let make_node_spec mode specialized =
+let make_node_spec mode =
   {
     count = Atomic.make 0;
-    leaf = make_leaf mode specialized;
+    leaf = make_leaf mode;
     lit = Atomic.make None;
     seq = Atomic.make None;
     par = Atomic.make None;
   }
 
-let make_node t = make_node_spec t.mode t.specialized
+let make_node t = make_node_spec t.mode
 
-let create ~mode ?(specialized = true) ~nlits () =
+let create ~mode ~nlits () =
   {
     mode;
-    specialized;
     nlits = max nlits 1;
-    root = make_node_spec mode specialized;
+    root = make_node_spec mode;
     inserted = make_stripes ();
     deduped = make_stripes ();
   }

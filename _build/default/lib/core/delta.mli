@@ -13,12 +13,12 @@ type mode = Sequential | Concurrent
     [Map]/[Hashtbl] (the paper's TreeMap path, single-threaded only) or
     the concurrent skip list / sharded hash map. *)
 
-val create : mode:mode -> ?specialized:bool -> nlits:int -> unit -> t
+val create : mode:mode -> nlits:int -> unit -> t
 (** [nlits] is the number of order literals at program freeze time; it
-    fixes the width of named-branch arrays.  [specialized] (default
-    [true]) keys the leaf dedup tables directly by tuples with their
-    cached structural hash; [false] keeps the legacy polymorphic
-    (id, fields) tables, for ablation. *)
+    fixes the width of named-branch arrays.  Leaf dedup tables are keyed
+    directly by tuples with their cached structural hash
+    ({!Tuple.Dset}); the legacy polymorphic (id, fields) tables are
+    retired. *)
 
 val insert : t -> Tuple.t -> Timestamp.t -> bool
 (** Add a pending tuple under its timestamp.  Returns [false] (and

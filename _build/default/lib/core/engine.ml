@@ -102,22 +102,36 @@ type state = {
   current_ts : Timestamp.t option ref;
   processed : int ref;
   phases : phase_times;
+  agg : Agg_cache.t option;
+      (* Config.agg_cache: memoized monoid partials, fed with every
+         accepted class tuple at the Phase-A barrier *)
+  advisor : Advisor.t option;
+      (* Config.advisor: per-prefix-length query histograms, reviewed at
+         the end-of-step barrier to promote hot scan patterns *)
   obs : Jstar_obs.Tracer.t;
   metrics : Jstar_obs.Metrics.t;
   trace_spans : bool;
       (* [Tracer.spans_on obs], cached: recording sites test one
          immutable bool instead of chasing the tracer's level *)
   counters_on : bool; (* likewise [Tracer.counters_on obs] *)
+  trace_rule_fire : bool;
+      (* [Tracer.enabled obs Kind.rule_fire]: the one per-task span kind,
+         separately cached so the suppress mask can drop it while
+         step/extract spans stay on *)
   h_rule_latency : Jstar_obs.Metrics.histogram; (* seconds per fire *)
   h_class_width : Jstar_obs.Metrics.histogram; (* tuples per class *)
 }
 
 let store_for config ~parallel schema =
-  let specialized = config.Config.specialized_compare in
+  (* Returns the primary store plus whether {!Store.indexed} may wrap
+     it: custom stores (windowed, native arrays, application-supplied)
+     manage their own lifetime and may evict, which an ever-growing
+     index must never witness. *)
   let name = schema.Schema.name in
   match List.assoc_opt name config.Config.stores with
-  | Some spec -> Store.of_spec ~specialized spec schema
-  | None -> Store.default_for ~specialized ~parallel schema
+  | Some (Store.Custom _ as spec) -> (Store.of_spec spec schema, false)
+  | Some spec -> (Store.of_spec spec schema, true)
+  | None -> (Store.default_for ~parallel schema, true)
 
 let null_store schema =
   (* -noGamma: accept and forget.  [mem] is always false, so set-dedup
@@ -145,17 +159,78 @@ let make_state frozen config =
   let tables = frozen.Program.tables in
   let in_list l s = List.mem s.Schema.name l in
   let no_gamma = Array.map (in_list config.Config.no_gamma) tables in
+  let no_delta = Array.map (in_list config.Config.no_delta) tables in
+  (* Secondary-index plumbing: wrap a table's primary store in
+     {!Store.indexed} when it has declared index lengths or the advisor
+     may want to promote one later.  [handles.(i)] keeps the promotion
+     hook; [indexable.(i)] also gates the aggregate cache (both need the
+     barrier-only-growth guarantee a custom store cannot give). *)
+  let nt = Array.length tables in
+  let handles = Array.make nt None in
+  let indexable = Array.make nt false in
+  let advisor_on = config.Config.advisor <> None in
   let gamma =
     Array.mapi
       (fun i s ->
-        if no_gamma.(i) then null_store s else store_for config ~parallel s)
+        if no_gamma.(i) then null_store s
+        else begin
+          let base, wrappable = store_for config ~parallel s in
+          indexable.(i) <- wrappable;
+          let declared =
+            match List.assoc_opt s.Schema.name config.Config.indexes with
+            | Some lens -> lens
+            | None -> []
+          in
+          if wrappable && (declared <> [] || advisor_on) then begin
+            let store, h = Store.indexed ~prefix_lens:declared s base in
+            handles.(i) <- Some h;
+            store
+          end
+          else base
+        end)
       tables
   in
   let order = Program.order_rel frozen.Program.program in
   let obs =
     match config.Config.tracing with
     | Jstar_obs.Level.Off -> Jstar_obs.Tracer.disabled
-    | level -> Jstar_obs.Tracer.create ~level ()
+    | level ->
+        Jstar_obs.Tracer.create
+          ~suppress:
+            (List.filter_map Jstar_obs.Kind.of_name
+               config.Config.trace_suppress)
+          ~level ()
+  in
+  let agg =
+    if config.Config.agg_cache then
+      (* Cacheable = Gamma grows only at Phase-A barriers and never
+         evicts: Delta-bound, stored, non-custom tables.  -noDelta
+         tables insert mid-Phase-B (no safe single-threaded update
+         point), -noGamma tables have nothing to aggregate, custom
+         stores may drop tuples. *)
+      Some
+        (Agg_cache.create
+           ~cacheable:
+             (Array.init nt (fun i ->
+                  indexable.(i) && (not no_delta.(i)) && not no_gamma.(i))))
+    else None
+  in
+  let advisor =
+    match config.Config.advisor with
+    | None -> None
+    | Some a ->
+        let adv_tables =
+          Array.mapi
+            (fun i s ->
+              Advisor.make_table ~name:s.Schema.name ~arity:(Schema.arity s)
+                ~handle:handles.(i)
+                ~size:(fun () -> gamma.(i).Store.size ()))
+            tables
+        in
+        Some
+          (Advisor.create ~warmup:a.Config.adv_warmup
+             ~min_queries:a.Config.adv_min_queries
+             ~min_size:a.Config.adv_min_size adv_tables)
   in
   let metrics = Jstar_obs.Metrics.create () in
   (* Stripe count scales with the pool so domains rarely share a stripe
@@ -170,10 +245,9 @@ let make_state frozen config =
     delta =
       Delta.create
         ~mode:(Config.effective_mode config)
-        ~specialized:config.Config.specialized_compare
         ~nlits:frozen.Program.nlits ();
     gamma;
-    no_delta = Array.map (in_list config.Config.no_delta) tables;
+    no_delta;
     no_gamma;
     const_ts =
       Array.map
@@ -215,10 +289,13 @@ let make_state frozen config =
     current_ts = ref None;
     processed = ref 0;
     phases = { t_extract = 0.0; t_gamma = 0.0; t_rules = 0.0 };
+    agg;
+    advisor;
     obs;
     metrics;
     trace_spans = Jstar_obs.Tracer.spans_on obs;
     counters_on = Jstar_obs.Tracer.counters_on obs;
+    trace_rule_fire = Jstar_obs.Tracer.enabled obs Jstar_obs.Kind.rule_fire;
     h_rule_latency =
       Jstar_obs.Metrics.histogram metrics ~name:"engine.rule_fire_latency_s";
     h_class_width =
@@ -258,6 +335,24 @@ let make_state frozen config =
           ~name:(String.concat "." [ "gamma"; table; "size" ])
           (fun () -> Jstar_obs.Metrics.Int (st.gamma.(id).Store.size ())))
     tables;
+  (match st.agg with
+  | Some agg ->
+      Jstar_obs.Metrics.register_gauge metrics ~name:"agg.entries" (fun () ->
+          Jstar_obs.Metrics.Int (Agg_cache.entries_count agg))
+  | None -> ());
+  (match st.advisor with
+  | Some adv ->
+      Jstar_obs.Metrics.register_counter metrics ~name:"advisor.promotions"
+        (fun () -> Advisor.promotions_total adv);
+      Array.iteri
+        (fun id s ->
+          if Option.is_some handles.(id) then
+            Jstar_obs.Metrics.register_gauge metrics
+              ~name:(String.concat "." [ "advisor"; s.Schema.name; "indexes" ])
+              (fun () ->
+                Jstar_obs.Metrics.Int (List.length (Advisor.index_lens adv id))))
+        tables
+  | None -> ());
   st
 
 (* ------------------------------------------------------------------ *)
@@ -365,7 +460,7 @@ and fire_rules st ctx tuple =
       if st.counters_on then begin
         let dur = Jstar_obs.Monotonic.now_ns () - t0 in
         Jstar_obs.Metrics.observe st.h_rule_latency (float_of_int dur *. 1e-9);
-        if st.trace_spans then
+        if st.trace_rule_fire then
           Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.rule_fire ~arg:id
             ~ts:t0 ~dur
       end
@@ -376,9 +471,13 @@ let make_ctx st =
       Rule.put = (fun tuple -> route_put st ctx tuple);
       iter_prefix =
         (fun schema prefix f ->
-          let c = Table_stats.counters st.stats schema.Schema.id in
+          let id = schema.Schema.id in
+          let c = Table_stats.counters st.stats id in
           Table_stats.incr c.Table_stats.queries;
-          st.gamma.(schema.Schema.id).Store.iter_prefix prefix f);
+          (match st.advisor with
+          | Some adv -> Advisor.note_query adv id (Array.length prefix)
+          | None -> ());
+          st.gamma.(id).Store.iter_prefix prefix f);
       store_of = (fun schema -> st.gamma.(schema.Schema.id));
       println =
         (fun line ->
@@ -398,6 +497,7 @@ let make_ctx st =
               for i = lo to hi - 1 do
                 f i
               done);
+      agg = st.agg;
     }
   in
   ctx
@@ -432,7 +532,7 @@ let run_class_effects st ctx tuples =
   in
   if has_effects then begin
     let sorted = Array.copy tuples in
-    Array.sort Tuple.compare sorted;
+    Array.sort Tuple.fast_compare sorted;
     Array.iter
       (fun t ->
         let id = (Tuple.schema t).Schema.id in
@@ -543,6 +643,13 @@ let run_step st ctx tuples =
     Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.gamma_insert ~arg:n
       ~ts:gamma_t0
       ~dur:(Jstar_obs.Monotonic.now_ns () - gamma_t0);
+  (* Still inside the Phase-A barrier (single-threaded): feed every
+     newly accepted tuple to the registered aggregate partials, so
+     Phase-B reads see partials consistent with the Gamma they query. *)
+  (match st.agg with
+  | Some agg ->
+      Array.iter (fun t -> Agg_cache.note_inserted agg t) to_fire
+  | None -> ());
   run_class_effects st ctx tuples;
   (* Phase B: fire all rules of the class in parallel — one task per
      tuple by default, or one per (tuple, rule) pair under the §5.2
@@ -571,7 +678,7 @@ let run_step st ctx tuples =
           let dur = Jstar_obs.Monotonic.now_ns () - f0 in
           Jstar_obs.Metrics.observe st.h_rule_latency
             (float_of_int dur *. 1e-9);
-          if st.trace_spans then
+          if st.trace_rule_fire then
             Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.rule_fire
               ~arg:id ~ts:f0 ~dur
         end)
@@ -584,6 +691,17 @@ let run_step st ctx tuples =
      class is extracted. *)
   flush_puts st;
   flush_step_outputs st;
+  (* End-of-step barrier: no rule task is live, so the advisor may
+     mutate store index lists.  The histogram it reads is a function of
+     the schedule-independent class sequence, so promotion decisions
+     replay identically at any thread count. *)
+  (match st.advisor with
+  | Some adv ->
+      Advisor.review adv ~on_promote:(fun ~table_id ~prefix_len ->
+          ignore prefix_len;
+          Jstar_obs.Tracer.instant st.obs ~arg:table_id
+            Jstar_obs.Kind.advisor)
+  | None -> ());
   if st.counters_on then begin
     Jstar_obs.Metrics.observe st.h_class_width (float_of_int n);
     if st.trace_spans then

@@ -1,0 +1,65 @@
+(* Secondary hash indexes over a Gamma store.
+
+   A primary store fixes one access path (the tree order, or the hash
+   prefix the table was declared with); every other prefix query falls
+   back to a scan.  An [Index.t] is the extra access path: buckets of
+   tuples keyed by the *hash* of the first [prefix_len] fields.  Keying
+   by the integer hash instead of a copied field sub-array means probes
+   and inserts allocate nothing; hash collisions are harmless because
+   every read filters with [Tuple.matches_prefix] and the primary store
+   owns dedup (an index never answers membership, only iteration).
+
+   Maintenance contract (engine): for Delta-bound tables every [add]
+   happens at the Phase-A barrier via the store's [insert_batch], so
+   index updates piggyback on the existing synchronization; [-noDelta]
+   tables add from concurrent rule bodies, which the per-bucket mutex
+   covers.  Promotion ([Store.indexed]) backfills from the primary at a
+   barrier, so an index is always a complete projection of the store. *)
+
+type bucket = { b_mutex : Mutex.t; mutable b_items : Tuple.t list }
+
+type t = {
+  prefix_len : int;
+  buckets : (int, bucket) Jstar_cds.Chashmap.t;
+  count : int Atomic.t;
+}
+
+let create ~prefix_len schema =
+  if prefix_len < 1 || prefix_len > Schema.arity schema then
+    raise
+      (Schema.Schema_error
+         (Fmt.str "%s: secondary index prefix length %d out of range"
+            schema.Schema.name prefix_len));
+  {
+    prefix_len;
+    buckets = Jstar_cds.Chashmap.create ~hash:(fun (h : int) -> h) ();
+    count = Atomic.make 0;
+  }
+
+let prefix_len ix = ix.prefix_len
+let size ix = Atomic.get ix.count
+
+let bucket_of ix h =
+  Jstar_cds.Chashmap.find_or_add ix.buckets h (fun () ->
+      { b_mutex = Mutex.create (); b_items = [] })
+
+let add ix t =
+  let b = bucket_of ix (Value.hash_prefix (Tuple.fields t) ix.prefix_len) in
+  Mutex.lock b.b_mutex;
+  b.b_items <- t :: b.b_items;
+  Mutex.unlock b.b_mutex;
+  Atomic.incr ix.count
+
+let iter_prefix ix prefix f =
+  (* Callers guarantee [Array.length prefix >= ix.prefix_len]; the
+     residual fields (and colliding keys) are filtered here. *)
+  match
+    Jstar_cds.Chashmap.find_opt ix.buckets
+      (Value.hash_prefix prefix ix.prefix_len)
+  with
+  | None -> ()
+  | Some b ->
+      Mutex.lock b.b_mutex;
+      let items = b.b_items in
+      Mutex.unlock b.b_mutex;
+      List.iter (fun t -> if Tuple.matches_prefix t prefix then f t) items

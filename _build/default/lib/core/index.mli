@@ -1,0 +1,25 @@
+(** Secondary hash index: an extra access path over a Gamma store,
+    keyed by the integer hash of the first [prefix_len] fields (no key
+    arrays are allocated; reads filter residuals and hash collisions
+    with [Tuple.matches_prefix]).  An index never dedups or answers
+    membership — the primary store owns both; see {!Store.indexed}. *)
+
+type t
+
+val create : prefix_len:int -> Schema.t -> t
+(** @raise Schema.Schema_error when [prefix_len] is outside
+    [1..arity]. *)
+
+val prefix_len : t -> int
+
+val add : t -> Tuple.t -> unit
+(** Record a tuple the primary store just accepted (callers must filter
+    duplicates first — the index stores blindly). Thread-safe. *)
+
+val iter_prefix : t -> Value.t array -> (Tuple.t -> unit) -> unit
+(** Visit every indexed tuple matching [prefix].  Requires
+    [Array.length prefix >= prefix_len] — shorter prefixes cannot pick
+    a bucket; callers fall back to the primary store. *)
+
+val size : t -> int
+(** Tuples indexed so far. *)

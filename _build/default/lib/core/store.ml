@@ -56,29 +56,27 @@ let lower_bound_fields schema prefix =
       if i < Array.length prefix then prefix.(i)
       else min_value_of_ty (Schema.field_ty schema i))
 
-(* The comparator is picked once at store creation — the only place the
-   [specialized_compare] flag touches Gamma.  Both orders are identical
-   on well-typed rows; the specialized one binds the schema-compiled
-   field comparator right here, so the per-comparison cost is one closure
-   call with monomorphic fast paths — no option lookup, no per-field
-   dispatch. *)
-let tuple_cmp specialized schema =
-  if specialized then (
-    let fc = Schema.fields_compare schema in
-    fun a b ->
-      if a == b then 0
-      else
-        let c =
-          Int.compare (Tuple.schema a).Schema.id (Tuple.schema b).Schema.id
-        in
-        if c <> 0 then c else fc (Tuple.fields a) (Tuple.fields b))
-  else Tuple.compare
+(* The comparator is bound once at store creation: the schema-compiled
+   field comparator, so the per-comparison cost is one closure call with
+   monomorphic fast paths — no option lookup, no per-field dispatch.
+   (The generic [Tuple.compare] alternative was retired after the
+   hot-path ablation priced it; [Config.specialized_compare] is a
+   no-op kept for config compatibility.) *)
+let tuple_cmp schema =
+  let fc = Schema.fields_compare schema in
+  fun a b ->
+    if a == b then 0
+    else
+      let c =
+        Int.compare (Tuple.schema a).Schema.id (Tuple.schema b).Schema.id
+      in
+      if c <> 0 then c else fc (Tuple.fields a) (Tuple.fields b)
 
-let tree ?(specialized = true) schema =
+let tree schema =
   let module TSet = Set.Make (struct
     type t = Tuple.t
 
-    let compare = tuple_cmp specialized schema
+    let compare = tuple_cmp schema
   end) in
   let set = ref TSet.empty in
   let insert t =
@@ -113,8 +111,8 @@ let tree ?(specialized = true) schema =
     size = (fun () -> TSet.cardinal !set);
   }
 
-let skiplist ?(specialized = true) schema =
-  let set = Jstar_cds.Cset.create ~compare:(tuple_cmp specialized schema) () in
+let skiplist schema =
+  let set = Jstar_cds.Cset.create ~compare:(tuple_cmp schema) () in
   {
     kind = "skiplist";
     insert = (fun t -> Jstar_cds.Cset.add set t);
@@ -136,53 +134,33 @@ let skiplist ?(specialized = true) schema =
 (* ------------------------------------------------------------------ *)
 (* Hash-indexed store                                                  *)
 
-(* Per-bucket dedup probe.  Specialized: keyed by the tuple itself with
-   its cached structural hash (one hash per tuple lifetime).  Legacy:
-   polymorphic hashing of the boxed field array on every probe. *)
-type seen = { s_mem : Tuple.t -> bool; s_add_if_absent : Tuple.t -> bool }
-
-let make_seen specialized =
-  if specialized then (
-    let tbl = Tuple.Dset.create 16 in
-    {
-      s_mem = (fun t -> Tuple.Dset.mem tbl t);
-      s_add_if_absent = (fun t -> Tuple.Dset.add_if_absent tbl t);
-    })
-  else
-    let tbl : (Value.t array, unit) Hashtbl.t = Hashtbl.create 16 in
-    {
-      s_mem = (fun t -> Hashtbl.mem tbl (Tuple.fields t));
-      s_add_if_absent =
-        (fun t ->
-          let k = Tuple.fields t in
-          if Hashtbl.mem tbl k then false
-          else begin
-            Hashtbl.replace tbl k ();
-            true
-          end);
-    }
-
+(* Buckets are keyed by the *hash* of the first [prefix_len] fields —
+   an immediate int, so neither inserts nor probes allocate a key
+   sub-array (the old keys copied the prefix with [Array.sub] on every
+   [insert]/[mem]).  Two prefixes colliding into one bucket is safe:
+   dedup probes the full-tuple [seen] set and every read filters with
+   [Tuple.matches_prefix]. *)
 type bucket = {
   b_mutex : Mutex.t;
-  b_seen : seen;
+  b_seen : Tuple.Dset.t; (* full-tuple dedup, cached structural hash *)
   mutable b_items : Tuple.t list; (* reverse insertion order *)
 }
 
-let hash_index ?(specialized = true) ~prefix_len schema =
+let hash_index ~prefix_len schema =
   if prefix_len < 1 || prefix_len > Schema.arity schema then
     raise
       (Schema.Schema_error
          (Fmt.str "%s: hash index prefix length %d out of range"
             schema.Schema.name prefix_len));
-  let buckets : (Value.t array, bucket) Jstar_cds.Chashmap.t =
-    Jstar_cds.Chashmap.create ~hash:Value.hash_array ()
+  let buckets : (int, bucket) Jstar_cds.Chashmap.t =
+    Jstar_cds.Chashmap.create ~hash:(fun (h : int) -> h) ()
   in
   let total = Atomic.make 0 in
-  let bucket_of prefix =
-    Jstar_cds.Chashmap.find_or_add buckets prefix (fun () ->
+  let bucket_of h =
+    Jstar_cds.Chashmap.find_or_add buckets h (fun () ->
         {
           b_mutex = Mutex.create ();
-          b_seen = make_seen specialized;
+          b_seen = Tuple.Dset.create 16;
           b_items = [];
         })
   in
@@ -190,10 +168,10 @@ let hash_index ?(specialized = true) ~prefix_len schema =
     Mutex.lock b.b_mutex;
     Fun.protect f ~finally:(fun () -> Mutex.unlock b.b_mutex)
   in
-  let prefix_of_tuple t = Array.sub (Tuple.fields t) 0 prefix_len in
+  let key_of_tuple t = Value.hash_prefix (Tuple.fields t) prefix_len in
   (* Unlocked primitive; callers hold [b.b_mutex]. *)
   let bucket_insert b t =
-    if b.b_seen.s_add_if_absent t then (
+    if Tuple.Dset.add_if_absent b.b_seen t then (
       b.b_items <- t :: b.b_items;
       Atomic.incr total;
       true)
@@ -203,7 +181,7 @@ let hash_index ?(specialized = true) ~prefix_len schema =
     kind = Fmt.str "hash[%d]" prefix_len;
     insert =
       (fun t ->
-        let b = bucket_of (prefix_of_tuple t) in
+        let b = bucket_of (key_of_tuple t) in
         with_bucket b (fun () -> bucket_insert b t));
     insert_batch =
       (fun arr lo hi ->
@@ -213,14 +191,15 @@ let hash_index ?(specialized = true) ~prefix_len schema =
         let res = Array.make (hi - lo) false in
         let k = ref lo in
         while !k < hi do
-          let p = prefix_of_tuple arr.(!k) in
+          let pf = Tuple.fields arr.(!k) in
           let e = ref (!k + 1) in
           while
-            !e < hi && Value.compare_arrays (prefix_of_tuple arr.(!e)) p = 0
+            !e < hi
+            && Value.equal_prefix (Tuple.fields arr.(!e)) pf prefix_len
           do
             incr e
           done;
-          let b = bucket_of p in
+          let b = bucket_of (Value.hash_prefix pf prefix_len) in
           with_bucket b (fun () ->
               for j = !k to !e - 1 do
                 if bucket_insert b arr.(j) then res.(j - lo) <- true
@@ -230,15 +209,17 @@ let hash_index ?(specialized = true) ~prefix_len schema =
         res);
     mem =
       (fun t ->
-        match Jstar_cds.Chashmap.find_opt buckets (prefix_of_tuple t) with
+        match Jstar_cds.Chashmap.find_opt buckets (key_of_tuple t) with
         | None -> false
-        | Some b -> with_bucket b (fun () -> b.b_seen.s_mem t));
+        | Some b -> with_bucket b (fun () -> Tuple.Dset.mem b.b_seen t));
     iter_prefix =
       (fun prefix f ->
         if Array.length prefix >= prefix_len then (
           (* Exact or over-specified prefix: one bucket (+ filter). *)
-          let bucket_key = Array.sub prefix 0 prefix_len in
-          match Jstar_cds.Chashmap.find_opt buckets bucket_key with
+          match
+            Jstar_cds.Chashmap.find_opt buckets
+              (Value.hash_prefix prefix prefix_len)
+          with
           | None -> ()
           | Some b ->
               let items = with_bucket b (fun () -> b.b_items) in
@@ -247,8 +228,8 @@ let hash_index ?(specialized = true) ~prefix_len schema =
                 items)
         else
           (* Under-specified prefix: full scan.  Legal but defeats the
-             index — exactly the situation where the paper would choose
-             a different store for the table. *)
+             index — the case a secondary index (or the advisor) fixes
+             without re-keying the primary. *)
           Jstar_cds.Chashmap.iter buckets (fun _ b ->
               let items = with_bucket b (fun () -> b.b_items) in
               List.iter
@@ -459,15 +440,94 @@ let native_float_array ~dims schema =
   in
   (store, handle)
 
-let of_spec ?(specialized = true) spec schema =
+let of_spec spec schema =
   match spec with
-  | Tree -> tree ~specialized schema
-  | Skiplist -> skiplist ~specialized schema
-  | Hash_index k -> hash_index ~specialized ~prefix_len:k schema
+  | Tree -> tree schema
+  | Skiplist -> skiplist schema
+  | Hash_index k -> hash_index ~prefix_len:k schema
   | Custom f -> f schema
 
-let default_for ?(specialized = true) ~parallel schema =
-  if parallel then skiplist ~specialized schema else tree ~specialized schema
+let default_for ~parallel schema =
+  if parallel then skiplist schema else tree schema
+
+(* ------------------------------------------------------------------ *)
+(* Indexed wrapper: secondary access paths over a primary store        *)
+
+type indexed_handle = {
+  ih_promote : int -> bool;
+  ih_lens : unit -> int list;
+}
+
+let indexed ?(prefix_lens = []) schema inner =
+  let mk len = Index.create ~prefix_len:len schema in
+  let indexes =
+    Atomic.make (List.map mk (List.sort_uniq Int.compare prefix_lens))
+  in
+  (* Largest index still covered by the query prefix: the tightest
+     bucket, fewest residual filters. *)
+  let best_for plen ixs =
+    List.fold_left
+      (fun acc ix ->
+        let l = Index.prefix_len ix in
+        if l > plen then acc
+        else
+          match acc with
+          | Some b when Index.prefix_len b >= l -> acc
+          | _ -> Some ix)
+      None ixs
+  in
+  let store =
+    {
+      kind = "indexed:" ^ inner.kind;
+      insert =
+        (fun t ->
+          if inner.insert t then (
+            List.iter (fun ix -> Index.add ix t) (Atomic.get indexes);
+            true)
+          else false);
+      insert_batch =
+        (fun arr lo hi ->
+          let res = inner.insert_batch arr lo hi in
+          (match Atomic.get indexes with
+          | [] -> ()
+          | ixs ->
+              Array.iteri
+                (fun k fresh ->
+                  if fresh then
+                    List.iter (fun ix -> Index.add ix arr.(lo + k)) ixs)
+                res);
+          res);
+      mem = inner.mem;
+      iter_prefix =
+        (fun prefix f ->
+          match best_for (Array.length prefix) (Atomic.get indexes) with
+          | Some ix -> Index.iter_prefix ix prefix f
+          | None -> inner.iter_prefix prefix f);
+      iter = inner.iter;
+      size = inner.size;
+    }
+  in
+  let promote len =
+    if List.exists (fun ix -> Index.prefix_len ix = len) (Atomic.get indexes)
+    then false
+    else begin
+      (* Build complete, then publish: readers either still scan the
+         primary or see the fully backfilled index, never a partial one.
+         Callers run this at a barrier (no concurrent inserts), so the
+         backfill cannot miss tuples either. *)
+      let ix = mk len in
+      inner.iter (fun t -> Index.add ix t);
+      Atomic.set indexes (ix :: Atomic.get indexes);
+      true
+    end
+  in
+  ( store,
+    {
+      ih_promote = promote;
+      ih_lens =
+        (fun () ->
+          List.sort Int.compare (List.map Index.prefix_len (Atomic.get indexes)));
+    } )
 
 
 (* ------------------------------------------------------------------ *)

@@ -37,16 +37,15 @@ val seq_batch :
     [insert] in order.  The default [insert_batch] of every store that
     has nothing to amortise. *)
 
-(** The [?specialized] flag on the builders below (default [true])
-    selects the schema-compiled comparator ({!Tuple.fast_compare}) and
-    cached-hash dedup tables; [false] keeps the generic
-    [Value.compare] / polymorphic-hash path, for ablation
-    ([Config.specialized_compare]). *)
+(** The builders below always use the schema-compiled comparator and
+    the cached-hash dedup tables.  (They once took a [?specialized]
+    flag selecting a generic [Value.compare] / polymorphic-hash path;
+    that path is retired and [Config.specialized_compare] is a no-op.) *)
 
-val tree : ?specialized:bool -> Schema.t -> t
-val skiplist : ?specialized:bool -> Schema.t -> t
+val tree : Schema.t -> t
+val skiplist : Schema.t -> t
 
-val hash_index : ?specialized:bool -> prefix_len:int -> Schema.t -> t
+val hash_index : prefix_len:int -> Schema.t -> t
 (** @raise Schema.Schema_error when [prefix_len] exceeds the arity. *)
 
 type int_array_handle = {
@@ -76,9 +75,31 @@ val native_float_array : dims:int array -> Schema.t -> t * float_array_handle
     [(int keys -> double value)] table over a flat [float array] — the
     Median program's [double[2][100000000]] Gamma. *)
 
-val of_spec : ?specialized:bool -> kind_spec -> Schema.t -> t
-val default_for : ?specialized:bool -> parallel:bool -> Schema.t -> t
+val of_spec : kind_spec -> Schema.t -> t
+val default_for : parallel:bool -> Schema.t -> t
 (** [Skiplist] when parallel, [Tree] otherwise. *)
+
+type indexed_handle = {
+  ih_promote : int -> bool;
+      (** [ih_promote len] adds a secondary index on the first [len]
+          fields, backfilled from the primary; [false] if one with that
+          exact length already exists.  Must run with no concurrent
+          inserts (the engine calls it at a Phase-A barrier).
+          @raise Schema.Schema_error when [len] is outside [1..arity]. *)
+  ih_lens : unit -> int list;  (** current index prefix lengths, sorted *)
+}
+
+val indexed : ?prefix_lens:int list -> Schema.t -> t -> t * indexed_handle
+(** [indexed ~prefix_lens schema inner]: the query-acceleration wrapper.
+    The primary [inner] keeps ownership of dedup, [mem], [iter] and
+    [size]; each {!Index.t} adds a hash access path on a prefix length,
+    maintained on every accepted insert and used by [iter_prefix]
+    whenever the query prefix covers an index (largest covered length
+    wins; shorter prefixes fall back to the primary).  Do not wrap
+    evicting stores ({!windowed}) — indexes only ever grow, so they
+    would resurrect dropped tuples.
+    @raise Schema.Schema_error for declared lengths outside
+    [1..arity]. *)
 
 val flat_index : int array -> int array -> int
 (** Row-major flattening of a multi-dimensional key; exposed for custom

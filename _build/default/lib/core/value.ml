@@ -118,3 +118,18 @@ let hash_array a =
     h := (!h * 31) + hash (Array.unsafe_get a i)
   done;
   !h
+
+(* Same recipe as [hash_array] restricted to the first [k] slots, so
+   [hash_prefix a k = hash_array (Array.sub a 0 k)] without the copy. *)
+let hash_prefix a k =
+  let h = ref k in
+  for i = 0 to k - 1 do
+    h := (!h * 31) + hash (Array.unsafe_get a i)
+  done;
+  !h
+
+let equal_prefix a b k =
+  let rec go i =
+    i >= k || (equal (Array.unsafe_get a i) (Array.unsafe_get b i) && go (i + 1))
+  in
+  go 0

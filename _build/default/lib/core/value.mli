@@ -41,3 +41,12 @@ val compare_arrays : t array -> t array -> int
 
 val equal_arrays : t array -> t array -> bool
 val hash_array : t array -> int
+
+val hash_prefix : t array -> int -> int
+(** [hash_prefix a k] = [hash_array (Array.sub a 0 k)] without
+    allocating the sub-array.  Both arguments must satisfy
+    [k <= Array.length a]. *)
+
+val equal_prefix : t array -> t array -> int -> bool
+(** [equal_prefix a b k]: the first [k] slots of [a] and [b] are equal.
+    Both arrays must have at least [k] slots. *)

@@ -1,1 +1,1 @@
-lib/obs/kind.ml: Array
+lib/obs/kind.ml: Array String

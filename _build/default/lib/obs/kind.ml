@@ -14,7 +14,8 @@ let drain = 5
 let spawn = 6
 let steal = 7
 let idle = 8
-let builtin_count = 9
+let advisor = 9
+let builtin_count = 10
 
 let builtin_names =
   [|
@@ -27,10 +28,19 @@ let builtin_names =
     "pool-spawn";
     "pool-steal";
     "pool-idle";
+    "advisor-promote";
   |]
 
 let builtin_name k =
   if k >= 0 && k < builtin_count then Some builtin_names.(k) else None
+
+let of_name name =
+  let rec go k =
+    if k >= builtin_count then None
+    else if String.equal builtin_names.(k) name then Some k
+    else go (k + 1)
+  in
+  go 0
 
 let to_int k = k
 let custom i = builtin_count + i

@@ -23,8 +23,15 @@ val steal : t  (** successful deque steal (instant) *)
 
 val idle : t  (** pool worker parked waiting for work *)
 
+val advisor : t  (** store advisor promoted a secondary index (instant) *)
+
 val builtin_count : int
 val builtin_name : int -> string option
+
+val of_name : string -> t option
+(** Inverse of {!builtin_name} over the builtin set (used to parse
+    user-facing suppress lists); [None] for custom kind names. *)
+
 val to_int : t -> int
 
 val custom : int -> t

@@ -19,6 +19,10 @@ type t = {
   id : int;
   level : Level.t;
   capacity : int;
+  mutable suppress_mask : int;
+      (* bit [k] set = kind [k] not recorded even at Spans level.  Only
+         kinds < 62 are maskable; custom kinds past the word run
+         unmasked (no builtin comes close). *)
   mutable rings : Ring.t list; (* registration order, newest first *)
   mutable custom : string list; (* registered kind names, newest first *)
   mutable n_custom : int;
@@ -27,11 +31,18 @@ type t = {
 
 let next_id = Atomic.make 0
 
-let create ?(capacity = 1 lsl 16) ~level () =
+let mask_bit k =
+  let k = Kind.to_int k in
+  if k < 62 then 1 lsl k else 0
+
+let mask_of kinds = List.fold_left (fun m k -> m lor mask_bit k) 0 kinds
+
+let create ?(capacity = 1 lsl 16) ?(suppress = []) ~level () =
   {
     id = Atomic.fetch_and_add next_id 1;
     level;
     capacity;
+    suppress_mask = mask_of suppress;
     rings = [];
     custom = [];
     n_custom = 0;
@@ -42,6 +53,9 @@ let disabled = create ~capacity:2 ~level:Level.Off ()
 let level t = t.level
 let spans_on t = Level.spans_on t.level
 let counters_on t = Level.counters_on t.level
+let set_suppressed t kinds = t.suppress_mask <- mask_of kinds
+let suppressed t k = t.suppress_mask land mask_bit k <> 0
+let enabled t k = Level.spans_on t.level && not (suppressed t k)
 
 (* Most-recently-used cache of this domain's rings, across tracers. *)
 let dls_key : (int * Ring.t) list ref Domain.DLS.key =
@@ -77,24 +91,24 @@ let ring_for t =
 (* -- recording ------------------------------------------------------- *)
 
 let instant t ?(arg = 0) kind =
-  if Level.spans_on t.level then
+  if enabled t kind then
     Ring.record (ring_for t) ~kind:(Kind.to_int kind)
       ~ts:(Monotonic.now_ns ()) ~dur:(-1) ~arg
 
 let start t = if Level.spans_on t.level then Monotonic.now_ns () else 0
 
 let stop t ?(arg = 0) kind t0 =
-  if Level.spans_on t.level then
+  if enabled t kind then
     Ring.record (ring_for t) ~kind:(Kind.to_int kind) ~ts:t0
       ~dur:(Monotonic.now_ns () - t0)
       ~arg
 
 let record_span t ?(arg = 0) kind ~ts ~dur =
-  if Level.spans_on t.level then
+  if enabled t kind then
     Ring.record (ring_for t) ~kind:(Kind.to_int kind) ~ts ~dur ~arg
 
 let span t ?arg kind f =
-  if Level.spans_on t.level then begin
+  if enabled t kind then begin
     let t0 = Monotonic.now_ns () in
     Fun.protect f ~finally:(fun () -> stop t ?arg kind t0)
   end

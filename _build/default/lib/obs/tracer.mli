@@ -8,9 +8,12 @@
 
 type t
 
-val create : ?capacity:int -> level:Level.t -> unit -> t
+val create : ?capacity:int -> ?suppress:Kind.t list -> level:Level.t -> unit -> t
 (** [capacity] is events per domain ring (default 65536, rounded up to
-    a power of two). *)
+    a power of two).  [suppress] lists kinds that are never recorded
+    even at [Spans] level — the per-kind enable mask that lets a
+    rule-fire-heavy run keep [step]/[extract] spans while dropping the
+    per-task [rule_fire] events. *)
 
 val disabled : t
 (** A shared [Off] tracer for components instrumented unconditionally
@@ -19,6 +22,16 @@ val disabled : t
 val level : t -> Level.t
 val spans_on : t -> bool
 val counters_on : t -> bool
+
+val set_suppressed : t -> Kind.t list -> unit
+(** Replace the suppress mask.  Not synchronized with recorders: meant
+    for quiescent points (before a run, at a barrier). *)
+
+val suppressed : t -> Kind.t -> bool
+
+val enabled : t -> Kind.t -> bool
+(** [spans_on t && not (suppressed t k)] — hot sites cache this per
+    kind instead of re-testing the mask per event. *)
 
 (** {1 Recording} *)
 

@@ -1,1 +1,1 @@
-test/test_main.ml: Alcotest List Test_apps Test_causality Test_cds Test_core Test_csv Test_disruptor Test_extensions Test_obs Test_props Test_sched Test_stats
+test/test_main.ml: Alcotest List Test_apps Test_causality Test_cds Test_core Test_csv Test_disruptor Test_extensions Test_obs Test_props Test_query Test_sched Test_stats

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Config Engine Gc Gen Jstar_core Jstar_obs List Printf Program QCheck QCheck_alcotest Query Reducer Rule Schema Store Sys Tuple Value

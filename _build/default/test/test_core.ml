@@ -352,7 +352,7 @@ let test_delta_concurrent_inserts () =
 (* Batched insertion must agree with element-wise insertion on set
    semantics: of equal tuples in one batch the first wins, tuples
    already pending are duplicates, and an empty batch is a no-op. *)
-let run_delta_insert_batch mode specialized () =
+let run_delta_insert_batch mode () =
   let p = Program.create () in
   let t =
     Program.table p "T"
@@ -361,7 +361,7 @@ let run_delta_insert_batch mode specialized () =
       ()
   in
   let order = Program.order_rel p in
-  let delta = Delta.create ~mode ~specialized ~nlits:1 () in
+  let delta = Delta.create ~mode ~nlits:1 () in
   let mk r v = Tuple.make t [| v_int r; v_int v |] in
   let ts tup = Timestamp.of_tuple order tup in
   let pre = mk 0 7 in
@@ -480,11 +480,10 @@ let test_store_insert_batch () =
     Alcotest.(check int) (name ^ ": empty window") 0 (Array.length empty)
   in
   check_store "tree" (Store.tree s);
-  check_store "tree/legacy" (Store.tree ~specialized:false s);
   check_store "skiplist" (Store.skiplist s);
-  check_store "skiplist/legacy" (Store.skiplist ~specialized:false s);
   check_store "hash" (Store.hash_index ~prefix_len:1 s);
-  check_store "hash/legacy" (Store.hash_index ~specialized:false ~prefix_len:1 s)
+  check_store "indexed"
+    (fst (Store.indexed ~prefix_lens:[ 1 ] s (Store.tree s)))
 
 let test_store_native_int () =
   let p = Program.create () in
@@ -901,14 +900,10 @@ let suite =
         tc "par level extraction" `Quick test_delta_par_level;
         tc "literal levels" `Quick test_delta_literal_levels;
         tc "concurrent inserts + drain" `Slow test_delta_concurrent_inserts;
-        tc "insert_batch dedup (seq, specialized)" `Quick
-          (run_delta_insert_batch Delta.Sequential true);
-        tc "insert_batch dedup (seq, legacy)" `Quick
-          (run_delta_insert_batch Delta.Sequential false);
-        tc "insert_batch dedup (conc, specialized)" `Quick
-          (run_delta_insert_batch Delta.Concurrent true);
-        tc "insert_batch dedup (conc, legacy)" `Quick
-          (run_delta_insert_batch Delta.Concurrent false);
+        tc "insert_batch dedup (seq)" `Quick
+          (run_delta_insert_batch Delta.Sequential);
+        tc "insert_batch dedup (conc)" `Quick
+          (run_delta_insert_batch Delta.Concurrent);
       ] );
     ( "core.store",
       [

@@ -88,6 +88,48 @@ let test_exact_event_counts () =
   Alcotest.(check int) "nothing dropped" 0 (Tracer.dropped result.Engine.tracer)
 
 (* ------------------------------------------------------------------ *)
+(* The per-kind suppress mask: rule-fire spans can be dropped while
+   step/extract spans stay on — the knob for rule-fire-heavy runs. *)
+
+let test_suppress_mask_engine () =
+  let config =
+    {
+      Config.default with
+      Config.put_batching = true;
+      tracing = Level.Spans;
+      trace_suppress = [ "rule-fire" ];
+    }
+  in
+  let result = run_chain ~last:5 config in
+  let counts = Array.make Kind.builtin_count 0 in
+  Tracer.events result.Engine.tracer
+    (fun ~tid:_ ~kind ~ts:_ ~dur:_ ~arg:_ ->
+      if kind < Kind.builtin_count then counts.(kind) <- counts.(kind) + 1);
+  let count k = counts.(Kind.to_int k) in
+  Alcotest.(check int) "rule-fire suppressed" 0 (count Kind.rule_fire);
+  Alcotest.(check int) "step spans kept" 6 (count Kind.step);
+  Alcotest.(check int) "extract spans kept" 7 (count Kind.extract)
+
+let test_suppress_mask_unit () =
+  let t = Tracer.create ~suppress:[ Kind.rule_fire ] ~level:Level.Spans () in
+  Alcotest.(check bool) "suppressed" true (Tracer.suppressed t Kind.rule_fire);
+  Alcotest.(check bool) "enabled excludes it" false
+    (Tracer.enabled t Kind.rule_fire);
+  Alcotest.(check bool) "others stay enabled" true (Tracer.enabled t Kind.step);
+  Tracer.set_suppressed t [ Kind.step ];
+  Alcotest.(check bool) "mask replaced" true (Tracer.enabled t Kind.rule_fire);
+  Alcotest.(check bool) "step now masked" false (Tracer.enabled t Kind.step);
+  (* Registered (custom) kinds share the id space and mask like any
+     builtin while they fit in the mask word. *)
+  let custom = Tracer.register_kind t "bench-phase" in
+  Alcotest.(check bool) "custom kind on by default" true
+    (Tracer.enabled t custom);
+  Tracer.set_suppressed t [ custom ];
+  Alcotest.(check bool) "custom kind maskable" false (Tracer.enabled t custom);
+  (* Suppression only mutes recording, it never makes spans_on lie. *)
+  Alcotest.(check bool) "spans still on" true (Tracer.spans_on t)
+
+(* ------------------------------------------------------------------ *)
 (* Export: valid JSON, well-formed nesting, round-trip *)
 
 let trace_json config =
@@ -250,6 +292,9 @@ let suite =
     ( "obs.tracer",
       [
         tc "exact event counts, threads=1" `Quick test_exact_event_counts;
+        tc "suppress mask drops rule-fire only" `Quick
+          test_suppress_mask_engine;
+        tc "suppress mask unit contract" `Quick test_suppress_mask_unit;
         tc "disabled tracer allocates nothing" `Quick
           test_disabled_tracer_zero_alloc;
         tc "Off run carries disabled tracer" `Quick

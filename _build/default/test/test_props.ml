@@ -295,27 +295,37 @@ let prop_solver_sound =
       else true)
 
 (* ------------------------------------------------------------------ *)
-(* Hot-path knobs (specialized comparators, put batching, adaptive
-   grain) are pure optimizations: every combination, at every thread
-   count, must print exactly the same lines.  Outputs are sorted per
-   step by the engine, so plain list equality is the right check. *)
+(* Hot-path knobs (put batching, query acceleration, adaptive grain)
+   are pure optimizations: every combination, at every thread count,
+   must print exactly the same lines.  Outputs are sorted per step by
+   the engine, so plain list equality is the right check.  The [accel]
+   axis turns on the aggregate cache plus an aggressive advisor (tiny
+   thresholds, so promotions really do land mid-run in these small
+   programs). *)
 
 let knob_grid =
   List.concat_map
     (fun threads ->
       List.concat_map
         (fun batching ->
-          List.map
-            (fun specialized -> (threads, batching, specialized))
-            [ false; true ])
+          List.map (fun accel -> (threads, batching, accel)) [ false; true ])
         [ false; true ])
     [ 1; 2; 4 ]
 
-let with_knobs base (batching, specialized) =
+let with_knobs base (batching, accel) =
   {
     base with
     Config.put_batching = batching;
-    specialized_compare = specialized;
+    agg_cache = accel;
+    advisor =
+      (if accel then
+         Some
+           {
+             Config.adv_warmup = 4;
+             adv_min_queries = 2;
+             adv_min_size = 1;
+           }
+       else None);
     grain = Config.Auto_grain;
   }
 
@@ -324,8 +334,7 @@ let with_knobs base (batching, specialized) =
 let outputs_agree run =
   match
     List.map
-      (fun (threads, batching, specialized) ->
-        run ~threads (batching, specialized))
+      (fun (threads, batching, accel) -> run ~threads (batching, accel))
       knob_grid
   with
   | [] -> true

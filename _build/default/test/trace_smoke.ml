@@ -111,7 +111,24 @@ let () =
     fail "Off-tracing run time unstable: %.4fs vs %.4fs (tolerance %.4fs)" a b
       tolerance;
   let spans_t, _ = run_once spans_config in
+
+  (* -- 3. the suppress mask drops rule-fire spans only --------------- *)
+  let masked_config =
+    { spans_config with Config.trace_suppress = [ "rule-fire" ] }
+  in
+  let masked_t, masked_result = run_once masked_config in
+  let mbuf = Buffer.create (1 lsl 16) in
+  Export.chrome_trace mbuf masked_result.Engine.tracer;
+  let msummary =
+    match Trace_check.validate_string (Buffer.contents mbuf) with
+    | Ok s -> s
+    | Error e -> fail "masked trace fails schema validation: %s" e
+  in
+  if Trace_check.name_count msummary "rule-fire" <> 0 then
+    fail "suppress mask leaked rule-fire events";
+  if Trace_check.name_count msummary "step" = 0 then
+    fail "suppress mask dropped step events too";
   Fmt.pr
     "trace-smoke: timing ok — Off medians %.4fs / %.4fs (tolerance %.4fs), \
-     Spans run %.4fs@."
-    a b tolerance spans_t
+     Spans run %.4fs, Spans-minus-rule-fire run %.4fs@."
+    a b tolerance spans_t masked_t

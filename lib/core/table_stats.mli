@@ -7,6 +7,10 @@
 
 type counter
 
+val make_counter : unit -> counter
+(** A free-standing striped counter, for components that extend the
+    per-table set (e.g. the advisor's per-prefix-length histograms). *)
+
 val incr : counter -> unit
 
 val add : counter -> int -> unit

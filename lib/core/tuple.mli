@@ -42,8 +42,9 @@ val compare : t -> t -> int
 
 val fast_compare : t -> t -> int
 (** Same total order as {!compare}, but through the schema-compiled
-    monomorphic comparator ({!Schema.fields_compare}) — the hot-path
-    variant selected by [Config.specialized_compare]. *)
+    monomorphic comparator ({!Schema.fields_compare}) — the only
+    comparator the runtime uses on hot paths since the generic path was
+    retired. *)
 
 val hash : t -> int
 (** Structural hash, computed once per tuple and cached. *)
