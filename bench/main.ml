@@ -34,6 +34,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("micro", "Bechamel micro-benchmarks of the substrates", Micro.run);
     ("hotpath", "hot-path knob ablation (batching/grain) + JSON", Hotpath.run);
     ("query", "query acceleration: indexes + agg cache vs scan + JSON", Query.run);
+    ("provcost", "provenance/audit/digest overhead + JSON", Provcost.run);
     ("smoke", "quick-scale fig8 + fig12 + hotpath, bounded runtime", smoke);
   ]
 

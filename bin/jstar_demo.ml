@@ -57,6 +57,31 @@ let causality_check =
   let doc = "Assert the law of causality dynamically at every put." in
   Arg.(value & flag & info [ "check-causality" ] ~doc)
 
+let audit =
+  let doc =
+    "Audit the law of causality dynamically: besides the put-side check, \
+     every firing's queries must visit only tuples the law allows \
+     (positive at or before the trigger, negative/aggregate strictly \
+     before)."
+  in
+  Arg.(value & flag & info [ "audit" ] ~doc)
+
+let digest =
+  let doc =
+    "Compute order-independent 128-bit determinism digests of the final \
+     database and of the per-step class sequence, printed after the run \
+     (equal digests across $(b,--threads) values certify a deterministic \
+     run)."
+  in
+  Arg.(value & flag & info [ "digest" ] ~doc)
+
+let trace_sample =
+  let doc =
+    "With $(b,--tracing spans), record only every $(docv)-th event per \
+     kind and domain (1 = record everything)."
+  in
+  Arg.(value & opt int 1 & info [ "trace-sample" ] ~docv:"N" ~doc)
+
 let task_per_rule =
   let doc = "One task per (tuple, rule) pair instead of per tuple (§5.2)." in
   Arg.(value & flag & info [ "task-per-rule" ] ~doc)
@@ -76,12 +101,15 @@ let effective_tracing tracing ~trace_out ~metrics_out =
   | _ -> tracing
 
 let apply_common config ~tracing ~trace_out ~metrics_out ~causality_check
-    ~task_per_rule =
+    ~task_per_rule ~audit ~digest ~trace_sample =
   {
     config with
     Config.tracing = effective_tracing tracing ~trace_out ~metrics_out;
     runtime_causality_check = causality_check;
     task_per_rule;
+    audit_causality = audit;
+    digest;
+    trace_sample;
   }
 
 let report ?(max_lines = 20) ?trace_out ?metrics_out result show_stats =
@@ -96,6 +124,14 @@ let report ?(max_lines = 20) ?trace_out ?metrics_out result show_stats =
     result.Engine.delta_inserted result.Engine.delta_deduped;
   if show_stats then
     Fmt.pr "%a" Table_stats.pp_snapshot (Table_stats.snapshot result.Engine.stats);
+  (match result.Engine.digest with
+  | Some d ->
+      Fmt.pr "digest: gamma=%s@." d.Engine.d_gamma;
+      Fmt.pr "digest: classes=%s@." d.Engine.d_classes;
+      List.iter
+        (fun (table, h) -> Fmt.pr "digest: %s=%s@." table h)
+        d.Engine.d_tables
+  | None -> ());
   let tracer = result.Engine.tracer in
   if Jstar_obs.Tracer.counters_on tracer then
     Jstar_obs.Export.console Fmt.stdout ~metrics:result.Engine.metrics tracer;
@@ -113,6 +149,102 @@ let report ?(max_lines = 20) ?trace_out ?metrics_out result show_stats =
       Jstar_obs.Export.write_metrics_csv path result.Engine.metrics;
       Fmt.pr "metrics -> %s@." path
   | None -> ()
+
+(* -- explain ----------------------------------------------------------- *)
+
+(* [--explain Table:v1,v2,...] selects tuples by a leading-field prefix;
+   the values are parsed against the table's column types. *)
+let parse_explain_spec program spec =
+  let fail msg = `Error (Printf.sprintf "--explain %s: %s" spec msg) in
+  match String.index_opt spec ':' with
+  | None -> fail "expected TABLE:v1,v2,..."
+  | Some i -> (
+      let tname = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match Program.find_table program tname with
+      | exception Schema.Schema_error msg -> fail msg
+      | schema -> (
+          let raw =
+            if rest = "" then [] else String.split_on_char ',' rest
+          in
+          if List.length raw > Schema.arity schema then
+            fail
+              (Printf.sprintf "%d values but %s has arity %d"
+                 (List.length raw) tname (Schema.arity schema))
+          else
+            try
+              let prefix =
+                List.mapi
+                  (fun j s ->
+                    match Schema.field_ty schema j with
+                    | Value.TInt -> Value.Int (int_of_string (String.trim s))
+                    | Value.TFloat ->
+                        Value.Float (float_of_string (String.trim s))
+                    | Value.TBool ->
+                        Value.Bool (bool_of_string (String.trim s))
+                    | Value.TStr -> Value.Str s)
+                  raw
+              in
+              `Ok (schema, Array.of_list prefix)
+            with Failure _ -> fail "value does not parse at its column type"))
+
+let explain_run ~spec ~json_out ~dot_out ~depth ~width ~frozen ~gamma result =
+  match parse_explain_spec frozen.Program.program spec with
+  | `Error msg ->
+      Fmt.epr "jstar-demo: %s@." msg;
+      exit 2
+  | `Ok (schema, prefix) ->
+      let lineage =
+        match result.Engine.lineage with
+        | Some l -> l
+        | None -> (* --explain implies provenance *) assert false
+      in
+      let matches = ref [] in
+      (gamma schema).Store.iter_prefix prefix (fun t ->
+          matches := t :: !matches);
+      let matches = List.sort Tuple.compare !matches in
+      let max_shown = 10 in
+      (match matches with
+      | [] -> Fmt.pr "explain: no stored tuple matches %s@." spec
+      | _ ->
+          List.iteri
+            (fun i t ->
+              if i < max_shown then
+                match
+                  Jstar_prov.Explain.derive ~lineage ~frozen ~max_depth:depth
+                    ~max_width:width t
+                with
+                | Some node -> Fmt.pr "@.%a" Jstar_prov.Explain.pp node
+                | None ->
+                    Fmt.pr "@.%a: stored but not tracked by lineage@."
+                      Tuple.pp t)
+            matches;
+          if List.length matches > max_shown then
+            Fmt.pr "... (%d more matching tuples)@."
+              (List.length matches - max_shown));
+      let first_tree =
+        match matches with
+        | t :: _ ->
+            Jstar_prov.Explain.derive ~lineage ~frozen ~max_depth:depth
+              ~max_width:width t
+        | [] -> None
+      in
+      let write path contents what =
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        Fmt.pr "%s -> %s@." what path
+      in
+      (match (json_out, first_tree) with
+      | Some path, Some node ->
+          write path (Jstar_prov.Explain.json_string node) "explain json"
+      | Some _, None -> Fmt.epr "jstar-demo: no tree to write as JSON@."
+      | None, _ -> ());
+      match (dot_out, first_tree) with
+      | Some path, Some node ->
+          write path (Jstar_prov.Explain.to_dot node) "explain dot"
+      | Some _, None -> Fmt.epr "jstar-demo: no tree to write as DOT@."
+      | None, _ -> ()
 
 (* -- pvwatts ---------------------------------------------------------- *)
 
@@ -137,6 +269,12 @@ let pvwatts_cmd =
     Arg.(value & flag & info [ "sorted" ]
            ~doc:"Round-robin input ordering (the paper's best case) instead of month-major.")
   in
+  let chunks =
+    Arg.(value & opt int 0 & info [ "chunks" ] ~docv:"N"
+           ~doc:"Parallel CSV reader chunks (default 2x threads).  Chunking \
+                 shapes the seed tuples, so hold it fixed when comparing \
+                 $(b,--digest) or $(b,--explain) output across thread counts.")
+  in
   let disruptor =
     Arg.(value & flag & info [ "disruptor" ]
            ~doc:"Run the Disruptor redesign (§6.3) instead of the engine version.")
@@ -149,8 +287,32 @@ let pvwatts_cmd =
     Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
            ~doc:"Write the program's dependency graph in Graphviz format.")
   in
-  let run installations threads naive store sorted disruptor consumers dot
-      tracing trace_out metrics_out causality_check task_per_rule show_stats =
+  let explain =
+    Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"TABLE:V1,V2,..."
+           ~doc:"Print the derivation tree of every stored tuple of \
+                 $(b,TABLE) whose leading fields equal the given values \
+                 (implies provenance capture): why does this tuple exist?")
+  in
+  let explain_json =
+    Arg.(value & opt (some string) None & info [ "explain-json" ] ~docv:"FILE"
+           ~doc:"Also write the first explained tuple's tree as JSON.")
+  in
+  let explain_dot =
+    Arg.(value & opt (some string) None & info [ "explain-dot" ] ~docv:"FILE"
+           ~doc:"Also write the first explained tuple's tree as a Graphviz digraph.")
+  in
+  let explain_depth =
+    Arg.(value & opt int 12 & info [ "explain-depth" ] ~docv:"N"
+           ~doc:"Derivation-tree depth limit.")
+  in
+  let explain_width =
+    Arg.(value & opt int 16 & info [ "explain-width" ] ~docv:"N"
+           ~doc:"Inputs shown per derivation node.")
+  in
+  let run installations threads naive store sorted chunks disruptor consumers
+      dot explain explain_json explain_dot explain_depth explain_width tracing
+      trace_out metrics_out causality_check task_per_rule audit digest
+      trace_sample show_stats =
     tune_runtime ();
     let ordering =
       if sorted then Jstar_csv.Pvwatts_data.Round_robin
@@ -173,7 +335,8 @@ let pvwatts_cmd =
         r.Jstar_apps.Pvwatts_disruptor.stats.Jstar_disruptor.Disruptor.published
     end
     else begin
-      let app = Jstar_apps.Pvwatts.make ~data ~chunks:(max 2 (2 * threads)) () in
+      let chunks = if chunks > 0 then chunks else max 2 (2 * threads) in
+      let app = Jstar_apps.Pvwatts.make ~data ~chunks () in
       (match dot with
       | Some path ->
           Jstar_stats.Depgraph.write_dot
@@ -183,21 +346,33 @@ let pvwatts_cmd =
       | None -> ());
       let config =
         apply_common ~tracing ~trace_out ~metrics_out ~causality_check
-          ~task_per_rule
+          ~task_per_rule ~audit ~digest ~trace_sample
           (Jstar_apps.Pvwatts.config ~threads ~no_delta:(not naive) ~store ())
       in
-      report ?trace_out ?metrics_out
-        (Engine.run_program ~init:app.Jstar_apps.Pvwatts.init
-           app.Jstar_apps.Pvwatts.program config)
-        show_stats
+      let config =
+        if explain <> None then { config with Config.provenance = true }
+        else config
+      in
+      let frozen = Program.freeze app.Jstar_apps.Pvwatts.program in
+      let result, gamma =
+        Engine.run_with_gamma ~init:app.Jstar_apps.Pvwatts.init frozen config
+      in
+      report ?trace_out ?metrics_out result show_stats;
+      match explain with
+      | Some spec ->
+          explain_run ~spec ~json_out:explain_json ~dot_out:explain_dot
+            ~depth:explain_depth ~width:explain_width ~frozen ~gamma result
+      | None -> ()
     end
   in
   Cmd.v
     (Cmd.info "pvwatts" ~doc:"Monthly solar-power averages (§6.2-6.3).")
     Term.(
-      const run $ installations $ threads $ naive $ store $ sorted $ disruptor
-      $ consumers $ dot $ tracing $ trace_out $ metrics_out $ causality_check
-      $ task_per_rule $ show_stats)
+      const run $ installations $ threads $ naive $ store $ sorted $ chunks
+      $ disruptor $ consumers $ dot $ explain $ explain_json $ explain_dot
+      $ explain_depth $ explain_width $ tracing $ trace_out $ metrics_out
+      $ causality_check $ task_per_rule $ audit $ digest $ trace_sample
+      $ show_stats)
 
 (* -- matmul ----------------------------------------------------------- *)
 
@@ -323,12 +498,12 @@ let median_cmd =
 
 let ship_cmd =
   let run threads tracing trace_out metrics_out causality_check task_per_rule
-      show_stats =
+      audit digest trace_sample show_stats =
     tune_runtime ();
     let app = Jstar_apps.Spaceinvaders.make () in
     let config =
       apply_common ~tracing ~trace_out ~metrics_out ~causality_check
-        ~task_per_rule
+        ~task_per_rule ~audit ~digest ~trace_sample
         { Config.default with threads }
     in
     report ?trace_out ?metrics_out
@@ -340,7 +515,8 @@ let ship_cmd =
     (Cmd.info "ship" ~doc:"The Space Invaders Ship example of §3 (Fig 2).")
     Term.(
       const run $ threads $ tracing $ trace_out $ metrics_out
-      $ causality_check $ task_per_rule $ show_stats)
+      $ causality_check $ task_per_rule $ audit $ digest $ trace_sample
+      $ show_stats)
 
 (* -- check ------------------------------------------------------------- *)
 

@@ -69,6 +69,25 @@ type t = {
   trace_suppress : string list;
       (* builtin span kinds (by name, e.g. "rule-fire") dropped even at
          Spans level — the per-kind mask for rule-fire-heavy runs *)
+  trace_sample : int;
+      (* 1-in-N sampling of unmasked span kinds at Spans level (1 =
+         record everything) — the finer-grained companion to
+         trace_suppress for rule-fire-heavy runs *)
+  provenance : bool;
+      (* record a lineage candidate per put into per-domain arenas,
+         merged at step barriers into one deterministic derivation per
+         tuple (Lineage; the Explain API and --explain read it) *)
+  audit_causality : bool;
+      (* runtime causality-law auditor: validate every firing's queries
+         (positive <= T, negative/aggregate < T) and puts (>= T)
+         against the trigger's timestamp — the dynamic check that
+         catches unsound Custom stores and hand-written rules the
+         static pass can't see.  Implies the per-put check of
+         runtime_causality_check and extends it to reads *)
+  digest : bool;
+      (* cross-run determinism digests: order-independent 128-bit
+         hashes of final Gamma contents and of the per-step class
+         sequence, exposed in the result and the metrics snapshot *)
 }
 
 let default =
@@ -90,6 +109,10 @@ let default =
     print_directly = false;
     tracing = Jstar_obs.Level.Off;
     trace_suppress = [];
+    trace_sample = 1;
+    provenance = false;
+    audit_causality = false;
+    digest = false;
   }
 
 let sequential = default
@@ -141,7 +164,8 @@ let validate t =
       match Jstar_obs.Kind.of_name name with
       | Some _ -> ()
       | None -> raise (Invalid ("unknown span kind in trace_suppress: " ^ name)))
-    t.trace_suppress
+    t.trace_suppress;
+  if t.trace_sample < 1 then raise (Invalid "trace_sample must be >= 1")
 
 (* The adaptive all-minimums granularity: coarse enough that fork/join
    overhead amortises, fine enough (4 leaves per worker) that stealing

@@ -73,6 +73,28 @@ type t = {
           recorded even at [Spans] — the per-kind mask that keeps
           step/extract spans while dropping per-task events on
           rule-fire-heavy runs *)
+  trace_sample : int;
+      (** record only every [N]-th span of each unmasked kind at
+          [Spans] level (per domain, per kind; 1 = record everything) —
+          finer-grained than [trace_suppress] when some per-task signal
+          should survive on rule-fire-heavy runs *)
+  provenance : bool;
+      (** capture tuple lineage: one candidate derivation record per
+          put into per-domain arenas, merged at step barriers into a
+          deterministic derivation per tuple (read by [Jstar_prov.Explain]
+          and the [--explain] CLI flag) *)
+  audit_causality : bool;
+      (** runtime causality-law auditor: validate every firing
+          dynamically — positive queries at timestamps [<= T],
+          negative/aggregate strictly [< T], puts [>= T], where [T] is
+          the trigger's timestamp — catching unsound [Custom] stores
+          and hand-written rules the static checker cannot see.
+          Violations raise [Engine.Causality_violation] *)
+  digest : bool;
+      (** compute order-independent 128-bit digests of the final Gamma
+          contents (per table and overall) and of the per-step class
+          sequence, exposed in [Engine.result.digest] and the metrics
+          snapshot — CI can assert equality across thread counts *)
 }
 
 val default : t
@@ -97,7 +119,7 @@ val validate : t -> unit
 (** @raise Invalid for nonsensical combinations (0 threads, sequential
     structures with a multi-threaded pool, grain < 1, empty or
     non-positive index length lists, advisor thresholds out of range,
-    unknown kind names in [trace_suppress]). *)
+    unknown kind names in [trace_suppress], [trace_sample < 1]). *)
 
 val resolve_grain : t -> workers:int -> n:int -> int
 (** The fork/join leaf size for an [n]-iteration loop on [workers]

@@ -35,6 +35,15 @@ type phase_times = {
   mutable t_rules : float;
 }
 
+type digest = {
+  d_gamma : string;
+      (* order-independent 128-bit hex digest of every stored tuple *)
+  d_classes : string;
+      (* step-ordered digest of the class sequence (order-independent
+         within a class, where execution order is schedule-dependent) *)
+  d_tables : (string * string) list; (* per stored table, declaration order *)
+}
+
 type result = {
   outputs : string list; (* deterministic order *)
   steps : int;
@@ -46,6 +55,8 @@ type result = {
   phases : phase_times;
   tracer : Jstar_obs.Tracer.t;
   metrics : Jstar_obs.Metrics.t;
+  lineage : Lineage.t option; (* Config.provenance *)
+  digest : digest option; (* Config.digest *)
 }
 
 (* One stripe of the put-batching buffer: growable parallel arrays
@@ -120,6 +131,19 @@ type state = {
          step/extract spans stay on *)
   h_rule_latency : Jstar_obs.Metrics.histogram; (* seconds per fire *)
   h_class_width : Jstar_obs.Metrics.histogram; (* tuples per class *)
+  lineage : Lineage.t option; (* Config.provenance: candidate arenas *)
+  prov_on : bool; (* lineage <> None, cached for the put path *)
+  audit_on : bool; (* Config.audit_causality, cached likewise *)
+  prov_or_audit : bool;
+      (* either feature needs the per-domain Prov_frame maintained
+         around firings; with both off the frame is never touched *)
+  digest_on : bool; (* Config.digest *)
+  seq_digest : Fingerprint.t;
+      (* class-sequence digest, fed one class per step in step order *)
+  step_no : int ref;
+      (* current step number for lineage records: 0 during initial
+         puts, then counts classes from 1.  Monotonic across session
+         drains *)
 }
 
 let store_for config ~parallel schema =
@@ -199,7 +223,7 @@ let make_state frozen config =
           ~suppress:
             (List.filter_map Jstar_obs.Kind.of_name
                config.Config.trace_suppress)
-          ~level ()
+          ~sample:config.Config.trace_sample ~level ()
   in
   let agg =
     if config.Config.agg_cache then
@@ -237,6 +261,10 @@ let make_state frozen config =
      lock, with a floor of 16 to keep small pools spread out too. *)
   let put_stripes =
     Jstar_sched.Bits.next_pow2 (max 16 (2 * config.Config.threads))
+  in
+  let lineage =
+    if config.Config.provenance then Some (Lineage.create ~stripes:put_stripes)
+    else None
   in
   let st = {
     frozen;
@@ -300,6 +328,13 @@ let make_state frozen config =
       Jstar_obs.Metrics.histogram metrics ~name:"engine.rule_fire_latency_s";
     h_class_width =
       Jstar_obs.Metrics.histogram metrics ~name:"engine.class_width";
+    lineage;
+    prov_on = lineage <> None;
+    audit_on = config.Config.audit_causality;
+    prov_or_audit = lineage <> None || config.Config.audit_causality;
+    digest_on = config.Config.digest;
+    seq_digest = Fingerprint.create ();
+    step_no = ref 0;
   }
   in
   (* Pull-based registry sources: closures read live engine state only
@@ -353,6 +388,34 @@ let make_state frozen config =
                 Jstar_obs.Metrics.Int (List.length (Advisor.index_lens adv id))))
         tables
   | None -> ());
+  (match st.lineage with
+  | Some l ->
+      Jstar_obs.Metrics.register_gauge metrics ~name:"prov.tuples" (fun () ->
+          Jstar_obs.Metrics.Int (Lineage.tuples_tracked l));
+      Jstar_obs.Metrics.register_gauge metrics ~name:"prov.records" (fun () ->
+          Jstar_obs.Metrics.Int (Lineage.records_merged l))
+  | None -> ());
+  if st.digest_on then begin
+    (* 63-bit lanes, emitted as two Int gauges per digest.  Gamma lanes
+       rescan the stores, so reading them is a snapshot-time cost only. *)
+    let gamma_lanes () =
+      let d = Fingerprint.create () in
+      Array.iteri
+        (fun id _ ->
+          if not st.no_gamma.(id) then
+            st.gamma.(id).Store.iter (fun t -> Fingerprint.add_tuple d t))
+        st.gamma;
+      Fingerprint.lanes d
+    in
+    let reg name f =
+      Jstar_obs.Metrics.register_gauge metrics ~name (fun () ->
+          Jstar_obs.Metrics.Int (f ()))
+    in
+    reg "digest.gamma.lo" (fun () -> fst (gamma_lanes ()));
+    reg "digest.gamma.hi" (fun () -> snd (gamma_lanes ()));
+    reg "digest.classes.lo" (fun () -> fst (Fingerprint.lanes st.seq_digest));
+    reg "digest.classes.hi" (fun () -> snd (Fingerprint.lanes st.seq_digest))
+  end;
   st
 
 (* ------------------------------------------------------------------ *)
@@ -363,12 +426,66 @@ let timestamp_of st id tuple =
   | Some ts -> ts
   | None -> Timestamp.of_tuple st.order tuple
 
+(* Lineage capture: one candidate per put, accepted or not — the put
+   multiset is schedule-independent, so recording before routing keeps
+   the candidate set (and hence the merged minimum) deterministic. *)
+let record_lineage st l tuple =
+  let fr = Prov_frame.get () in
+  let parents =
+    match fr.Prov_frame.bound with
+    | [] -> [||]
+    | [ t ] -> [| t |]
+    | bound -> Array.of_list (List.rev bound) (* trigger first *)
+  in
+  Lineage.record l ~rule:fr.Prov_frame.rule ~step:!(st.step_no) ~parents tuple
+
+let audit_fail st msg =
+  Jstar_obs.Tracer.instant st.obs Jstar_obs.Kind.audit;
+  raise (Causality_violation msg)
+
+(* The auditor's put-side check: relative to the *trigger's* timestamp
+   (the frame), which is later than the engine's class timestamp inside
+   -noDelta chains — exactly where [runtime_causality_check]'s
+   class-level test is too lax. *)
+let audit_put st tuple ts =
+  let fr = Prov_frame.get () in
+  match fr.Prov_frame.now with
+  | Some now when not (Timestamp.leq now ts) ->
+      audit_fail st
+        (Fmt.str "audit: rule %s at %a put %a into the past (%a)"
+           (Program.rule_name st.frozen fr.Prov_frame.rule)
+           Timestamp.pp now Tuple.pp tuple Timestamp.pp ts)
+  | _ -> ()
+
+(* The auditor's read-side check, run per visited tuple: positive
+   queries may see [<= T]; inside a strict ([Query] negative/aggregate)
+   scope the law demands [< T]. *)
+let audit_visit st fr tuple =
+  match fr.Prov_frame.now with
+  | None -> ()
+  | Some now ->
+      let ts = timestamp_of st (Tuple.schema tuple).Schema.id tuple in
+      let strict = fr.Prov_frame.strict > 0 in
+      let ok = if strict then Timestamp.lt ts now else Timestamp.leq ts now in
+      if not ok then
+        audit_fail st
+          (Fmt.str "audit: rule %s at %a %s query visited %a at %a%s"
+             (Program.rule_name st.frozen fr.Prov_frame.rule)
+             Timestamp.pp now
+             (if strict then "negative/aggregate" else "positive")
+             Tuple.pp tuple Timestamp.pp ts
+             (if strict then " (must be strictly earlier)" else ""))
+
 let rec route_put st ctx tuple =
   let schema = Tuple.schema tuple in
   let id = schema.Schema.id in
   let c = Table_stats.counters st.stats id in
   Table_stats.incr c.Table_stats.puts;
   let ts = timestamp_of st id tuple in
+  (match st.lineage with
+  | Some l -> record_lineage st l tuple
+  | None -> ());
+  if st.audit_on then audit_put st tuple ts;
   if st.config.Config.runtime_causality_check then
     (match !(st.current_ts) with
     | Some now when not (Timestamp.leq now ts) ->
@@ -452,11 +569,41 @@ and fire_rules st ctx tuple =
   | rules ->
       let c = Table_stats.counters st.stats id in
       let t0 = if st.counters_on then Jstar_obs.Monotonic.now_ns () else 0 in
-      List.iter
-        (fun r ->
-          Table_stats.incr c.Table_stats.triggers;
-          r.Rule.body ctx tuple)
-        rules;
+      (if st.prov_or_audit then begin
+         (* Save/restore the domain's firing frame rather than just
+            setting it: -noDelta puts fire rules synchronously inside
+            the putting task, and a blocking fork/join join can run a
+            stolen firing — both nest on one domain. *)
+         let fr = Prov_frame.get () in
+         let s_rule = fr.Prov_frame.rule
+         and s_now = fr.Prov_frame.now
+         and s_bound = fr.Prov_frame.bound in
+         let now = Some (timestamp_of st id tuple) in
+         let restore () =
+           fr.Prov_frame.rule <- s_rule;
+           fr.Prov_frame.now <- s_now;
+           fr.Prov_frame.bound <- s_bound
+         in
+         try
+           List.iter
+             (fun r ->
+               Table_stats.incr c.Table_stats.triggers;
+               fr.Prov_frame.rule <- r.Rule.rid;
+               fr.Prov_frame.now <- now;
+               fr.Prov_frame.bound <- [ tuple ];
+               r.Rule.body ctx tuple)
+             rules;
+           restore ()
+         with e ->
+           restore ();
+           raise e
+       end
+       else
+         List.iter
+           (fun r ->
+             Table_stats.incr c.Table_stats.triggers;
+             r.Rule.body ctx tuple)
+           rules);
       if st.counters_on then begin
         let dur = Jstar_obs.Monotonic.now_ns () - t0 in
         Jstar_obs.Metrics.observe st.h_rule_latency (float_of_int dur *. 1e-9);
@@ -477,7 +624,29 @@ let make_ctx st =
           (match st.advisor with
           | Some adv -> Advisor.note_query adv id (Array.length prefix)
           | None -> ());
-          st.gamma.(id).Store.iter_prefix prefix f);
+          if st.prov_or_audit then begin
+            let fr = Prov_frame.get () in
+            if fr.Prov_frame.rule = Prov_frame.seed_rule then
+              (* outside any firing (inspection after a run) *)
+              st.gamma.(id).Store.iter_prefix prefix f
+            else
+              st.gamma.(id).Store.iter_prefix prefix (fun t ->
+                  if st.audit_on then audit_visit st fr t;
+                  if st.prov_on then begin
+                    (* The visited tuple is a binding of this body
+                       literal for the duration of [f]: any put inside
+                       records it as a parent. *)
+                    let saved = fr.Prov_frame.bound in
+                    fr.Prov_frame.bound <- t :: saved;
+                    (match f t with
+                    | () -> fr.Prov_frame.bound <- saved
+                    | exception e ->
+                        fr.Prov_frame.bound <- saved;
+                        raise e)
+                  end
+                  else f t)
+          end
+          else st.gamma.(id).Store.iter_prefix prefix f);
       store_of = (fun schema -> st.gamma.(schema.Schema.id));
       println =
         (fun line ->
@@ -491,6 +660,41 @@ let make_ctx st =
               let grain =
                 Config.resolve_grain st.config
                   ~workers:(Jstar_sched.Pool.size pool) ~n:(hi - lo)
+              in
+              let f =
+                if not st.prov_or_audit then f
+                else begin
+                  (* Leaves may run on other domains: carry the firing
+                     frame (rule, trigger time, bindings so far) to the
+                     executing domain for each leaf, restoring whatever
+                     firing that domain had in flight. *)
+                  let fr = Prov_frame.get () in
+                  let rule = fr.Prov_frame.rule
+                  and now = fr.Prov_frame.now
+                  and bound = fr.Prov_frame.bound
+                  and strict = fr.Prov_frame.strict in
+                  fun i ->
+                    let cfr = Prov_frame.get () in
+                    let s_rule = cfr.Prov_frame.rule
+                    and s_now = cfr.Prov_frame.now
+                    and s_bound = cfr.Prov_frame.bound
+                    and s_strict = cfr.Prov_frame.strict in
+                    cfr.Prov_frame.rule <- rule;
+                    cfr.Prov_frame.now <- now;
+                    cfr.Prov_frame.bound <- bound;
+                    cfr.Prov_frame.strict <- strict;
+                    let restore () =
+                      cfr.Prov_frame.rule <- s_rule;
+                      cfr.Prov_frame.now <- s_now;
+                      cfr.Prov_frame.bound <- s_bound;
+                      cfr.Prov_frame.strict <- s_strict
+                    in
+                    (match f i with
+                    | () -> restore ()
+                    | exception e ->
+                        restore ();
+                        raise e)
+                end
               in
               Jstar_sched.Forkjoin.parallel_for pool ~grain ~lo ~hi f
           | _ ->
@@ -540,7 +744,27 @@ let run_class_effects st ctx tuples =
         | Some fmt -> ctx.Rule.println (fmt t)
         | None -> ());
         match st.frozen.Program.action_of.(id) with
-        | Some handler -> handler ctx t
+        | Some handler ->
+            if st.prov_or_audit then begin
+              let fr = Prov_frame.get () in
+              let s_rule = fr.Prov_frame.rule
+              and s_now = fr.Prov_frame.now
+              and s_bound = fr.Prov_frame.bound in
+              fr.Prov_frame.rule <- Prov_frame.action_rule;
+              fr.Prov_frame.now <- Some (timestamp_of st id t);
+              fr.Prov_frame.bound <- [ t ];
+              let restore () =
+                fr.Prov_frame.rule <- s_rule;
+                fr.Prov_frame.now <- s_now;
+                fr.Prov_frame.bound <- s_bound
+              in
+              match handler ctx t with
+              | () -> restore ()
+              | exception e ->
+                  restore ();
+                  raise e
+            end
+            else handler ctx t
         | None -> ())
       sorted
   end
@@ -556,11 +780,37 @@ let flush_step_outputs st =
 
 let now () = Unix.gettimeofday ()
 
+(* Drain the lineage arenas at a barrier (no rule task live). *)
+let merge_lineage st =
+  match st.lineage with
+  | None -> ()
+  | Some l ->
+      let m0 = if st.trace_spans then Jstar_obs.Monotonic.now_ns () else 0 in
+      Lineage.merge l;
+      if st.trace_spans then
+        Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.prov_merge
+          ~arg:(Lineage.tuples_tracked l) ~ts:m0
+          ~dur:(Jstar_obs.Monotonic.now_ns () - m0)
+
 let run_step st ctx tuples =
   let step_t0 = if st.counters_on then Jstar_obs.Monotonic.now_ns () else 0 in
   let tuples = Array.of_list tuples in
   let n = Array.length tuples in
   st.processed := !(st.processed) + n;
+  incr st.step_no;
+  if st.digest_on then begin
+    (* One class per step: sum the tuples' lanes (commutative — the
+       class *set* is schedule-independent, its order is not) and fold
+       the sum into the sequence digest in step order. *)
+    let lo = ref 0 and hi = ref 0 in
+    Array.iter
+      (fun t ->
+        let l, h = Fingerprint.tuple_lanes t in
+        lo := !lo + l;
+        hi := !hi + h)
+      tuples;
+    Fingerprint.mix_seq st.seq_digest ~lo:!lo ~hi:!hi ~n
+  end;
   st.current_ts :=
     (if n > 0 then
        Some (timestamp_of st (Tuple.schema tuples.(0)).Schema.id tuples.(0))
@@ -673,7 +923,26 @@ let run_step st ctx tuples =
         let f0 =
           if st.counters_on then Jstar_obs.Monotonic.now_ns () else 0
         in
-        r.Rule.body ctx t;
+        (if st.prov_or_audit then begin
+           let fr = Prov_frame.get () in
+           let s_rule = fr.Prov_frame.rule
+           and s_now = fr.Prov_frame.now
+           and s_bound = fr.Prov_frame.bound in
+           fr.Prov_frame.rule <- r.Rule.rid;
+           fr.Prov_frame.now <- Some (timestamp_of st id t);
+           fr.Prov_frame.bound <- [ t ];
+           let restore () =
+             fr.Prov_frame.rule <- s_rule;
+             fr.Prov_frame.now <- s_now;
+             fr.Prov_frame.bound <- s_bound
+           in
+           match r.Rule.body ctx t with
+           | () -> restore ()
+           | exception e ->
+               restore ();
+               raise e
+         end
+         else r.Rule.body ctx t);
         if st.counters_on then begin
           let dur = Jstar_obs.Monotonic.now_ns () - f0 in
           Jstar_obs.Metrics.observe st.h_rule_latency
@@ -691,6 +960,7 @@ let run_step st ctx tuples =
      class is extracted. *)
   flush_puts st;
   flush_step_outputs st;
+  merge_lineage st;
   (* End-of-step barrier: no rule task is live, so the advisor may
      mutate store index lists.  The histogram it reads is a function of
      the schedule-independent class sequence, so promotion decisions
@@ -710,12 +980,38 @@ let run_step st ctx tuples =
         ~dur:(Jstar_obs.Monotonic.now_ns () - step_t0)
   end
 
+(* Final digests over Gamma at quiescence (Config.digest). *)
+let compute_digest st =
+  if not st.digest_on then None
+  else begin
+    let overall = Fingerprint.create () in
+    let d_tables =
+      Array.to_list st.frozen.Program.tables
+      |> List.filter_map (fun s ->
+             let id = s.Schema.id in
+             if st.no_gamma.(id) then None
+             else begin
+               let d = Fingerprint.create () in
+               st.gamma.(id).Store.iter (fun t -> Fingerprint.add_tuple d t);
+               Fingerprint.add overall d;
+               Some (s.Schema.name, Fingerprint.hex d)
+             end)
+    in
+    Some
+      {
+        d_gamma = Fingerprint.hex overall;
+        d_classes = Fingerprint.hex st.seq_digest;
+        d_tables;
+      }
+  end
+
 let run_state st ~init =
   let t_start = now () in
   let ctx = make_ctx st in
   List.iter (fun t -> route_put st ctx t) init;
   flush_puts st;
   flush_step_outputs st;
+  merge_lineage st;
   let steps = ref 0 in
   let rec loop () =
     let e0 = if st.trace_spans then Jstar_obs.Monotonic.now_ns () else 0 in
@@ -748,6 +1044,8 @@ let run_state st ~init =
     phases = st.phases;
     tracer = st.obs;
     metrics = st.metrics;
+    lineage = st.lineage;
+    digest = compute_digest st;
   }
 
 let run_with_gamma ?(init = []) frozen config =
@@ -815,6 +1113,7 @@ let drain session =
         loop ()
   in
   loop ();
+  merge_lineage st;
   if st.trace_spans then
     Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.drain
       ~arg:session.session_steps ~ts:drain_t0
@@ -842,6 +1141,8 @@ let finish session =
     | Some p -> Jstar_sched.Pool.shutdown p
     | None -> ()
   end;
+  (* Cover tuples fed since the last drain. *)
+  merge_lineage session.st;
   {
     outputs = List.rev !(session.st.outputs);
     steps = session.session_steps;
@@ -853,4 +1154,6 @@ let finish session =
     phases = session.st.phases;
     tracer = session.st.obs;
     metrics = session.st.metrics;
+    lineage = session.st.lineage;
+    digest = compute_digest session.st;
   }

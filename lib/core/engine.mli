@@ -8,7 +8,10 @@
 
 exception Causality_violation of string
 (** Raised (when [runtime_causality_check] is on) by a put whose tuple's
-    timestamp precedes the executing class — a rule changing the past. *)
+    timestamp precedes the executing class — a rule changing the past.
+    Also raised by the runtime auditor ([audit_causality]) when a firing
+    reads tuples the law forbids: a positive query visiting later than
+    its trigger, or a negative/aggregate query visiting at or later. *)
 
 exception Step_limit_exceeded of int
 (** Raised when [max_steps] is configured and exceeded. *)
@@ -17,6 +20,19 @@ type phase_times = {
   mutable t_extract : float;  (** seconds spent extracting from Delta *)
   mutable t_gamma : float;  (** seconds inserting classes into Gamma *)
   mutable t_rules : float;  (** seconds firing rules *)
+}
+
+type digest = {
+  d_gamma : string;
+      (** 128-bit hex digest of every stored tuple at quiescence,
+          order-independent — equal across thread counts iff the final
+          databases are equal *)
+  d_classes : string;
+      (** digest of the per-step class sequence, step-ordered (and
+          order-independent within each class, where execution order is
+          the one schedule-dependent thing) *)
+  d_tables : (string * string) list;
+      (** per stored table, declaration order *)
 }
 
 type result = {
@@ -35,6 +51,11 @@ type result = {
   metrics : Jstar_obs.Metrics.t;
       (** registry over the engine, Delta and Gamma — gauges and
           histograms alongside the {!Table_stats} counters *)
+  lineage : Lineage.t option;
+      (** merged derivation records when [Config.provenance] was on —
+          feed to [Jstar_prov.Explain] together with the frozen
+          program *)
+  digest : digest option;  (** when [Config.digest] was on *)
 }
 
 val run : ?init:Tuple.t list -> Program.frozen -> Config.t -> result

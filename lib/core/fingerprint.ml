@@ -1,0 +1,74 @@
+(* Cross-run determinism digests (Config.digest).
+
+   Two independent 64-bit lanes per tuple (a splitmix-style mix of the
+   schema id and every field under two different seeds), combined with
+   *wrapping addition* — a commutative monoid — so a digest over a set
+   of tuples is independent of visit order.  128 bits keep accidental
+   collision probability negligible at any realistic database size,
+   which is what lets CI assert digest equality at 1/2/4 threads
+   instead of diffing full outputs.
+
+   Two digests are produced per run:
+   - the Gamma digest: the lane-sum over every stored tuple at
+     quiescence (per table and overall);
+   - the class-sequence digest: per step, the lane-sum over the
+     extracted class (within-class order is schedule-dependent, the
+     class *set* is not), folded in step order through a non-commutative
+     mix — so it distinguishes runs whose final databases agree but
+     whose class sequences don't. *)
+
+type t = { mutable lo : int; mutable hi : int }
+
+let create () = { lo = 0; hi = 0 }
+
+(* splitmix64-style finalizer on OCaml's 63-bit ints.  The multiplier
+   constants are the splitmix64 ones truncated to fit a 63-bit literal
+   (still odd, still high-entropy) — the lanes only need to spread
+   well, not match a reference implementation. *)
+let mix64 z =
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 in
+  let z = (z lxor (z lsr 27)) * 0x14d049bb133111eb in
+  z lxor (z lsr 31)
+
+let seed_lo = 0x1e3779b97f4a7c15
+let seed_hi = 0x3c6ef372fe94f82a
+
+let value_word = function
+  | Value.Int i -> i
+  | Value.Float f -> Int64.to_int (Int64.bits_of_float f)
+  | Value.Bool b -> if b then 1 else 2
+  | Value.Str s -> Hashtbl.hash s
+
+let tuple_lanes tuple =
+  let fields = Tuple.fields tuple in
+  let id = (Tuple.schema tuple).Schema.id in
+  let lo = ref (mix64 (seed_lo lxor id))
+  and hi = ref (mix64 (seed_hi lxor id)) in
+  for i = 0 to Array.length fields - 1 do
+    let w = value_word fields.(i) in
+    lo := mix64 (!lo lxor (w + (i * 0x232be59bd9b4e019)));
+    hi := mix64 (!hi lxor (w * 0x2545f4914f6cdd1d) lxor i)
+  done;
+  (!lo, !hi)
+
+let add_tuple t tuple =
+  let lo, hi = tuple_lanes tuple in
+  t.lo <- t.lo + lo;
+  t.hi <- t.hi + hi
+
+let add t other =
+  t.lo <- t.lo + other.lo;
+  t.hi <- t.hi + other.hi
+
+(* Ordered fold: absorb one class's commutative lane-sum into the
+   sequence digest.  Multiplying before xoring makes the combination
+   position-sensitive, so swapped classes change the result. *)
+let mix_seq t ~lo ~hi ~n =
+  t.lo <- mix64 ((t.lo * 0x100000001b3) lxor lo lxor n);
+  t.hi <- mix64 ((t.hi * 0x32b2ae3d27d4eb4f) lxor hi lxor n)
+
+let lanes t = (t.lo, t.hi)
+
+let hex t = Printf.sprintf "%016Lx%016Lx" (Int64.of_int t.hi) (Int64.of_int t.lo)
+
+let equal a b = a.lo = b.lo && a.hi = b.hi

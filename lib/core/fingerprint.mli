@@ -1,0 +1,28 @@
+(** Order-independent 128-bit content digests ([Config.digest]): two
+    64-bit lanes per tuple combined by wrapping addition, so a digest
+    over a tuple set is schedule-independent — CI can assert equal
+    digests at 1/2/4 threads instead of diffing outputs. *)
+
+type t
+
+val create : unit -> t
+
+val tuple_lanes : Tuple.t -> int * int
+(** The tuple's two content lanes (schema id + every field, two
+    seeds). *)
+
+val add_tuple : t -> Tuple.t -> unit
+(** Commutative: absorb one tuple. *)
+
+val add : t -> t -> unit
+(** Commutative: absorb another digest's lanes (per-table into
+    overall). *)
+
+val mix_seq : t -> lo:int -> hi:int -> n:int -> unit
+(** Non-commutative: fold one step's class lanes (and width [n]) into a
+    sequence digest, in step order. *)
+
+val lanes : t -> int * int
+val hex : t -> string  (** 32 hex digits, [hi] lane first. *)
+
+val equal : t -> t -> bool

@@ -82,6 +82,7 @@ type frozen = {
   program : t;
   tables : Schema.t array; (* indexed by schema id *)
   rules_by_trigger : Rule.t list array; (* declaration order per table *)
+  rule_names : string array; (* indexed by Rule.rid *)
   output_fmt : (Tuple.t -> string) option array;
   action_of : action option array;
   nlits : int;
@@ -89,6 +90,13 @@ type frozen = {
 
 let freeze p =
   p.frozen <- true;
+  (* Rule ids follow declaration order; re-freezing the same program
+     reassigns the same ids, so frozen copies agree. *)
+  let all_rules = rules p in
+  List.iteri (fun i r -> r.Rule.rid <- i) all_rules;
+  let rule_names =
+    Array.of_list (List.map (fun r -> r.Rule.name) all_rules)
+  in
   let tables = Array.of_list (schemas p) in
   Array.iteri
     (fun i s -> if s.Schema.id <> i then invalid_arg "corrupt table ids")
@@ -113,7 +121,15 @@ let freeze p =
     program = p;
     tables;
     rules_by_trigger;
+    rule_names;
     output_fmt;
     action_of;
     nlits = max 1 (Order_rel.count p.order);
   }
+
+let rule_name frozen rid =
+  if rid >= 0 && rid < Array.length frozen.rule_names then
+    frozen.rule_names.(rid)
+  else if rid = Prov_frame.seed_rule then "<seed>"
+  else if rid = Prov_frame.action_rule then "<action>"
+  else Printf.sprintf "<rule-%d>" rid

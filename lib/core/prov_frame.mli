@@ -1,0 +1,26 @@
+(** Per-domain firing frame: the rule currently executing on this
+    domain, its trigger timestamp, and the tuples its body literals have
+    bound.  Written by the engine (saved/restored around every firing),
+    read by {!Lineage} capture and the runtime causality auditor. *)
+
+type t = {
+  mutable rule : int;
+  mutable now : Timestamp.t option;
+  mutable bound : Tuple.t list;  (** innermost binding first *)
+  mutable strict : int;  (** > 0 inside a negative/aggregate query *)
+}
+
+val seed_rule : int
+(** Pseudo rule id for initial / externally fed puts (no firing). *)
+
+val action_rule : int
+(** Pseudo rule id for external-action handlers. *)
+
+val get : unit -> t
+(** This domain's frame (allocated on first use, then reused). *)
+
+val with_strict : (unit -> 'a) -> 'a
+(** Run [f] with the frame's strict-query depth raised: the auditor
+    then requires every visited tuple to be strictly earlier than the
+    trigger, per the law's negative/aggregate clause.  Exception-safe;
+    nests. *)

@@ -24,10 +24,19 @@ let fold ctx schema ?prefix ?where ~init ~f () =
 let list ctx schema ?prefix ?where () =
   List.rev (fold ctx schema ?prefix ?where ~init:[] ~f:(fun acc t -> t :: acc) ())
 
+(* Aggregate and negative queries run inside a [Prov_frame] strict
+   scope: the law demands their matches be strictly earlier than the
+   trigger, and the runtime auditor ([Config.audit_causality]) enforces
+   [<] instead of [<=] for tuples visited inside the scope.  Answers
+   served from the aggregate cache never visit tuples, so the auditor
+   can only witness scan paths — cached hits are validated by the scan
+   that built the partial. *)
+
 let reduce ctx schema ?prefix ?where ~monoid ~f () =
-  fold ctx schema ?prefix ?where ~init:monoid.Reducer.empty
-    ~f:(fun acc t -> monoid.Reducer.combine acc (f t))
-    ()
+  Prov_frame.with_strict (fun () ->
+      fold ctx schema ?prefix ?where ~init:monoid.Reducer.empty
+        ~f:(fun acc t -> monoid.Reducer.combine acc (f t))
+        ())
 
 (* -- memoized aggregates -------------------------------------------- *)
 
@@ -104,7 +113,8 @@ let build ctx (m : 'a memo) () : (Tuple.t -> unit) * Agg_cache.univ =
     in
     Hashtbl.replace tbl key (m.m_monoid.Reducer.combine cur (m.m_f t))
   in
-  ctx.Rule.iter_prefix m.m_schema [||] update;
+  Prov_frame.with_strict (fun () ->
+      ctx.Rule.iter_prefix m.m_schema [||] update);
   (update, m.m_inj (fun p -> Hashtbl.find_opt tbl p))
 
 let memo_reduce ctx (m : 'a memo) ?(prefix = [||]) () =
@@ -135,7 +145,10 @@ let memo_min ctx m ?prefix () = memo_reduce ctx m ?prefix ()
 type Agg_cache.univ += Count_state of (Value.t array -> int option)
 
 let count ctx schema ?(prefix = [||]) ?where () =
-  let scan () = fold ctx schema ~prefix ?where ~init:0 ~f:(fun n _ -> n + 1) () in
+  let scan () =
+    Prov_frame.with_strict (fun () ->
+        fold ctx schema ~prefix ?where ~init:0 ~f:(fun n _ -> n + 1) ())
+  in
   let plen = Array.length prefix in
   match (where, ctx.Rule.agg) with
   | Some _, _ | _, None -> scan ()
@@ -148,7 +161,8 @@ let count ctx schema ?(prefix = [||]) ?where () =
           Hashtbl.replace tbl key
             (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
         in
-        ctx.Rule.iter_prefix schema [||] update;
+        Prov_frame.with_strict (fun () ->
+            ctx.Rule.iter_prefix schema [||] update);
         (update, Count_state (fun p -> Hashtbl.find_opt tbl p))
       in
       match
@@ -171,12 +185,16 @@ let uniq ctx schema ?prefix ?where () =
   !found
 
 let is_empty ctx schema ?prefix ?where () =
-  uniq ctx schema ?prefix ?where () = None
+  (* The negative query form: any match refutes it, so matches must be
+     strictly in the past (a same-time match would make the answer
+     schedule-dependent). *)
+  Prov_frame.with_strict (fun () -> uniq ctx schema ?prefix ?where () = None)
 
 let min_by ctx schema ?prefix ?where ~key () =
-  fold ctx schema ?prefix ?where ~init:None
-    ~f:(fun acc t ->
-      match acc with
-      | None -> Some t
-      | Some best -> if key t < key best then Some t else acc)
-    ()
+  Prov_frame.with_strict (fun () ->
+      fold ctx schema ?prefix ?where ~init:None
+        ~f:(fun acc t ->
+          match acc with
+          | None -> Some t
+          | Some best -> if key t < key best then Some t else acc)
+        ())

@@ -39,10 +39,13 @@ type t = {
   puts : Spec.put_spec list;
   assumes : Spec.constr list;
       (* invariants/guards the causality checker may use *)
+  mutable rid : int;
+      (* program-wide rule id in declaration order, assigned at freeze;
+         -1 until then.  Lineage records carry it instead of the name *)
 }
 
 let make ?(reads = []) ?(puts = []) ?(assumes = []) ~name ~trigger body =
-  { name; trigger; body; reads; puts; assumes }
+  { name; trigger; body; reads; puts; assumes; rid = -1 }
 
 let pp ppf r =
   Fmt.pf ppf "foreach (%s %s) { ... }" r.trigger.Schema.name r.name

@@ -34,6 +34,9 @@ type t = {
   reads : Spec.read_spec list;
   puts : Spec.put_spec list;
   assumes : Spec.constr list;
+  mutable rid : int;
+      (** program-wide id in declaration order, set by [Program.freeze];
+          -1 before.  Identifies the rule in lineage records. *)
 }
 
 val make :

@@ -15,7 +15,9 @@ let spawn = 6
 let steal = 7
 let idle = 8
 let advisor = 9
-let builtin_count = 10
+let prov_merge = 10
+let audit = 11
+let builtin_count = 12
 
 let builtin_names =
   [|
@@ -29,6 +31,8 @@ let builtin_names =
     "pool-steal";
     "pool-idle";
     "advisor-promote";
+    "prov-merge";
+    "audit-violation";
   |]
 
 let builtin_name k =

@@ -25,6 +25,12 @@ val idle : t  (** pool worker parked waiting for work *)
 
 val advisor : t  (** store advisor promoted a secondary index (instant) *)
 
+val prov_merge : t  (** lineage arenas merged at a step barrier *)
+
+val audit : t
+(** runtime causality auditor found a violation (instant, recorded just
+    before the exception is raised) *)
+
 val builtin_count : int
 val builtin_name : int -> string option
 

@@ -19,6 +19,10 @@ type t = {
   id : int;
   level : Level.t;
   capacity : int;
+  sample : int;
+      (* record every [sample]-th event of each unmasked kind, per
+         domain (1 = everything).  The counters live next to the ring
+         in DLS, so the sampled path stays lock-free. *)
   mutable suppress_mask : int;
       (* bit [k] set = kind [k] not recorded even at Spans level.  Only
          kinds < 62 are maskable; custom kinds past the word run
@@ -37,11 +41,13 @@ let mask_bit k =
 
 let mask_of kinds = List.fold_left (fun m k -> m lor mask_bit k) 0 kinds
 
-let create ?(capacity = 1 lsl 16) ?(suppress = []) ~level () =
+let create ?(capacity = 1 lsl 16) ?(suppress = []) ?(sample = 1) ~level () =
+  if sample < 1 then invalid_arg "Tracer.create: sample must be >= 1";
   {
     id = Atomic.fetch_and_add next_id 1;
     level;
     capacity;
+    sample;
     suppress_mask = mask_of suppress;
     rings = [];
     custom = [];
@@ -57,26 +63,32 @@ let set_suppressed t kinds = t.suppress_mask <- mask_of kinds
 let suppressed t k = t.suppress_mask land mask_bit k <> 0
 let enabled t k = Level.spans_on t.level && not (suppressed t k)
 
-(* Most-recently-used cache of this domain's rings, across tracers. *)
-let dls_key : (int * Ring.t) list ref Domain.DLS.key =
+(* Most-recently-used cache of this domain's (ring, sample counters)
+   pairs, across tracers.  The counter array has one slot per kind
+   (folded into 64 slots; kinds past the array share slots, which only
+   makes their sampling windows interleave). *)
+type dls_entry = { e_id : int; e_ring : Ring.t; e_counters : int array }
+
+let dls_key : dls_entry list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
 let dls_keep = 8
+let counter_slots = 64
 
-let ring_for t =
+let entry_for t =
   let cell = Domain.DLS.get dls_key in
   match !cell with
-  | (id, r) :: _ when id = t.id -> r
+  | e :: _ when e.e_id = t.id -> e
   | entries ->
       let rec split acc = function
         | [] -> None
-        | (id, r) :: tl when id = t.id -> Some (r, List.rev_append acc tl)
+        | e :: tl when e.e_id = t.id -> Some (e, List.rev_append acc tl)
         | e :: tl -> split (e :: acc) tl
       in
       (match split [] entries with
-      | Some (r, rest) ->
-          cell := (t.id, r) :: rest;
-          r
+      | Some (e, rest) ->
+          cell := e :: rest;
+          e
       | None ->
           let r =
             Ring.create ~capacity:t.capacity ~tid:(Domain.self () :> int)
@@ -84,28 +96,51 @@ let ring_for t =
           Mutex.lock t.reg_mutex;
           t.rings <- r :: t.rings;
           Mutex.unlock t.reg_mutex;
+          let e =
+            { e_id = t.id; e_ring = r; e_counters = Array.make counter_slots 0 }
+          in
           let rest = List.filteri (fun i _ -> i < dls_keep - 1) entries in
-          cell := (t.id, r) :: rest;
-          r)
+          cell := e :: rest;
+          e)
 
 (* -- recording ------------------------------------------------------- *)
 
+(* 1-in-N sampling: record the first event of every window of [sample]
+   per (domain, kind slot).  [sample = 1] short-circuits before any DLS
+   access, so unsampled tracers pay one immediate compare. *)
+let sample_hit t e kind =
+  t.sample = 1
+  ||
+  let slot = Kind.to_int kind land (counter_slots - 1) in
+  let c = e.e_counters.(slot) + 1 in
+  e.e_counters.(slot) <- (if c >= t.sample then 0 else c);
+  c = 1
+
 let instant t ?(arg = 0) kind =
-  if enabled t kind then
-    Ring.record (ring_for t) ~kind:(Kind.to_int kind)
-      ~ts:(Monotonic.now_ns ()) ~dur:(-1) ~arg
+  if enabled t kind then begin
+    let e = entry_for t in
+    if sample_hit t e kind then
+      Ring.record e.e_ring ~kind:(Kind.to_int kind) ~ts:(Monotonic.now_ns ())
+        ~dur:(-1) ~arg
+  end
 
 let start t = if Level.spans_on t.level then Monotonic.now_ns () else 0
 
 let stop t ?(arg = 0) kind t0 =
-  if enabled t kind then
-    Ring.record (ring_for t) ~kind:(Kind.to_int kind) ~ts:t0
-      ~dur:(Monotonic.now_ns () - t0)
-      ~arg
+  if enabled t kind then begin
+    let e = entry_for t in
+    if sample_hit t e kind then
+      Ring.record e.e_ring ~kind:(Kind.to_int kind) ~ts:t0
+        ~dur:(Monotonic.now_ns () - t0)
+        ~arg
+  end
 
 let record_span t ?(arg = 0) kind ~ts ~dur =
-  if enabled t kind then
-    Ring.record (ring_for t) ~kind:(Kind.to_int kind) ~ts ~dur ~arg
+  if enabled t kind then begin
+    let e = entry_for t in
+    if sample_hit t e kind then
+      Ring.record e.e_ring ~kind:(Kind.to_int kind) ~ts ~dur ~arg
+  end
 
 let span t ?arg kind f =
   if enabled t kind then begin

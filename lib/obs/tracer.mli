@@ -8,12 +8,21 @@
 
 type t
 
-val create : ?capacity:int -> ?suppress:Kind.t list -> level:Level.t -> unit -> t
+val create :
+  ?capacity:int ->
+  ?suppress:Kind.t list ->
+  ?sample:int ->
+  level:Level.t ->
+  unit ->
+  t
 (** [capacity] is events per domain ring (default 65536, rounded up to
     a power of two).  [suppress] lists kinds that are never recorded
     even at [Spans] level — the per-kind enable mask that lets a
     rule-fire-heavy run keep [step]/[extract] spans while dropping the
-    per-task [rule_fire] events. *)
+    per-task [rule_fire] events.  [sample] (default 1) records only
+    every [N]-th event of each unmasked kind, per domain — the first
+    event of each window is kept, so rare kinds still appear.
+    @raise Invalid_argument when [sample < 1]. *)
 
 val disabled : t
 (** A shared [Off] tracer for components instrumented unconditionally

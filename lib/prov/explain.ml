@@ -1,0 +1,250 @@
+(* The Explain API: reconstruct the derivation tree of a tuple from the
+   lineage table an engine run produced (Config.provenance), and render
+   it — console tree, JSON, DOT.
+
+   The lineage table maps each tuple to one canonical (deterministic)
+   derivation record; [derive] follows parent links recursively under
+   depth/width limits.  Because the canonical candidate is the
+   minimum-step one, parent chains strictly descend toward the seed
+   puts; a path set still guards against cycles (defence in depth —
+   e.g. hand-fed lineage), marking any recurrence as a truncated
+   leaf rather than looping. *)
+
+open Jstar_core
+
+type kind = Seed | Action | Rule of string
+
+type node = {
+  n_tuple : Tuple.t;
+  n_kind : kind;
+  n_step : int;
+  n_domain : int;
+  n_children : node list; (* derivation inputs, trigger first *)
+  n_elided : int; (* children dropped by the width limit *)
+  n_depth_cut : bool; (* children dropped by the depth limit *)
+  n_cycle : bool; (* tuple already on the path to the root *)
+}
+
+let kind_of frozen rule =
+  if rule = Prov_frame.seed_rule then Seed
+  else if rule = Prov_frame.action_rule then Action
+  else Rule (Program.rule_name frozen rule)
+
+let derive ~lineage ~frozen ?(max_depth = 12) ?(max_width = 16) tuple =
+  let on_path : unit Tuple.Tbl.t = Tuple.Tbl.create 64 in
+  let leaf ?(cycle = false) ?(cut = false) r =
+    {
+      n_tuple = r.Lineage.r_tuple;
+      n_kind = kind_of frozen r.Lineage.r_rule;
+      n_step = r.Lineage.r_step;
+      n_domain = r.Lineage.r_domain;
+      n_children = [];
+      n_elided = 0;
+      n_depth_cut = cut;
+      n_cycle = cycle;
+    }
+  in
+  let rec build depth r =
+    if Tuple.Tbl.mem on_path r.Lineage.r_tuple then leaf ~cycle:true r
+    else if depth = 0 then leaf ~cut:(Array.length r.Lineage.r_parents > 0) r
+    else begin
+      Tuple.Tbl.add on_path r.Lineage.r_tuple ();
+      let parents = r.Lineage.r_parents in
+      let np = Array.length parents in
+      let shown = min np max_width in
+      let children = ref [] in
+      for i = shown - 1 downto 0 do
+        let child =
+          match Lineage.find lineage parents.(i) with
+          | Some pr -> build (depth - 1) pr
+          | None ->
+              (* No record: the parent predates provenance capture
+                 (shouldn't happen in a full run) — show it as an
+                 opaque seed. *)
+              {
+                n_tuple = parents.(i);
+                n_kind = Seed;
+                n_step = 0;
+                n_domain = 0;
+                n_children = [];
+                n_elided = 0;
+                n_depth_cut = false;
+                n_cycle = false;
+              }
+        in
+        children := child :: !children
+      done;
+      Tuple.Tbl.remove on_path r.Lineage.r_tuple;
+      {
+        n_tuple = r.Lineage.r_tuple;
+        n_kind = kind_of frozen r.Lineage.r_rule;
+        n_step = r.Lineage.r_step;
+        n_domain = r.Lineage.r_domain;
+        n_children = !children;
+        n_elided = np - shown;
+        n_depth_cut = false;
+        n_cycle = false;
+      }
+    end
+  in
+  match Lineage.find lineage tuple with
+  | None -> None
+  | Some r -> Some (build max_depth r)
+
+(* -- rendering ------------------------------------------------------- *)
+
+let kind_label = function
+  | Seed -> "seed"
+  | Action -> "action"
+  | Rule name -> name
+
+let node_suffix n =
+  String.concat ""
+    [
+      (if n.n_cycle then "  [cycle]" else "");
+      (if n.n_depth_cut then "  [depth limit]" else "");
+      (if n.n_elided > 0 then Printf.sprintf "  [+%d elided]" n.n_elided
+       else "");
+    ]
+
+let pp ppf root =
+  (* Unix tree drawing: the prefix accumulates one "│  "/"   " segment
+     per ancestor level depending on whether that ancestor has later
+     siblings. *)
+  let rec go ~root prefix is_last n =
+    let branch, cont =
+      if root then ("", "")
+      else if is_last then ("└─ ", "   ")
+      else ("├─ ", "│  ")
+    in
+    Fmt.pf ppf "%s%s%a  <- %s @@step %d%s@." prefix branch Tuple.pp n.n_tuple
+      (kind_label n.n_kind) n.n_step (node_suffix n);
+    let rec children = function
+      | [] -> ()
+      | [ c ] -> go ~root:false (prefix ^ cont) true c
+      | c :: tl ->
+          go ~root:false (prefix ^ cont) false c;
+          children tl
+    in
+    children n.n_children
+  in
+  go ~root:true "" true root
+
+let to_string root = Fmt.str "%a" pp root
+
+let rec to_json root =
+  let open Jstar_obs.Json in
+  Obj
+    [
+      ("tuple", Str (Tuple.show root.n_tuple));
+      ("table", Str (Tuple.schema root.n_tuple).Schema.name);
+      ("rule", Str (kind_label root.n_kind));
+      ("step", Num (float_of_int root.n_step));
+      ("domain", Num (float_of_int root.n_domain));
+      ("elided", Num (float_of_int root.n_elided));
+      ("depth_cut", Bool root.n_depth_cut);
+      ("cycle", Bool root.n_cycle);
+      ("inputs", Arr (List.map to_json root.n_children));
+    ]
+
+let json_string root = Jstar_obs.Json.to_string (to_json root)
+
+(* DOT: nodes deduplicated by tuple (the same fact can feed several
+   rule firings), edges input -> derived labelled with the rule. *)
+let to_dot root =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "digraph derivation {\n";
+  Buffer.add_string b "  rankdir=BT;\n  node [shape=box, fontsize=10];\n";
+  let ids : int Tuple.Tbl.t = Tuple.Tbl.create 64 in
+  let edges = Hashtbl.create 64 in
+  let escape s =
+    let eb = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string eb "\\\""
+        | '\\' -> Buffer.add_string eb "\\\\"
+        | '\n' -> Buffer.add_string eb "\\n"
+        | c -> Buffer.add_char eb c)
+      s;
+    Buffer.contents eb
+  in
+  let node_id n =
+    match Tuple.Tbl.find_opt ids n.n_tuple with
+    | Some i -> i
+    | None ->
+        let i = Tuple.Tbl.length ids in
+        Tuple.Tbl.add ids n.n_tuple i;
+        let style =
+          match n.n_kind with
+          | Seed -> ", style=filled, fillcolor=lightgrey"
+          | Action -> ", style=filled, fillcolor=lightyellow"
+          | Rule _ -> ""
+        in
+        Buffer.add_string b
+          (Printf.sprintf "  n%d [label=\"%s%s\"%s];\n" i
+             (escape (Tuple.show n.n_tuple))
+             (escape (node_suffix n))
+             style);
+        i
+  in
+  let rec walk n =
+    let i = node_id n in
+    List.iter
+      (fun c ->
+        let j = node_id c in
+        if not (Hashtbl.mem edges (j, i)) then begin
+          Hashtbl.add edges (j, i) ();
+          Buffer.add_string b
+            (Printf.sprintf "  n%d -> n%d [label=\"%s\", fontsize=9];\n" j i
+               (escape (kind_label n.n_kind)))
+        end;
+        walk c)
+      n.n_children
+  in
+  let _ = node_id root in
+  walk root;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* -- whole-run checks (used by tests and CI) ------------------------- *)
+
+(* Every merged record must reach seed leaves: well-formed (parents all
+   tracked) and well-founded (no cycle, bounded depth).  Returns the
+   first offending tuple's description, or [None] when complete. *)
+let completeness_error ~lineage =
+  let err = ref None in
+  (let memo : bool Tuple.Tbl.t = Tuple.Tbl.create 1024 in
+   let on_path : unit Tuple.Tbl.t = Tuple.Tbl.create 64 in
+   (* true = bottoms out in seeds *)
+   let rec ok tuple =
+     match Tuple.Tbl.find_opt memo tuple with
+     | Some v -> v
+     | None ->
+         if Tuple.Tbl.mem on_path tuple then false
+         else
+           let v =
+             match Lineage.find lineage tuple with
+             | None -> false
+             | Some r ->
+                 if r.Lineage.r_rule = Prov_frame.seed_rule then true
+                 else begin
+                   Tuple.Tbl.add on_path tuple ();
+                   let v = Array.for_all ok r.Lineage.r_parents in
+                   Tuple.Tbl.remove on_path tuple;
+                   v
+                 end
+           in
+           Tuple.Tbl.replace memo tuple v;
+           v
+   in
+   try
+     Lineage.iter lineage (fun r ->
+         if not (ok r.Lineage.r_tuple) then begin
+           err :=
+             Some
+               (Fmt.str "%a has no derivation bottoming out in seeds" Tuple.pp
+                  r.Lineage.r_tuple);
+           raise Exit
+         end)
+   with Exit -> ());
+  !err

@@ -1,0 +1,52 @@
+(** Derivation-tree reconstruction over a run's lineage table
+    ([Config.provenance]) — the [explain T(k)] query: why does this
+    tuple exist?  Rendered as a console tree, JSON, or DOT. *)
+
+open Jstar_core
+
+type kind =
+  | Seed  (** an initial / externally fed put *)
+  | Action  (** put by an external-action handler *)
+  | Rule of string  (** put by this rule *)
+
+type node = {
+  n_tuple : Tuple.t;
+  n_kind : kind;  (** how the tuple was produced *)
+  n_step : int;  (** engine step of the canonical producing put *)
+  n_domain : int;  (** domain that performed it (schedule-dependent) *)
+  n_children : node list;  (** derivation inputs, trigger first *)
+  n_elided : int;  (** inputs dropped by [max_width] *)
+  n_depth_cut : bool;  (** inputs dropped by [max_depth] *)
+  n_cycle : bool;  (** tuple already occurs on the path to the root *)
+}
+
+val derive :
+  lineage:Lineage.t ->
+  frozen:Program.frozen ->
+  ?max_depth:int ->
+  ?max_width:int ->
+  Tuple.t ->
+  node option
+(** The canonical derivation tree of a tuple ([None] if the run never
+    put it).  Deterministic: the lineage merge picks a
+    schedule-independent candidate per tuple, so the same program and
+    input yield the same tree at any thread count.  [max_depth]
+    defaults to 12, [max_width] (inputs shown per node) to 16. *)
+
+val pp : Format.formatter -> node -> unit
+(** Unix-[tree]-style rendering, one line per node:
+    [tuple  <- rule @step N]. *)
+
+val to_string : node -> string
+
+val to_json : node -> Jstar_obs.Json.t
+val json_string : node -> string
+
+val to_dot : node -> string
+(** Graphviz digraph, nodes deduplicated by tuple, edges
+    input → derived labelled with the producing rule. *)
+
+val completeness_error : lineage:Lineage.t -> string option
+(** Whole-run lineage check: every tracked tuple must have a derivation
+    bottoming out in seed puts.  [None] when complete, otherwise a
+    description of the first offender (used by tests/CI). *)

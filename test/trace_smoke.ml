@@ -128,7 +128,30 @@ let () =
     fail "suppress mask leaked rule-fire events";
   if Trace_check.name_count msummary "step" = 0 then
     fail "suppress mask dropped step events too";
+
+  (* -- 4. 1-in-N sampling thins unmasked kinds, keeps the schema ----- *)
+  let full_fires = Trace_check.name_count summary "rule-fire" in
+  let sampled_config = { spans_config with Config.trace_sample = 50 } in
+  let sampled_t, sampled_result = run_once sampled_config in
+  let sbuf = Buffer.create (1 lsl 16) in
+  Export.chrome_trace sbuf sampled_result.Engine.tracer;
+  let ssummary =
+    match Trace_check.validate_string (Buffer.contents sbuf) with
+    | Ok s -> s
+    | Error e -> fail "sampled trace fails schema validation: %s" e
+  in
+  let sampled_fires = Trace_check.name_count ssummary "rule-fire" in
+  (* [items] rule fires: 1-in-50 must record far fewer than all of them
+     (windows are per domain and per 64-way kind slot, so allow a wide
+     margin) but still record some *)
+  if sampled_fires = 0 then fail "sampling dropped every rule-fire event";
+  if sampled_fires * 10 > full_fires then
+    fail "sampling barely thinned rule-fire: %d of %d" sampled_fires
+      full_fires;
+  if Trace_check.name_count ssummary "step" = 0 then
+    fail "sampled trace lost its step spans";
   Fmt.pr
     "trace-smoke: timing ok — Off medians %.4fs / %.4fs (tolerance %.4fs), \
-     Spans run %.4fs, Spans-minus-rule-fire run %.4fs@."
-    a b tolerance spans_t masked_t
+     Spans run %.4fs, Spans-minus-rule-fire run %.4fs, Spans-sampled-50 run \
+     %.4fs (%d of %d rule-fire events)@."
+    a b tolerance spans_t masked_t sampled_t sampled_fires full_fires
