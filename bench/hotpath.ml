@@ -48,7 +48,7 @@ let rows_n () =
 
 let requests = 16
 
-let build () =
+let build ?(prov_optout = false) () =
   let n = rows_n () in
   let p = Program.create () in
   let req =
@@ -77,7 +77,11 @@ let build () =
   in
   Program.order p [ "Req"; "Row"; "Sum" ];
   let per_req = n / requests in
-  Program.rule p "generate" ~trigger:req (fun ctx tup ->
+  (* With [prov_optout] the two hot rules opt out of lineage capture
+     ([Rule.make ~provenance:false]) — provcost's "prov-optout" row
+     prices exactly that escape hatch. *)
+  let provenance = not prov_optout in
+  Program.rule p "generate" ~provenance ~trigger:req (fun ctx tup ->
       let r = Tuple.int tup "r" in
       for k = r * per_req to ((r + 1) * per_req) - 1 do
         let t =
@@ -94,7 +98,7 @@ let build () =
         ctx.Rule.put t;
         ctx.Rule.put t
       done);
-  Program.rule p "summarize" ~trigger:row (fun ctx tup ->
+  Program.rule p "summarize" ~provenance ~trigger:row (fun ctx tup ->
       let g = Tuple.int tup "g" and i = Tuple.int tup "i" in
       (* The triggering row is already in Gamma (Phase A of this step),
          so these re-puts are pure [Store.mem] probes of the wide row —

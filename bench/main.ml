@@ -35,6 +35,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("hotpath", "hot-path knob ablation (batching/grain) + JSON", Hotpath.run);
     ("query", "query acceleration: indexes + agg cache vs scan + JSON", Query.run);
     ("provcost", "provenance/audit/digest overhead + JSON", Provcost.run);
+    ("persist", "WAL append overhead + recovery time + JSON", Persist.run);
     ("smoke", "quick-scale fig8 + fig12 + hotpath, bounded runtime", smoke);
   ]
 

@@ -15,17 +15,28 @@ open Jstar_core
 type knobs = {
   label : string;
   provenance : bool;
+  optout : bool;  (* hot rules built with [Rule.make ~provenance:false] *)
   audit : bool;
   digest : bool;
 }
 
 let configurations =
   [
-    { label = "all-off"; provenance = false; audit = false; digest = false };
-    { label = "provenance"; provenance = true; audit = false; digest = false };
-    { label = "audit"; provenance = false; audit = true; digest = false };
-    { label = "digest"; provenance = false; audit = false; digest = true };
-    { label = "all-on"; provenance = true; audit = true; digest = true };
+    { label = "all-off"; provenance = false; optout = false; audit = false;
+      digest = false };
+    { label = "provenance"; provenance = true; optout = false; audit = false;
+      digest = false };
+    (* Global capture on, but the two hot rules opt out per-rule: what
+       the escape hatch buys back on a workload where they produce
+       everything. *)
+    { label = "prov-optout"; provenance = true; optout = true; audit = false;
+      digest = false };
+    { label = "audit"; provenance = false; optout = false; audit = true;
+      digest = false };
+    { label = "digest"; provenance = false; optout = false; audit = false;
+      digest = true };
+    { label = "all-on"; provenance = true; optout = false; audit = true;
+      digest = true };
   ]
 
 let config_of k =
@@ -40,16 +51,16 @@ let config_of k =
 let rounds = 4
 
 let run () =
-  let tracked = ref 0 and merged = ref 0 in
+  let volume = Hashtbl.create 8 in
   let run_once k =
-    let p, init = Hotpath.build () in
+    let p, init = Hotpath.build ~prov_optout:k.optout () in
     let t0 = Unix.gettimeofday () in
     let r = Engine.run_program ~init p (config_of k) in
     let t = Unix.gettimeofday () -. t0 in
     (match r.Engine.lineage with
     | Some l ->
-        tracked := Lineage.tuples_tracked l;
-        merged := Lineage.records_merged l
+        Hashtbl.replace volume k.label
+          (Lineage.tuples_tracked l, Lineage.records_merged l)
     | None -> ());
     (r, t)
   in
@@ -87,12 +98,19 @@ let run () =
   Util.bar_chart ~title:"wall time per knob combination" ~unit:"s"
     (List.map (fun (k, t) -> (k.label, t)) rows);
   Util.note
-    "overheads vs all-off: provenance %+.1f%%, audit %+.1f%%, digest \
-     %+.1f%%, all-on %+.1f%%"
-    (overhead "provenance") (overhead "audit") (overhead "digest")
-    (overhead "all-on");
-  Util.note "lineage volume: %d tuples tracked, %d candidate records merged"
-    !tracked !merged;
+    "overheads vs all-off: provenance %+.1f%%, prov-optout %+.1f%%, audit \
+     %+.1f%%, digest %+.1f%%, all-on %+.1f%%"
+    (overhead "provenance") (overhead "prov-optout") (overhead "audit")
+    (overhead "digest") (overhead "all-on");
+  let vol label =
+    match Hashtbl.find_opt volume label with Some v -> v | None -> (0, 0)
+  in
+  let tracked, merged = vol "provenance" in
+  let ot, om = vol "prov-optout" in
+  Util.note
+    "lineage volume: %d tuples tracked, %d candidate records merged \
+     (prov-optout: %d tracked, %d merged)"
+    tracked merged ot om;
   let json =
     let b = Buffer.create 512 in
     Buffer.add_string b "{\n";
@@ -102,16 +120,19 @@ let run () =
          (Hotpath.rows_n ()));
     Buffer.add_string b
       (Printf.sprintf
-         "  \"lineage_tuples\": %d,\n  \"lineage_records\": %d,\n" !tracked
-         !merged);
+         "  \"lineage_tuples\": %d,\n  \"lineage_records\": %d,\n\
+         \  \"lineage_tuples_optout\": %d,\n  \"lineage_records_optout\": %d,\n"
+         tracked merged ot om);
     Buffer.add_string b "  \"configurations\": [\n";
     List.iteri
       (fun i (k, t) ->
         Buffer.add_string b
           (Printf.sprintf
-             "    {\"label\": \"%s\", \"provenance\": %b, \"audit\": %b, \
-              \"digest\": %b, \"seconds\": %.6f, \"overhead_pct\": %.2f}%s\n"
-             k.label k.provenance k.audit k.digest t (overhead k.label)
+             "    {\"label\": \"%s\", \"provenance\": %b, \
+              \"prov_optout\": %b, \"audit\": %b, \"digest\": %b, \
+              \"seconds\": %.6f, \"overhead_pct\": %.2f}%s\n"
+             k.label k.provenance k.optout k.audit k.digest t
+             (overhead k.label)
              (if i = List.length rows - 1 then "" else ",")))
       rows;
     Buffer.add_string b "  ]\n}\n";

@@ -92,7 +92,12 @@ let config_of k =
     advisor =
       (if k.adaptive then
          Some
-           { Config.adv_warmup = 64; adv_min_queries = 32; adv_min_size = 256 }
+           {
+             Config.adv_warmup = 64;
+             adv_min_queries = 32;
+             adv_min_size = 256;
+             adv_demote_windows = 4;
+           }
        else None);
   }
 

@@ -128,6 +128,7 @@ let report ?(max_lines = 20) ?trace_out ?metrics_out result show_stats =
   | Some d ->
       Fmt.pr "digest: gamma=%s@." d.Engine.d_gamma;
       Fmt.pr "digest: classes=%s@." d.Engine.d_classes;
+      Fmt.pr "digest: outputs=%s@." d.Engine.d_outputs;
       List.iter
         (fun (table, h) -> Fmt.pr "digest: %s=%s@." table h)
         d.Engine.d_tables
@@ -518,6 +519,169 @@ let ship_cmd =
       $ causality_check $ task_per_rule $ audit $ digest $ trace_sample
       $ show_stats)
 
+(* -- stream ------------------------------------------------------------ *)
+
+(* A long-lived event-driven session with optional durability: one tick
+   = one feed + one drain.  With --persist the session writes a WAL and
+   (optionally) snapshot checkpoints, restores automatically on
+   restart, and --crash-after can SIGKILL the process mid-run to
+   demonstrate recovery. *)
+
+let fsync_conv =
+  let parse s =
+    match s with
+    | "always" -> Ok Jstar_persist.Wal.Always
+    | "never" -> Ok Jstar_persist.Wal.Never
+    | s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> Ok (Jstar_persist.Wal.Every n)
+        | _ -> Error (`Msg "expected always, never, or a positive record count"))
+  in
+  let print ppf = function
+    | Jstar_persist.Wal.Always -> Fmt.string ppf "always"
+    | Jstar_persist.Wal.Never -> Fmt.string ppf "never"
+    | Jstar_persist.Wal.Every n -> Fmt.pf ppf "%d" n
+  in
+  Arg.conv (parse, print)
+
+let stream_cmd =
+  let ticks =
+    Arg.(value & opt int 200 & info [ "ticks" ] ~docv:"N"
+           ~doc:"Input ticks to feed (one drain per tick).")
+  in
+  let sensors =
+    Arg.(value & opt int 8 & info [ "sensors" ] ~docv:"N"
+           ~doc:"Synthetic sensor readings per tick.")
+  in
+  let persist =
+    Arg.(value & opt (some string) None & info [ "persist" ] ~docv:"DIR"
+           ~doc:"Make the session durable: write-ahead log + snapshots \
+                 in $(docv), restoring automatically when the directory \
+                 already holds a session.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"With $(b,--persist), take a snapshot checkpoint every \
+                 $(docv) drains (0 = never; the WAL then holds the whole \
+                 history).")
+  in
+  let fsync =
+    Arg.(value & opt fsync_conv Jstar_persist.Wal.Always
+         & info [ "fsync" ] ~docv:"POLICY"
+             ~doc:"WAL durability: $(b,always) (fsync every commit), \
+                   $(b,never), or a number N (fsync once per N records).")
+  in
+  let crash_after =
+    Arg.(value & opt (some int) None & info [ "crash-after" ] ~docv:"K"
+           ~doc:"SIGKILL this process after $(docv) drains — rerun with \
+                 the same $(b,--persist) directory to watch recovery.")
+  in
+  let run ticks sensors persist checkpoint_every fsync crash_after threads
+      tracing trace_out metrics_out causality_check task_per_rule audit digest
+      trace_sample show_stats =
+    tune_runtime ();
+    let p = Program.create () in
+    let tick_t =
+      Program.table p "Tick" ~columns:Schema.[ int_col "t" ]
+        ~orderby:Schema.[ Lit "Tick"; Seq "t" ]
+        ()
+    in
+    let reading =
+      Program.table p "Reading"
+        ~columns:Schema.[ int_col "t"; int_col "sensor"; int_col "value" ]
+        ~orderby:Schema.[ Lit "Reading"; Seq "t" ]
+        ()
+    in
+    let alarm =
+      Program.table p "Alarm"
+        ~columns:Schema.[ int_col "t"; int_col "sensor"; int_col "value" ]
+        ~orderby:Schema.[ Lit "Alarm"; Seq "t" ]
+        ()
+    in
+    Program.order p [ "Tick"; "Reading"; "Alarm" ];
+    Program.rule p "alarm" ~trigger:reading (fun ctx r ->
+        if Tuple.int r "value" >= 90 then
+          ctx.Rule.put
+            (Tuple.make alarm [| Tuple.get r 0; Tuple.get r 1; Tuple.get r 2 |]));
+    Program.output p alarm (fun t ->
+        Printf.sprintf "alarm t=%d sensor=%d value=%d" (Tuple.int t "t")
+          (Tuple.int t "sensor") (Tuple.int t "value"));
+    let frozen = Program.freeze p in
+    let config =
+      apply_common ~tracing ~trace_out ~metrics_out ~causality_check
+        ~task_per_rule ~audit ~digest ~trace_sample
+        { Config.default with Config.threads }
+    in
+    let batch t =
+      Tuple.make tick_t [| Value.Int t |]
+      :: List.init sensors (fun s ->
+             Tuple.make reading
+               [| Value.Int t; Value.Int s;
+                  Value.Int (((t * 31) + (s * 17)) mod 100) |])
+    in
+    let maybe_crash drains =
+      match crash_after with
+      | Some k when drains >= k ->
+          Fmt.pr "persist: simulating crash (SIGKILL) after %d drains@." k;
+          Format.pp_print_flush Fmt.stdout ();
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+      | _ -> ()
+    in
+    match persist with
+    | None ->
+        let s = Engine.start frozen config in
+        for t = 0 to ticks - 1 do
+          Engine.feed s (batch t);
+          ignore (Engine.drain s);
+          maybe_crash (t + 1)
+        done;
+        report ?trace_out ?metrics_out (Engine.finish s) show_stats
+    | Some dir ->
+        let d, status =
+          Jstar_persist.Durable.open_ ~checkpoint_every ~fsync ~dir frozen
+            config
+        in
+        let start =
+          match status with
+          | Jstar_persist.Durable.Fresh ->
+              Fmt.pr "persist: fresh session in %s@." dir;
+              0
+          | Jstar_persist.Durable.Restored r ->
+              (* resume after the last tick whose drain reached Gamma *)
+              let next = ref 0 in
+              (Engine.session_gamma (Jstar_persist.Durable.session d) tick_t)
+                .Store.iter (fun t -> next := max !next (Tuple.int t "t" + 1));
+              Fmt.pr
+                "persist: restored generation %d from %s (replayed %d \
+                 feeds, %d verified drains, %d pending tuples); resuming \
+                 at tick %d@."
+                r.Jstar_persist.Durable.r_gen dir
+                r.Jstar_persist.Durable.r_feeds r.Jstar_persist.Durable.r_drains
+                r.Jstar_persist.Durable.r_pending !next;
+              !next
+        in
+        let drains = ref 0 in
+        for t = start to ticks - 1 do
+          Jstar_persist.Durable.feed d (batch t);
+          ignore (Jstar_persist.Durable.drain d);
+          incr drains;
+          maybe_crash !drains
+        done;
+        let gen = Jstar_persist.Durable.generation d in
+        report ?trace_out ?metrics_out (Jstar_persist.Durable.finish d)
+          show_stats;
+        Fmt.pr "persisted -> %s (generation %d)@." dir gen
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:"Event-driven sensor session; with --persist, a durable one \
+             (WAL + snapshot checkpoints + automatic restore).")
+    Term.(
+      const run $ ticks $ sensors $ persist $ checkpoint_every $ fsync
+      $ crash_after $ threads $ tracing $ trace_out $ metrics_out
+      $ causality_check $ task_per_rule $ audit $ digest $ trace_sample
+      $ show_stats)
+
 (* -- check ------------------------------------------------------------- *)
 
 let check_cmd =
@@ -550,6 +714,9 @@ let main =
   let doc = "JStar case-study programs under configurable parallelisation" in
   Cmd.group
     (Cmd.info "jstar-demo" ~version:"1.0.0" ~doc)
-    [ pvwatts_cmd; matmul_cmd; dijkstra_cmd; median_cmd; ship_cmd; check_cmd ]
+    [
+      pvwatts_cmd; matmul_cmd; dijkstra_cmd; median_cmd; ship_cmd; stream_cmd;
+      check_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

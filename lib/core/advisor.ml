@@ -15,16 +15,37 @@
    queries, whichever is larger), so the per-step barrier cost is one
    striped-counter read and a compare.
 
+   Demotion closes the other half of the loop: an index the advisor
+   promoted but whose traffic has dried up is pure insert overhead.
+   Each review computes, per promoted index, how many of the window's
+   queries that index actually served (the queries whose prefix length
+   it is the best cover for); an index serving fewer than
+   [min_queries/8] (floor 1) window queries is "cold", and
+   [demote_windows] consecutive cold reviews drop it through
+   {!Store.indexed_handle.ih_demote}.  The cumulative count at demotion
+   becomes the promotion baseline, so a demoted index must re-earn
+   [min_queries] *fresh* scans before it is promoted again — no
+   flapping on a workload that merely pauses.
+
    Determinism: the engine's class sequence is schedule-independent, so
    the histogram values observed at each barrier are too (Phase B has
-   fully completed); promotion decisions therefore replay identically
-   across thread counts, and an index only changes *how* a prefix query
-   iterates, never which tuples it visits. *)
+   fully completed); promotion and demotion decisions therefore replay
+   identically across thread counts, and an index only changes *how* a
+   prefix query iterates, never which tuples it visits. *)
 
 type table = {
   t_name : string;
   t_handle : Store.indexed_handle option; (* None: not an indexable store *)
   t_counts : Table_stats.counter array; (* queries by prefix length 0..arity *)
+  t_last : int array;
+      (* histogram snapshot at the previous review; the per-window delta
+         is what demotion reasons about *)
+  t_baseline : int array;
+      (* cumulative count already "spent" by a past promotion of this
+         length; promotion requires [count - baseline >= min_queries] *)
+  t_promoted : (int, int) Hashtbl.t;
+      (* advisor-promoted index lengths -> consecutive cold windows.
+         Declared indexes are never tracked here and never demoted. *)
   t_size : unit -> int;
 }
 
@@ -32,10 +53,12 @@ type t = {
   warmup : int;
   min_queries : int;
   min_size : int;
+  demote_windows : int; (* 0 = demotion off *)
   tables : table array;
   total : Table_stats.counter;
   mutable next_review : int;
   promotions : int Atomic.t;
+  demotions : int Atomic.t;
 }
 
 let make_table ~name ~arity ~handle ~size =
@@ -43,18 +66,23 @@ let make_table ~name ~arity ~handle ~size =
     t_name = name;
     t_handle = handle;
     t_counts = Array.init (arity + 1) (fun _ -> Table_stats.make_counter ());
+    t_last = Array.make (arity + 1) 0;
+    t_baseline = Array.make (arity + 1) 0;
+    t_promoted = Hashtbl.create 4;
     t_size = size;
   }
 
-let create ~warmup ~min_queries ~min_size tables =
+let create ~warmup ~min_queries ~min_size ~demote_windows tables =
   {
     warmup;
     min_queries;
     min_size;
+    demote_windows;
     tables;
     total = Table_stats.make_counter ();
     next_review = max warmup 1;
     promotions = Atomic.make 0;
+    demotions = Atomic.make 0;
   }
 
 let note_query t id plen =
@@ -63,6 +91,7 @@ let note_query t id plen =
   Table_stats.incr t.total
 
 let promotions_total t = Atomic.get t.promotions
+let demotions_total t = Atomic.get t.demotions
 
 let histogram t id =
   Array.to_list
@@ -74,17 +103,60 @@ let index_lens t id =
   | Some h -> h.Store.ih_lens ()
   | None -> []
 
+(* The index a length-[k] query uses: the largest index length <= k
+   (mirrors [best_for] in {!Store.indexed}); 0 = primary scan. *)
+let serving_len lens k =
+  List.fold_left (fun acc l -> if l <= k && l > acc then l else acc) 0 lens
+
+(* Demotion pass for one table: fold the window's per-length query
+   deltas onto the index that would have served each length, then age
+   or reset each promoted index's cold-window counter. *)
+let review_demotions t id tb h ~on_demote =
+  if t.demote_windows > 0 && Hashtbl.length tb.t_promoted > 0 then begin
+    let lens = h.Store.ih_lens () in
+    let arity = Array.length tb.t_counts - 1 in
+    let served = Hashtbl.create 4 in
+    for k = 1 to arity do
+      let delta = Table_stats.read tb.t_counts.(k) - tb.t_last.(k) in
+      let l = serving_len lens k in
+      if l > 0 then
+        Hashtbl.replace served l
+          (delta + Option.value ~default:0 (Hashtbl.find_opt served l))
+    done;
+    let cold_floor = max 1 (t.min_queries lsr 3) in
+    let decided =
+      Hashtbl.fold (fun l cold acc -> (l, cold) :: acc) tb.t_promoted []
+    in
+    List.iter
+      (fun (l, cold) ->
+        let window = Option.value ~default:0 (Hashtbl.find_opt served l) in
+        if window >= cold_floor then Hashtbl.replace tb.t_promoted l 0
+        else begin
+          let cold = cold + 1 in
+          if cold >= t.demote_windows && h.Store.ih_demote l then begin
+            Hashtbl.remove tb.t_promoted l;
+            (* A re-promotion must be justified by fresh traffic. *)
+            tb.t_baseline.(l) <- Table_stats.read tb.t_counts.(l);
+            Atomic.incr t.demotions;
+            on_demote ~table_id:id ~prefix_len:l
+          end
+          else Hashtbl.replace tb.t_promoted l cold
+        end)
+      (List.sort compare decided)
+  end
+
 (* A review promotes, per table, the hottest prefix length k >= 1 whose
-   scan count clears [min_queries] and which no existing index already
-   serves (an index on j <= k answers k-queries from its j-bucket; a
-   second, tighter index would only split the same traffic). *)
-let review t ~on_promote =
+   fresh scan count clears [min_queries] and which no existing index
+   already serves (an index on j <= k answers k-queries from its
+   j-bucket; a second, tighter index would only split the same
+   traffic); then it ages promoted indexes towards demotion. *)
+let review t ~on_promote ~on_demote =
   let total = Table_stats.read t.total in
   if total >= t.next_review then begin
     t.next_review <- total + max 64 (t.warmup / 2);
     Array.iteri
       (fun id tb ->
-        match tb.t_handle with
+        (match tb.t_handle with
         | None -> ()
         | Some h ->
             if tb.t_size () >= t.min_size then begin
@@ -93,7 +165,7 @@ let review t ~on_promote =
               Array.iteri
                 (fun k c ->
                   if k >= 1 && not (List.exists (fun l -> l <= k) lens) then begin
-                    let n = Table_stats.read c in
+                    let n = Table_stats.read c - tb.t_baseline.(k) in
                     if n >= t.min_queries && n > !best_n then begin
                       best := k;
                       best_n := n
@@ -101,9 +173,16 @@ let review t ~on_promote =
                   end)
                 tb.t_counts;
               if !best > 0 && h.Store.ih_promote !best then begin
+                Hashtbl.replace tb.t_promoted !best 0;
                 Atomic.incr t.promotions;
                 on_promote ~table_id:id ~prefix_len:!best
-              end
-            end)
+              end;
+              review_demotions t id tb h ~on_demote
+            end);
+        (* Refresh the window snapshot for every table, indexable or
+           not, so deltas stay aligned with review windows. *)
+        Array.iteri
+          (fun k c -> tb.t_last.(k) <- Table_stats.read c)
+          tb.t_counts)
       t.tables
   end

@@ -18,20 +18,40 @@ val make_table :
 (** One slot per table id; [handle = None] marks stores the advisor
     may observe but never index (custom, windowed, native, -noGamma). *)
 
-val create : warmup:int -> min_queries:int -> min_size:int -> table array -> t
+val create :
+  warmup:int ->
+  min_queries:int ->
+  min_size:int ->
+  demote_windows:int ->
+  table array ->
+  t
+(** [demote_windows]: consecutive cold review windows before a
+    promoted index is dropped again; 0 disables demotion. *)
 
 val note_query : t -> int -> int -> unit
 (** [note_query t id plen]: one prefix query of length [plen] hit table
     [id].  Striped; called from concurrent rule bodies. *)
 
-val review : t -> on_promote:(table_id:int -> prefix_len:int -> unit) -> unit
+val review :
+  t ->
+  on_promote:(table_id:int -> prefix_len:int -> unit) ->
+  on_demote:(table_id:int -> prefix_len:int -> unit) ->
+  unit
 (** Barrier hook.  Cheap no-op until the total query count crosses the
-    next review threshold; then promotes at most one index per table
-    and reports each through [on_promote].  Must run with no concurrent
-    store operations (the engine's Phase-A barrier). *)
+    next review threshold; then promotes at most one index per table,
+    ages every advisor-promoted index towards demotion (an index
+    serving fewer than [min_queries/8] of the window's queries is cold;
+    [demote_windows] consecutive cold windows drop it), and reports
+    each decision through the callbacks.  A demoted length must re-earn
+    [min_queries] fresh scans before re-promotion.  Must run with no
+    concurrent store operations (the engine's Phase-A barrier). *)
 
 val promotions_total : t -> int
 (** Lifetime promotions — exported as the [advisor.promotions]
+    counter. *)
+
+val demotions_total : t -> int
+(** Lifetime demotions — exported as the [advisor.demotions]
     counter. *)
 
 val histogram : t -> int -> (int * int) list

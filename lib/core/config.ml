@@ -19,10 +19,19 @@ type advisor = {
   adv_min_queries : int;
       (* scans of one (table, prefix length) needed to justify an index *)
   adv_min_size : int; (* don't index tables smaller than this *)
+  adv_demote_windows : int;
+      (* consecutive cold review windows (an index serving fewer than
+         min_queries/8 of the window's scans is cold) before a promoted
+         index is dropped again; 0 = never demote *)
 }
 
 let advisor_default =
-  { adv_warmup = 512; adv_min_queries = 128; adv_min_size = 256 }
+  {
+    adv_warmup = 512;
+    adv_min_queries = 128;
+    adv_min_size = 256;
+    adv_demote_windows = 4;
+  }
 
 type t = {
   threads : int;
@@ -156,8 +165,10 @@ let validate t =
     t.indexes;
   (match t.advisor with
   | Some a ->
-      if a.adv_warmup < 0 || a.adv_min_queries < 1 || a.adv_min_size < 0 then
-        raise (Invalid "advisor thresholds out of range")
+      if
+        a.adv_warmup < 0 || a.adv_min_queries < 1 || a.adv_min_size < 0
+        || a.adv_demote_windows < 0
+      then raise (Invalid "advisor thresholds out of range")
   | None -> ());
   List.iter
     (fun name ->

@@ -20,11 +20,16 @@ type advisor = {
       (** scans of one (table, prefix length) needed to justify
           promoting an index *)
   adv_min_size : int;  (** tables smaller than this are never indexed *)
+  adv_demote_windows : int;
+      (** consecutive cold review windows (an index serving fewer than
+          [adv_min_queries/8] of the window's scans counts as cold)
+          before a promoted index is dropped again; 0 = never demote *)
 }
 
 val advisor_default : advisor
-(** warmup 512, min queries 128, min size 256 — conservative enough
-    that short runs never pay a backfill. *)
+(** warmup 512, min queries 128, min size 256, demote after 4 cold
+    windows — conservative enough that short runs never pay a
+    backfill. *)
 
 type t = {
   threads : int;  (** fork/join pool size ([--threads=N]); 1 = caller only *)

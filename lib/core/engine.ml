@@ -41,6 +41,10 @@ type digest = {
   d_classes : string;
       (* step-ordered digest of the class sequence (order-independent
          within a class, where execution order is schedule-dependent) *)
+  d_outputs : string;
+      (* print-ordered digest of the output-line stream — the third
+         determinism promise (outputs are already sorted within each
+         step, so the stream is schedule-independent too) *)
   d_tables : (string * string) list; (* per stored table, declaration order *)
 }
 
@@ -132,6 +136,11 @@ type state = {
   h_rule_latency : Jstar_obs.Metrics.histogram; (* seconds per fire *)
   h_class_width : Jstar_obs.Metrics.histogram; (* tuples per class *)
   lineage : Lineage.t option; (* Config.provenance: candidate arenas *)
+  prov_mask : bool array;
+      (* by rule id: capture lineage for this rule's puts?  All-true
+         unless some rule was declared [~provenance:false] — the
+         per-rule opt-out from worst-case capture cost.  Seed and
+         action pseudo-ids (< 0) are always captured *)
   prov_on : bool; (* lineage <> None, cached for the put path *)
   audit_on : bool; (* Config.audit_causality, cached likewise *)
   prov_or_audit : bool;
@@ -254,7 +263,8 @@ let make_state frozen config =
         Some
           (Advisor.create ~warmup:a.Config.adv_warmup
              ~min_queries:a.Config.adv_min_queries
-             ~min_size:a.Config.adv_min_size adv_tables)
+             ~min_size:a.Config.adv_min_size
+             ~demote_windows:a.Config.adv_demote_windows adv_tables)
   in
   let metrics = Jstar_obs.Metrics.create () in
   (* Stripe count scales with the pool so domains rarely share a stripe
@@ -265,6 +275,13 @@ let make_state frozen config =
   let lineage =
     if config.Config.provenance then Some (Lineage.create ~stripes:put_stripes)
     else None
+  in
+  let prov_mask =
+    let m = Array.make (Array.length frozen.Program.rule_names) true in
+    List.iter
+      (fun r -> if r.Rule.rid >= 0 then m.(r.Rule.rid) <- r.Rule.prov)
+      (Program.rules frozen.Program.program);
+    m
   in
   let st = {
     frozen;
@@ -329,6 +346,7 @@ let make_state frozen config =
     h_class_width =
       Jstar_obs.Metrics.histogram metrics ~name:"engine.class_width";
     lineage;
+    prov_mask;
     prov_on = lineage <> None;
     audit_on = config.Config.audit_causality;
     prov_or_audit = lineage <> None || config.Config.audit_causality;
@@ -379,6 +397,8 @@ let make_state frozen config =
   | Some adv ->
       Jstar_obs.Metrics.register_counter metrics ~name:"advisor.promotions"
         (fun () -> Advisor.promotions_total adv);
+      Jstar_obs.Metrics.register_counter metrics ~name:"advisor.demotions"
+        (fun () -> Advisor.demotions_total adv);
       Array.iteri
         (fun id s ->
           if Option.is_some handles.(id) then
@@ -411,10 +431,17 @@ let make_state frozen config =
       Jstar_obs.Metrics.register_gauge metrics ~name (fun () ->
           Jstar_obs.Metrics.Int (f ()))
     in
+    let output_lanes () =
+      let d = Fingerprint.create () in
+      List.iter (Fingerprint.mix_string d) (List.rev !(st.outputs));
+      Fingerprint.lanes d
+    in
     reg "digest.gamma.lo" (fun () -> fst (gamma_lanes ()));
     reg "digest.gamma.hi" (fun () -> snd (gamma_lanes ()));
     reg "digest.classes.lo" (fun () -> fst (Fingerprint.lanes st.seq_digest));
-    reg "digest.classes.hi" (fun () -> snd (Fingerprint.lanes st.seq_digest))
+    reg "digest.classes.hi" (fun () -> snd (Fingerprint.lanes st.seq_digest));
+    reg "digest.outputs.lo" (fun () -> fst (output_lanes ()));
+    reg "digest.outputs.hi" (fun () -> snd (output_lanes ()))
   end;
   st
 
@@ -428,16 +455,22 @@ let timestamp_of st id tuple =
 
 (* Lineage capture: one candidate per put, accepted or not — the put
    multiset is schedule-independent, so recording before routing keeps
-   the candidate set (and hence the merged minimum) deterministic. *)
+   the candidate set (and hence the merged minimum) deterministic.
+   Rules declared [~provenance:false] skip the record entirely (their
+   puts stay untracked); whether a rule is masked is a static program
+   property, so the candidate set stays deterministic. *)
 let record_lineage st l tuple =
   let fr = Prov_frame.get () in
-  let parents =
-    match fr.Prov_frame.bound with
-    | [] -> [||]
-    | [ t ] -> [| t |]
-    | bound -> Array.of_list (List.rev bound) (* trigger first *)
-  in
-  Lineage.record l ~rule:fr.Prov_frame.rule ~step:!(st.step_no) ~parents tuple
+  let rid = fr.Prov_frame.rule in
+  if rid < 0 || st.prov_mask.(rid) then begin
+    let parents =
+      match fr.Prov_frame.bound with
+      | [] -> [||]
+      | [ t ] -> [| t |]
+      | bound -> Array.of_list (List.rev bound) (* trigger first *)
+    in
+    Lineage.record l ~rule:rid ~step:!(st.step_no) ~parents tuple
+  end
 
 let audit_fail st msg =
   Jstar_obs.Tracer.instant st.obs Jstar_obs.Kind.audit;
@@ -967,10 +1000,15 @@ let run_step st ctx tuples =
      replay identically at any thread count. *)
   (match st.advisor with
   | Some adv ->
-      Advisor.review adv ~on_promote:(fun ~table_id ~prefix_len ->
+      Advisor.review adv
+        ~on_promote:(fun ~table_id ~prefix_len ->
           ignore prefix_len;
           Jstar_obs.Tracer.instant st.obs ~arg:table_id
             Jstar_obs.Kind.advisor)
+        ~on_demote:(fun ~table_id ~prefix_len ->
+          ignore prefix_len;
+          Jstar_obs.Tracer.instant st.obs ~arg:table_id
+            Jstar_obs.Kind.advisor_demote)
   | None -> ());
   if st.counters_on then begin
     Jstar_obs.Metrics.observe st.h_class_width (float_of_int n);
@@ -997,10 +1035,13 @@ let compute_digest st =
                Some (s.Schema.name, Fingerprint.hex d)
              end)
     in
+    let d_out = Fingerprint.create () in
+    List.iter (Fingerprint.mix_string d_out) (List.rev !(st.outputs));
     Some
       {
         d_gamma = Fingerprint.hex overall;
         d_classes = Fingerprint.hex st.seq_digest;
+        d_outputs = Fingerprint.hex d_out;
         d_tables;
       }
   end
@@ -1157,3 +1198,84 @@ let finish session =
     lineage = session.st.lineage;
     digest = compute_digest session.st;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Durability hooks.  The persistence layer (jstar_persist) depends on
+   jstar_core, so the engine cannot call it; instead it exposes just
+   enough session state to snapshot a quiescent session and rebuild it
+   on restore.  Everything here assumes quiescence — call only between
+   a [drain] and the next [feed]. *)
+
+type session_state = {
+  ss_step_no : int;
+  ss_steps : int;
+  ss_processed : int;
+  ss_outputs_count : int;
+  ss_outputs : string list;  (* oldest first; [] when elided *)
+  ss_seq_lanes : int * int;
+}
+
+let session_state ?(with_outputs = true) session =
+  let st = session.st in
+  {
+    ss_step_no = !(st.step_no);
+    ss_steps = session.session_steps;
+    ss_processed = !(st.processed);
+    ss_outputs_count = !(st.outputs_count);
+    (* reversing the whole output list is O(lines); watermark-frequency
+       callers pass [~with_outputs:false] and use the count alone *)
+    ss_outputs = (if with_outputs then List.rev !(st.outputs) else []);
+    ss_seq_lanes = Fingerprint.lanes st.seq_digest;
+  }
+
+let restore_session_state session s =
+  let st = session.st in
+  if List.length s.ss_outputs <> s.ss_outputs_count then
+    invalid_arg "Engine.restore_session_state: output count mismatch";
+  st.step_no := s.ss_step_no;
+  session.session_steps <- s.ss_steps;
+  st.processed := s.ss_processed;
+  st.outputs := List.rev s.ss_outputs;
+  st.outputs_count := s.ss_outputs_count;
+  session.outputs_seen <- !(st.outputs_count);
+  let lo, hi = s.ss_seq_lanes in
+  Fingerprint.set_lanes st.seq_digest ~lo ~hi
+
+let load_tuple session tuple =
+  let st = session.st in
+  let schema = Tuple.schema tuple in
+  let id = schema.Schema.id in
+  if st.no_gamma.(id) then
+    invalid_arg
+      ("Engine.load_tuple: table " ^ schema.Schema.name ^ " is -noGamma");
+  if st.gamma.(id).Store.insert tuple then begin
+    Table_stats.incr
+      (Table_stats.counters st.stats id).Table_stats.gamma_inserts;
+    match st.agg with
+    | Some agg -> Agg_cache.note_inserted agg tuple
+    | None -> ()
+  end
+
+let session_pending session =
+  let st = session.st in
+  Delta.size st.delta
+  + Array.fold_left (fun acc b -> acc + b.pb_len) 0 st.put_bufs
+
+let stored_tables session =
+  let st = session.st in
+  Array.to_list st.frozen.Program.tables
+  |> List.filter (fun s -> not st.no_gamma.(s.Schema.id))
+
+let gamma_digest session =
+  let st = session.st in
+  let overall = Fingerprint.create () in
+  Array.iter
+    (fun s ->
+      let id = s.Schema.id in
+      if not st.no_gamma.(id) then begin
+        let d = Fingerprint.create () in
+        st.gamma.(id).Store.iter (fun t -> Fingerprint.add_tuple d t);
+        Fingerprint.add overall d
+      end)
+    st.frozen.Program.tables;
+  Fingerprint.hex overall

@@ -31,6 +31,11 @@ type digest = {
       (** digest of the per-step class sequence, step-ordered (and
           order-independent within each class, where execution order is
           the one schedule-dependent thing) *)
+  d_outputs : string;
+      (** print-ordered digest of the output-line stream — outputs are
+          sorted within each step, so the stream is schedule-independent
+          and this digest is equal across thread counts iff the printed
+          lines are *)
   d_tables : (string * string) list;
       (** per stored table, declaration order *)
 }
@@ -91,3 +96,53 @@ val session_gamma : session -> Schema.t -> Store.t
 
 val finish : session -> result
 (** Shut the session's pool down and summarise.  Idempotent. *)
+
+(** {1 Durability hooks}
+
+    Just enough session state for a persistence layer (jstar_persist,
+    which depends on this library and therefore cannot be called from
+    here) to snapshot a quiescent session and rebuild it on restore.
+    Everything below assumes quiescence: call only between a {!drain}
+    and the next {!feed}. *)
+
+type session_state = {
+  ss_step_no : int;  (** global step counter (timestamps lineage) *)
+  ss_steps : int;  (** classes executed in this session *)
+  ss_processed : int;
+  ss_outputs_count : int;  (** total output lines so far *)
+  ss_outputs : string list;
+      (** all output lines, oldest first; [[]] when elided *)
+  ss_seq_lanes : int * int;  (** class-sequence digest lanes *)
+}
+
+val session_state : ?with_outputs:bool -> session -> session_state
+(** Capture the session state for a checkpoint manifest.
+    [~with_outputs:false] (default [true]) elides the output-line list
+    (leaving [ss_outputs_count] valid) — per-drain watermark records
+    only need the scalars, and copying every line there would make a
+    long session's drains quadratic. *)
+
+val restore_session_state : session -> session_state -> unit
+(** Overwrite a fresh session's counters/digest with checkpointed
+    values.  Restored output lines count as already drained. *)
+
+val load_tuple : session -> Tuple.t -> unit
+(** Insert a checkpointed tuple directly into its Gamma store — no
+    Delta, no rule firing, no output formatting (all of that already
+    happened before the snapshot was taken).  Keeps the aggregate cache
+    coherent.  @raise Invalid_argument for [-noGamma] tables, whose
+    tuples are never snapshotted. *)
+
+val session_pending : session -> int
+(** Tuples waiting in Delta or the put buffers.  Zero after a drain;
+    a checkpoint taken while nonzero would silently drop them, so the
+    persistence layer refuses. *)
+
+val stored_tables : session -> Schema.t list
+(** Tables whose Gamma is retained (not [-noGamma]), declaration
+    order — the tables a snapshot serializes. *)
+
+val gamma_digest : session -> string
+(** 128-bit hex digest of every stored tuple right now, independent of
+    [Config.digest].  Recovery compares this against the snapshot
+    manifest to prove the rebuilt database is bit-identical. *)

@@ -67,7 +67,21 @@ let mix_seq t ~lo ~hi ~n =
   t.lo <- mix64 ((t.lo * 0x100000001b3) lxor lo lxor n);
   t.hi <- mix64 ((t.hi * 0x32b2ae3d27d4eb4f) lxor hi lxor n)
 
+(* Ordered fold over an output line: FNV-1a over the bytes feeds both
+   lanes (one raw, one re-mixed), position-sensitised through [mix_seq]
+   so the output *stream* digests differently when lines are reordered —
+   unlike Gamma, print order is part of what determinism promises. *)
+let mix_string t s =
+  (* FNV-1a 64 offset basis, truncated to OCaml's 63-bit int *)
+  let h = ref 0x4bf29ce484222325 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) s;
+  mix_seq t ~lo:!h ~hi:(mix64 !h) ~n:(String.length s)
+
 let lanes t = (t.lo, t.hi)
+
+let set_lanes t ~lo ~hi =
+  t.lo <- lo;
+  t.hi <- hi
 
 let hex t = Printf.sprintf "%016Lx%016Lx" (Int64.of_int t.hi) (Int64.of_int t.lo)
 

@@ -22,7 +22,16 @@ val mix_seq : t -> lo:int -> hi:int -> n:int -> unit
 (** Non-commutative: fold one step's class lanes (and width [n]) into a
     sequence digest, in step order. *)
 
+val mix_string : t -> string -> unit
+(** Non-commutative: fold one output line into a stream digest, in
+    print order (reordered lines digest differently). *)
+
 val lanes : t -> int * int
+
+val set_lanes : t -> lo:int -> hi:int -> unit
+(** Overwrite the digest state — snapshot restore resuming a
+    sequence digest mid-stream. *)
+
 val hex : t -> string  (** 32 hex digits, [hi] lane first. *)
 
 val equal : t -> t -> bool

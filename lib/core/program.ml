@@ -55,9 +55,10 @@ let order p names =
   check_not_frozen p "order declaration";
   Order_rel.declare_chain p.order names
 
-let rule p ?reads ?puts ?assumes name ~trigger body =
+let rule p ?reads ?puts ?assumes ?provenance name ~trigger body =
   check_not_frozen p ("rule " ^ name);
-  p.rules <- Rule.make ?reads ?puts ?assumes ~name ~trigger body :: p.rules
+  p.rules <-
+    Rule.make ?reads ?puts ?assumes ?provenance ~name ~trigger body :: p.rules
 
 let output p schema fmt =
   check_not_frozen p "output declaration";

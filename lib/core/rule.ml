@@ -39,13 +39,19 @@ type t = {
   puts : Spec.put_spec list;
   assumes : Spec.constr list;
       (* invariants/guards the causality checker may use *)
+  prov : bool;
+      (* capture lineage for this rule's puts when Config.provenance is
+         on?  [~provenance:false] opts a hot rule out: its puts skip
+         the per-put candidate record (the +55% worst case), at the
+         price of its tuples showing as untracked in Explain *)
   mutable rid : int;
       (* program-wide rule id in declaration order, assigned at freeze;
          -1 until then.  Lineage records carry it instead of the name *)
 }
 
-let make ?(reads = []) ?(puts = []) ?(assumes = []) ~name ~trigger body =
-  { name; trigger; body; reads; puts; assumes; rid = -1 }
+let make ?(reads = []) ?(puts = []) ?(assumes = []) ?(provenance = true) ~name
+    ~trigger body =
+  { name; trigger; body; reads; puts; assumes; prov = provenance; rid = -1 }
 
 let pp ppf r =
   Fmt.pf ppf "foreach (%s %s) { ... }" r.trigger.Schema.name r.name

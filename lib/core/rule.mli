@@ -34,6 +34,9 @@ type t = {
   reads : Spec.read_spec list;
   puts : Spec.put_spec list;
   assumes : Spec.constr list;
+  prov : bool;
+      (** capture lineage for this rule's puts under
+          [Config.provenance]; [false] = opted out ([~provenance:false]) *)
   mutable rid : int;
       (** program-wide id in declaration order, set by [Program.freeze];
           -1 before.  Identifies the rule in lineage records. *)
@@ -43,9 +46,13 @@ val make :
   ?reads:Spec.read_spec list ->
   ?puts:Spec.put_spec list ->
   ?assumes:Spec.constr list ->
+  ?provenance:bool ->
   name:string ->
   trigger:Schema.t ->
   (ctx -> Tuple.t -> unit) ->
   t
+(** [provenance] defaults to [true]; pass [false] to exempt a hot
+    rule's puts from lineage capture ([Config.provenance]) — its
+    output tuples then report as untracked in [Jstar_prov.Explain]. *)
 
 val pp : Format.formatter -> t -> unit

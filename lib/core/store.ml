@@ -455,6 +455,7 @@ let default_for ~parallel schema =
 
 type indexed_handle = {
   ih_promote : int -> bool;
+  ih_demote : int -> bool;
   ih_lens : unit -> int list;
 }
 
@@ -521,9 +522,24 @@ let indexed ?(prefix_lens = []) schema inner =
       true
     end
   in
+  let demote len =
+    (* Drop the index with exactly this length.  Publishing the shorter
+       list is a single atomic store; readers mid-query keep iterating
+       the removed index (it stays consistent, just unreferenced), new
+       queries fall back to the primary or a remaining index.  Like
+       [promote], callers run this at a barrier. *)
+    let ixs = Atomic.get indexes in
+    if List.exists (fun ix -> Index.prefix_len ix = len) ixs then begin
+      Atomic.set indexes
+        (List.filter (fun ix -> Index.prefix_len ix <> len) ixs);
+      true
+    end
+    else false
+  in
   ( store,
     {
       ih_promote = promote;
+      ih_demote = demote;
       ih_lens =
         (fun () ->
           List.sort Int.compare (List.map Index.prefix_len (Atomic.get indexes)));

@@ -86,6 +86,11 @@ type indexed_handle = {
           exact length already exists.  Must run with no concurrent
           inserts (the engine calls it at a Phase-A barrier).
           @raise Schema.Schema_error when [len] is outside [1..arity]. *)
+  ih_demote : int -> bool;
+      (** [ih_demote len] drops the secondary index with exactly that
+          prefix length; [false] when none exists.  Queries fall back
+          to the primary (or a remaining index).  Same barrier
+          contract as {!field-ih_promote}. *)
   ih_lens : unit -> int list;  (** current index prefix lengths, sorted *)
 }
 

@@ -17,7 +17,8 @@ let idle = 8
 let advisor = 9
 let prov_merge = 10
 let audit = 11
-let builtin_count = 12
+let advisor_demote = 12
+let builtin_count = 13
 
 let builtin_names =
   [|
@@ -33,6 +34,7 @@ let builtin_names =
     "advisor-promote";
     "prov-merge";
     "audit-violation";
+    "advisor-demote";
   |]
 
 let builtin_name k =

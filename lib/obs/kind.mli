@@ -31,6 +31,9 @@ val audit : t
 (** runtime causality auditor found a violation (instant, recorded just
     before the exception is raised) *)
 
+val advisor_demote : t
+(** store advisor dropped a cold secondary index (instant) *)
+
 val builtin_count : int
 val builtin_name : int -> string option
 

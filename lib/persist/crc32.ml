@@ -1,0 +1,23 @@
+(* CRC-32/IEEE, table-driven, bit-reflected (the zlib variant).  OCaml
+   ints are 63-bit here, so the running value fits natively; the table
+   entries and results are always masked to 32 bits. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc b off len =
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xffffffff) in
+  for i = off to off + len - 1 do
+    c := t.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff land 0xffffffff
+
+let bytes b off len = update 0 b off len
+let string s = bytes (Bytes.unsafe_of_string s) 0 (String.length s)

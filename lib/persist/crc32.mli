@@ -1,0 +1,16 @@
+(** CRC-32 (IEEE 802.3, the zlib/gzip polynomial), table-driven.
+
+    Every durable frame the persistence layer writes — WAL records,
+    snapshot segment records, the manifest — carries one of these so
+    that recovery can tell a torn or bit-flipped record from a valid
+    one without trusting file lengths. *)
+
+val bytes : Bytes.t -> int -> int -> int
+(** [bytes b off len] — CRC of the slice, in [0, 2{^32}). *)
+
+val string : string -> int
+(** CRC of a whole string. *)
+
+val update : int -> Bytes.t -> int -> int -> int
+(** [update crc b off len] extends a running CRC (start from 0), so a
+    frame's header and payload can be checksummed without copying. *)

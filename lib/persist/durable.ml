@@ -1,0 +1,324 @@
+(* Durable sessions: WAL + snapshots around an engine session.
+
+   Ordering invariants:
+   - a feed batch reaches the log before its tuples enter Delta;
+   - every drain appends a watermark carrying the session's scalar
+     state and digests, and commits the log (fsync per policy);
+   - a checkpoint writes the complete next generation (snapshot + fresh
+     log), fsyncs it, and only then flips CURRENT — so every possible
+     crash point leaves one fully-valid generation on disk.
+
+   Recovery trusts nothing it can avoid trusting: the manifest is
+   CRC-checked, the rebuilt database must reproduce the manifest's
+   fingerprint, and every replayed drain must reproduce its watermark's
+   class-sequence and output-stream digests. *)
+
+open Jstar_core
+
+exception Recovery_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Recovery_error s)) fmt
+
+type t = {
+  dir : string;
+  session : Engine.session;
+  tables : Schema.t array;
+  schema_hash : int;
+  policy : Wal.fsync_policy;
+  checkpoint_every : int;  (* drains between automatic checkpoints; 0 = off *)
+  out_digest : Fingerprint.t;  (* running output-stream digest *)
+  mutable gen : int;
+  mutable wal : Wal.writer;
+  mutable drains_since_ckpt : int;
+}
+
+type restore_info = {
+  r_gen : int;
+  r_feeds : int;
+  r_drains : int;
+  r_pending : int;
+  r_wal_tail : Wal.tail;
+}
+
+type status = Fresh | Restored of restore_info
+
+let wal_name gen = Printf.sprintf "wal-%d.log" gen
+let wal_path_of dir gen = Filename.concat dir (wal_name gen)
+let current_path dir = Filename.concat dir "CURRENT"
+
+let write_current dir gen =
+  (* temp + rename + dir fsync: the flip is the commit point *)
+  let tmp = Filename.concat dir "CURRENT.tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let s = Printf.sprintf "gen %d\n" gen in
+  let b = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  while !off < Bytes.length b do
+    off := !off + Unix.write fd b !off (Bytes.length b - !off)
+  done;
+  Unix.fsync fd;
+  Unix.close fd;
+  Unix.rename tmp (current_path dir);
+  let dfd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+  (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+  Unix.close dfd
+
+let read_current dir =
+  match open_in (current_path dir) with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match Scanf.sscanf_opt (input_line ic) "gen %d" (fun g -> g) with
+          | Some g -> Some g
+          | None | (exception End_of_file) ->
+              fail "%s: malformed CURRENT" dir)
+
+let mkdir_p dir =
+  if not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+(* -- watermark plumbing ---------------------------------------------- *)
+
+let watermark_of t =
+  let s = Engine.session_state ~with_outputs:false t.session in
+  {
+    Wal.wm_step_no = s.Engine.ss_step_no;
+    wm_steps = s.Engine.ss_steps;
+    wm_processed = s.Engine.ss_processed;
+    wm_outputs_count = s.Engine.ss_outputs_count;
+    wm_seq_lanes = s.Engine.ss_seq_lanes;
+    wm_out_lanes = Fingerprint.lanes t.out_digest;
+  }
+
+let check_watermark t wm ~at =
+  let have = watermark_of t in
+  if have <> wm then
+    fail
+      "%s: replayed drain %d diverged from its watermark (recovered \
+       state does not reproduce the logged run)"
+      t.dir at
+
+(* -- the session operations ------------------------------------------ *)
+
+let feed t tuples =
+  Wal.append_feed t.wal tuples;
+  Wal.commit t.wal;
+  Engine.feed t.session tuples
+
+let drain_no_ckpt t =
+  let fresh = Engine.drain t.session in
+  List.iter (Fingerprint.mix_string t.out_digest) fresh;
+  Wal.append_watermark t.wal (watermark_of t);
+  Wal.commit t.wal;
+  fresh
+
+let checkpoint t =
+  let pending = Engine.session_pending t.session in
+  if pending <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Durable.checkpoint: %d tuples still pending (drain first)" pending);
+  let next = t.gen + 1 in
+  let state = Engine.session_state t.session in
+  let out_lanes = Fingerprint.lanes t.out_digest in
+  let gamma_digest = Engine.gamma_digest t.session in
+  Snapshot.write ~dir:t.dir ~gen:next ~schema_hash:t.schema_hash
+    ~manifest_of:(fun ~segments ->
+      {
+        Snapshot.m_gen = next;
+        m_schema_hash = t.schema_hash;
+        m_step_no = state.Engine.ss_step_no;
+        m_steps = state.Engine.ss_steps;
+        m_processed = state.Engine.ss_processed;
+        m_outputs_count = state.Engine.ss_outputs_count;
+        m_seq_lanes = state.Engine.ss_seq_lanes;
+        m_out_lanes = out_lanes;
+        m_gamma_digest = gamma_digest;
+        m_wal = wal_name next;
+        m_segments = segments;
+      })
+    ~outputs:state.Engine.ss_outputs
+    ~segments:
+      (List.map
+         (fun schema ->
+           (schema, (Engine.session_gamma t.session schema).Store.iter))
+         (Engine.stored_tables t.session));
+  (* Drain any unsynced WAL bytes of the old generation before the flip
+     makes it garbage (paranoia: nothing after the flip reads it). *)
+  Wal.sync t.wal;
+  let new_wal =
+    Wal.create (wal_path_of t.dir next) ~schema_hash:t.schema_hash
+      ~policy:t.policy
+  in
+  write_current t.dir next;
+  (* Commit point passed: retire the old generation. *)
+  Wal.close t.wal;
+  (try Unix.unlink (wal_path_of t.dir t.gen) with Unix.Unix_error _ -> ());
+  Snapshot.remove ~dir:t.dir ~gen:t.gen;
+  t.gen <- next;
+  t.wal <- new_wal;
+  t.drains_since_ckpt <- 0
+
+let drain t =
+  let fresh = drain_no_ckpt t in
+  t.drains_since_ckpt <- t.drains_since_ckpt + 1;
+  if t.checkpoint_every > 0 && t.drains_since_ckpt >= t.checkpoint_every then
+    checkpoint t;
+  fresh
+
+let finish t =
+  Wal.close t.wal;
+  Engine.finish t.session
+
+let session t = t.session
+let generation t = t.gen
+let wal_path t = wal_path_of t.dir t.gen
+let output_lanes t = Fingerprint.lanes t.out_digest
+
+(* -- open / recovery ------------------------------------------------- *)
+
+let fresh_session ~checkpoint_every ~policy ~dir ~tables ~schema_hash frozen
+    config =
+  let wal = Wal.create (wal_path_of dir 0) ~schema_hash ~policy in
+  {
+    dir;
+    session = Engine.start frozen config;
+    tables;
+    schema_hash;
+    policy;
+    checkpoint_every;
+    out_digest = Fingerprint.create ();
+    gen = 0;
+    wal;
+    drains_since_ckpt = 0;
+  }
+
+let recover ~checkpoint_every ~policy ~dir ~tables ~schema_hash frozen config
+    gen =
+  let session = Engine.start frozen config in
+  let out_digest = Fingerprint.create () in
+  (* 1. Rebuild the database from the snapshot (generation 0 = empty). *)
+  if gen > 0 then begin
+    let manifest =
+      try Snapshot.read_manifest ~dir ~gen ~expect_hash:schema_hash
+      with Snapshot.Snapshot_error m -> fail "%s" m
+    in
+    let outputs =
+      try
+        Snapshot.load ~dir ~gen ~manifest ~tables (fun tuple ->
+            Engine.load_tuple session tuple)
+      with Snapshot.Snapshot_error m -> fail "%s" m
+    in
+    Engine.restore_session_state session
+      {
+        Engine.ss_step_no = manifest.Snapshot.m_step_no;
+        ss_steps = manifest.Snapshot.m_steps;
+        ss_processed = manifest.Snapshot.m_processed;
+        ss_outputs_count = manifest.Snapshot.m_outputs_count;
+        ss_outputs = outputs;
+        ss_seq_lanes = manifest.Snapshot.m_seq_lanes;
+      };
+    let lo, hi = manifest.Snapshot.m_out_lanes in
+    Fingerprint.set_lanes out_digest ~lo ~hi;
+    (* The restore oracle: the rebuilt stores must reproduce the
+       fingerprint recorded when the snapshot was taken. *)
+    let got = Engine.gamma_digest session in
+    if got <> manifest.Snapshot.m_gamma_digest then
+      fail
+        "%s: restored database fingerprint %s does not match snapshot \
+         manifest %s"
+        dir got manifest.Snapshot.m_gamma_digest
+  end;
+  (* 2. Decide how much of the WAL to trust. *)
+  let path = wal_path_of dir gen in
+  let records, tail =
+    try Wal.read path ~tables ~expect_hash:schema_hash with
+    | Wal.Wal_error m -> fail "%s" m
+    | Unix.Unix_error (e, _, p) -> fail "%s: %s" p (Unix.error_message e)
+  in
+  let kept, valid_to =
+    match tail with
+    | Wal.Clean | Wal.Torn _ ->
+        (* A torn tail is the expected residue of a crash mid-append:
+           every complete record before it — including trailing feeds
+           not yet covered by a watermark — was durably logged, so all
+           of it replays.  [valid_to] drops only the partial frame. *)
+        let valid_to =
+          List.fold_left (fun _ (_, off) -> off) Wal.header_len records
+        in
+        (records, valid_to)
+    | Wal.Corrupt _ ->
+        (* Mid-log corruption (a flipped bit, not a torn write): roll
+           back to the last watermark — records beyond it may be
+           arbitrarily damaged, and the watermark is the last point
+           whose digests can vouch for the state. *)
+        let kept_to =
+          List.fold_left
+            (fun acc (r, off) ->
+              match r with Wal.Watermark _ -> off | Wal.Feed _ -> acc)
+            Wal.header_len records
+        in
+        (List.filter (fun (_, off) -> off <= kept_to) records, kept_to)
+  in
+  (* 3. Replay through the normal feed/drain path, verifying each
+     watermark. *)
+  let feeds = ref 0 and drains = ref 0 and pending = ref 0 in
+  let t =
+    {
+      dir;
+      session;
+      tables;
+      schema_hash;
+      policy;
+      checkpoint_every;
+      out_digest;
+      gen;
+      wal = Wal.reopen path ~valid_to ~policy;
+      drains_since_ckpt = 0;
+    }
+  in
+  List.iter
+    (fun (record, off) ->
+      match record with
+      | Wal.Feed tuples ->
+          incr feeds;
+          pending := !pending + List.length tuples;
+          Engine.feed session tuples
+      | Wal.Watermark wm ->
+          incr drains;
+          pending := 0;
+          let fresh = Engine.drain session in
+          List.iter (Fingerprint.mix_string out_digest) fresh;
+          check_watermark t wm ~at:off)
+    kept;
+  ( t,
+    Restored
+      {
+        r_gen = gen;
+        r_feeds = !feeds;
+        r_drains = !drains;
+        r_pending = !pending;
+        r_wal_tail = tail;
+      } )
+
+let open_ ?(checkpoint_every = 0) ?(fsync = Wal.Always) ~dir frozen config =
+  mkdir_p dir;
+  let tables = frozen.Program.tables in
+  let schema_hash = Codec.schema_hash tables in
+  let policy = fsync in
+  match read_current dir with
+  | None ->
+      let t =
+        fresh_session ~checkpoint_every ~policy ~dir ~tables ~schema_hash
+          frozen config
+      in
+      write_current dir 0;
+      (t, Fresh)
+  | Some gen ->
+      recover ~checkpoint_every ~policy ~dir ~tables ~schema_hash frozen
+        config gen

@@ -1,0 +1,72 @@
+(** Durable sessions: an {!Jstar_core.Engine} session wrapped in a
+    write-ahead log and snapshot checkpoints, so a crashed process can
+    restart exactly where it left off.
+
+    The contract, in terms of the engine's determinism promises: after
+    a crash at {e any} point, [open_] rebuilds a session whose Gamma
+    fingerprint, class-sequence digest and output-stream digest equal
+    those of an uninterrupted run over the durable prefix of the input
+    — and it proves it, by checking the rebuilt database against the
+    snapshot manifest and each replayed drain against its watermark.
+
+    Directory layout:
+    {v dir/CURRENT     "gen <n>" — atomically flipped pointer
+       dir/wal-<n>.log  feeds + drain watermarks since snapshot <n>
+       dir/snap-<n>/    MANIFEST, seg-<table>.dat, outputs.dat v}
+    Generation 0 has no snapshot directory (empty database + log). *)
+
+exception Recovery_error of string
+(** A digest, schema or manifest check failed during restore — the
+    on-disk state cannot reproduce the session it claims to hold. *)
+
+type t
+
+type restore_info = {
+  r_gen : int;  (** snapshot generation recovery started from *)
+  r_feeds : int;  (** WAL feed records replayed *)
+  r_drains : int;  (** WAL watermark records replayed (and verified) *)
+  r_pending : int;  (** tuples re-fed but not yet drained at the crash *)
+  r_wal_tail : Wal.tail;  (** how the recovered log ended *)
+}
+
+type status = Fresh | Restored of restore_info
+
+val open_ :
+  ?checkpoint_every:int ->
+  ?fsync:Wal.fsync_policy ->
+  dir:string ->
+  Jstar_core.Program.frozen ->
+  Jstar_core.Config.t ->
+  t * status
+(** Open (creating [dir] if needed) or recover a durable session.
+    [checkpoint_every] (default 0 = only explicit {!checkpoint} calls)
+    takes a checkpoint automatically after every N drains.  [fsync]
+    (default [Always]) sets the WAL durability policy.
+    @raise Recovery_error when existing state fails validation. *)
+
+val feed : t -> Jstar_core.Tuple.t list -> unit
+(** Append the batch to the WAL (durably, per the fsync policy), then
+    feed it to the engine. *)
+
+val drain : t -> string list
+(** Drain the engine, fold the fresh output lines into the running
+    output-stream digest, and append + commit a watermark record.  May
+    trigger an automatic checkpoint. *)
+
+val checkpoint : t -> unit
+(** Write snapshot generation [n+1], start a fresh log, flip [CURRENT],
+    delete generation [n].  Requires quiescence.
+    @raise Invalid_argument when tuples are still pending. *)
+
+val finish : t -> Jstar_core.Engine.result
+(** Sync and close the log, then finish the engine session. *)
+
+val session : t -> Jstar_core.Engine.session
+(** The underlying engine session (for gamma inspection in tests). *)
+
+val generation : t -> int
+val wal_path : t -> string
+(** Current log file — exposed for the fault-injection harness. *)
+
+val output_lanes : t -> int * int
+(** Running output-stream digest lanes (matches the last watermark). *)

@@ -1,0 +1,285 @@
+(* Snapshot checkpoints.
+
+   Layout: dir/snap-<gen>/
+     MANIFEST        CRC-guarded text: counters, digests, segment list
+     seg-<table>.dat framed tuples, one record per tuple
+     outputs.dat     framed output lines, print order
+
+   Segment record framing matches the WAL ([u32 len][payload][u32 crc])
+   minus the kind byte; file headers carry magic, version and the
+   program's schema hash. *)
+
+open Jstar_core
+
+exception Snapshot_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Snapshot_error s)) fmt
+
+let seg_magic = "JSTARSEG"
+let out_magic = "JSTAROUT"
+let version = 1
+
+type manifest = {
+  m_gen : int;
+  m_schema_hash : int;
+  m_step_no : int;
+  m_steps : int;
+  m_processed : int;
+  m_outputs_count : int;
+  m_seq_lanes : int * int;
+  m_out_lanes : int * int;
+  m_gamma_digest : string;
+  m_wal : string;
+  m_segments : (string * int) list;
+}
+
+let dir_name gen = Printf.sprintf "snap-%d" gen
+let seg_name table = Printf.sprintf "seg-%s.dat" table
+
+(* -- io helpers ------------------------------------------------------ *)
+
+let write_file path content =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let b = Bytes.unsafe_of_string content in
+      let off = ref 0 in
+      while !off < Bytes.length b do
+        off := !off + Unix.write fd b !off (Bytes.length b - !off)
+      done;
+      Unix.fsync fd)
+
+let read_whole path =
+  match open_in_bin path with
+  | exception Sys_error m -> fail "%s" m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+
+let fsync_path path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun e -> rm_rf (Filename.concat path e))
+        (try Sys.readdir path with Sys_error _ -> [||]);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let remove ~dir ~gen = rm_rf (Filename.concat dir (dir_name gen))
+
+(* -- framed record files --------------------------------------------- *)
+
+let add_record buf payload =
+  let b = Buffer.create (Bytes.length payload + 8) in
+  Codec.put_u32 b (Bytes.length payload);
+  Buffer.add_bytes b payload;
+  let framed = Buffer.to_bytes b in
+  Buffer.add_bytes buf framed;
+  Codec.put_u32 buf (Crc32.bytes framed 0 (Bytes.length framed))
+
+let iter_records ~what src pos f =
+  let len = Bytes.length src in
+  while !pos < len do
+    let start = !pos in
+    let plen = Codec.get_u32 src pos in
+    if start + 4 + plen + 4 > len then fail "%s: truncated record" what;
+    let crc_stored =
+      let cp = ref (start + 4 + plen) in
+      Codec.get_u32 src cp
+    in
+    if Crc32.bytes src start (4 + plen) <> crc_stored then
+      fail "%s: record CRC mismatch" what;
+    let payload = Bytes.sub src (start + 4) plen in
+    pos := start + 4 + plen + 4;
+    f payload
+  done
+
+let file_header file_magic ~schema_hash ~arg =
+  let b = Buffer.create 20 in
+  Buffer.add_string b file_magic;
+  Codec.put_u32 b version;
+  Codec.put_u32 b schema_hash;
+  Codec.put_u32 b arg;
+  b
+
+let check_header ~what file_magic ~expect_hash src pos =
+  if Bytes.length src < String.length file_magic + 12 then
+    fail "%s: missing header" what;
+  if Bytes.sub_string src 0 (String.length file_magic) <> file_magic then
+    fail "%s: bad magic" what;
+  pos := String.length file_magic;
+  let v = Codec.get_u32 src pos in
+  if v <> version then fail "%s: unsupported version %d" what v;
+  let h = Codec.get_u32 src pos in
+  if h <> expect_hash land 0xffffffff then fail "%s: schema hash mismatch" what;
+  Codec.get_u32 src pos
+
+(* -- manifest -------------------------------------------------------- *)
+
+let manifest_to_string m =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "jstar-snapshot 1";
+  line "gen %d" m.m_gen;
+  line "schema %d" m.m_schema_hash;
+  line "step_no %d" m.m_step_no;
+  line "steps %d" m.m_steps;
+  line "processed %d" m.m_processed;
+  line "outputs %d" m.m_outputs_count;
+  line "seq %d %d" (fst m.m_seq_lanes) (snd m.m_seq_lanes);
+  line "out %d %d" (fst m.m_out_lanes) (snd m.m_out_lanes);
+  line "gamma %s" m.m_gamma_digest;
+  line "wal %s" m.m_wal;
+  List.iter (fun (t, n) -> line "segment %s %d" t n) m.m_segments;
+  let body = Buffer.contents b in
+  body ^ Printf.sprintf "crc %08x\n" (Crc32.string body)
+
+let manifest_of_string ~what s =
+  (* split the trailing crc line off and verify it first *)
+  let body, crc_line =
+    match String.rindex_opt (String.trim s) '\n' with
+    | None -> fail "%s: malformed manifest" what
+    | Some i ->
+        let t = String.trim s in
+        (String.sub t 0 (i + 1), String.sub t (i + 1) (String.length t - i - 1))
+  in
+  (match Scanf.sscanf_opt crc_line "crc %x" (fun c -> c) with
+  | Some c when c = Crc32.string body -> ()
+  | Some _ -> fail "%s: manifest CRC mismatch" what
+  | None -> fail "%s: manifest missing CRC line" what);
+  let kv = Hashtbl.create 16 in
+  let segments = ref [] in
+  String.split_on_char '\n' body
+  |> List.iter (fun l ->
+         match String.index_opt l ' ' with
+         | None -> ()
+         | Some i ->
+             let k = String.sub l 0 i
+             and v = String.sub l (i + 1) (String.length l - i - 1) in
+             if k = "segment" then (
+               match String.rindex_opt v ' ' with
+               | Some j ->
+                   let t = String.sub v 0 j
+                   and n = String.sub v (j + 1) (String.length v - j - 1) in
+                   segments := (t, int_of_string n) :: !segments
+               | None -> fail "%s: malformed segment line" what)
+             else Hashtbl.replace kv k v);
+  let get k =
+    match Hashtbl.find_opt kv k with
+    | Some v -> v
+    | None -> fail "%s: manifest missing %s" what k
+  in
+  let geti k = try int_of_string (get k) with _ -> fail "%s: bad %s" what k in
+  let lanes k =
+    match Scanf.sscanf_opt (get k) "%d %d" (fun a b -> (a, b)) with
+    | Some l -> l
+    | None -> fail "%s: bad %s lanes" what k
+  in
+  {
+    m_gen = geti "gen";
+    m_schema_hash = geti "schema";
+    m_step_no = geti "step_no";
+    m_steps = geti "steps";
+    m_processed = geti "processed";
+    m_outputs_count = geti "outputs";
+    m_seq_lanes = lanes "seq";
+    m_out_lanes = lanes "out";
+    m_gamma_digest = get "gamma";
+    m_wal = get "wal";
+    m_segments = List.rev !segments;
+  }
+
+(* -- write ----------------------------------------------------------- *)
+
+let write ~dir ~gen ~schema_hash ~manifest_of ~outputs ~segments =
+  let snap = Filename.concat dir (dir_name gen) in
+  rm_rf snap;
+  (try Unix.mkdir snap 0o755
+   with Unix.Unix_error (e, _, _) ->
+     fail "mkdir %s: %s" snap (Unix.error_message e));
+  let counts =
+    List.map
+      (fun (schema, iter) ->
+        let name = schema.Schema.name in
+        let buf = file_header seg_magic ~schema_hash ~arg:schema.Schema.id in
+        let count = ref 0 in
+        let rec_buf = Buffer.create 64 in
+        iter (fun t ->
+            Buffer.clear rec_buf;
+            Codec.encode_tuple rec_buf t;
+            add_record buf (Buffer.to_bytes rec_buf);
+            incr count);
+        write_file (Filename.concat snap (seg_name name)) (Buffer.contents buf);
+        (name, !count))
+      segments
+  in
+  let ob = file_header out_magic ~schema_hash ~arg:(List.length outputs) in
+  List.iter
+    (fun line ->
+      let pb = Buffer.create (String.length line + 4) in
+      Codec.put_string pb line;
+      add_record ob (Buffer.to_bytes pb))
+    outputs;
+  write_file (Filename.concat snap "outputs.dat") (Buffer.contents ob);
+  let m = manifest_of ~segments:counts in
+  write_file (Filename.concat snap "MANIFEST") (manifest_to_string m);
+  fsync_path snap;
+  fsync_path dir
+
+(* -- read ------------------------------------------------------------ *)
+
+let read_manifest ~dir ~gen ~expect_hash =
+  let path = Filename.concat dir (Filename.concat (dir_name gen) "MANIFEST") in
+  let m = manifest_of_string ~what:path (read_whole path) in
+  if m.m_schema_hash <> expect_hash land 0xffffffff then
+    fail "%s: schema hash mismatch (program changed?)" path;
+  if m.m_gen <> gen then fail "%s: generation mismatch" path;
+  m
+
+let load ~dir ~gen ~manifest ~tables f =
+  let snap = Filename.concat dir (dir_name gen) in
+  let expect_hash = manifest.m_schema_hash in
+  List.iter
+    (fun (tname, expected) ->
+      let path = Filename.concat snap (seg_name tname) in
+      let src = Bytes.unsafe_of_string (read_whole path) in
+      let pos = ref 0 in
+      let _table_id = check_header ~what:path seg_magic ~expect_hash src pos in
+      let n = ref 0 in
+      iter_records ~what:path src pos (fun payload ->
+          let p = ref 0 in
+          (match Codec.decode_tuple ~tables payload p with
+          | t -> f t
+          | exception Codec.Codec_error m -> fail "%s: %s" path m);
+          incr n);
+      if !n <> expected then
+        fail "%s: expected %d tuples, found %d" path expected !n)
+    manifest.m_segments;
+  let path = Filename.concat snap "outputs.dat" in
+  let src = Bytes.unsafe_of_string (read_whole path) in
+  let pos = ref 0 in
+  let count = check_header ~what:path out_magic ~expect_hash src pos in
+  let lines = ref [] in
+  iter_records ~what:path src pos (fun payload ->
+      let p = ref 0 in
+      match Codec.get_string payload p with
+      | s -> lines := s :: !lines
+      | exception Codec.Codec_error m -> fail "%s: %s" path m);
+  let lines = List.rev !lines in
+  if List.length lines <> count then fail "%s: output count mismatch" path;
+  if count <> manifest.m_outputs_count then
+    fail "%s: outputs disagree with manifest" path;
+  lines

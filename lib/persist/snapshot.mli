@@ -1,0 +1,61 @@
+(** Snapshot checkpoints: one directory per generation holding a
+    CRC-guarded text [MANIFEST], one binary segment per stored table,
+    and the output lines produced so far.
+
+    A checkpoint is written complete and fsynced {e before} the
+    [CURRENT] pointer flips to it, so a crash at any point leaves either
+    the old generation or the new one fully intact — never a half
+    state.  The manifest records the database fingerprint at checkpoint
+    time; restore rebuilds the stores from the segments and refuses to
+    proceed unless the rebuilt database digests to the same value. *)
+
+exception Snapshot_error of string
+
+type manifest = {
+  m_gen : int;
+  m_schema_hash : int;
+  m_step_no : int;
+  m_steps : int;
+  m_processed : int;
+  m_outputs_count : int;
+  m_seq_lanes : int * int;
+  m_out_lanes : int * int;
+  m_gamma_digest : string;  (** hex fingerprint of every stored tuple *)
+  m_wal : string;  (** the log file this snapshot pairs with *)
+  m_segments : (string * int) list;  (** table name, tuple count *)
+}
+
+val dir_name : int -> string
+(** ["snap-<gen>"]. *)
+
+val write :
+  dir:string ->
+  gen:int ->
+  schema_hash:int ->
+  manifest_of:(segments:(string * int) list -> manifest) ->
+  outputs:string list ->
+  segments:(Jstar_core.Schema.t * ((Jstar_core.Tuple.t -> unit) -> unit)) list ->
+  unit
+(** Write [dir/snap-<gen>] from scratch (any leftover from an earlier
+    crashed attempt is removed first).  [segments] pairs each stored
+    table with its iterator; [manifest_of] receives the per-table tuple
+    counts once the segments are on disk.  Everything, including the
+    snapshot directory entry, is fsynced before returning. *)
+
+val read_manifest : dir:string -> gen:int -> expect_hash:int -> manifest
+(** Parse and CRC-check [MANIFEST]; validates the schema hash.
+    @raise Snapshot_error *)
+
+val load :
+  dir:string ->
+  gen:int ->
+  manifest:manifest ->
+  tables:Jstar_core.Schema.t array ->
+  (Jstar_core.Tuple.t -> unit) ->
+  string list
+(** Stream every segment tuple through the callback (CRC-checking each
+    record) and return the output lines.  Counts are verified against
+    the manifest.  @raise Snapshot_error *)
+
+val remove : dir:string -> gen:int -> unit
+(** Best-effort recursive delete of a superseded generation. *)

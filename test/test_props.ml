@@ -324,6 +324,7 @@ let with_knobs base (batching, accel) =
              Config.adv_warmup = 4;
              adv_min_queries = 2;
              adv_min_size = 1;
+             adv_demote_windows = 4;
            }
        else None);
     grain = Config.Auto_grain;

@@ -345,6 +345,154 @@ let test_pvwatts_explain_deterministic () =
   | [] -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Explain across session feed/drain boundaries: a tuple whose
+   derivation spans batches fed in different drains must still explain
+   completely, with the same canonical tree at every thread count. *)
+
+let test_explain_across_session_boundaries () =
+  let trees =
+    List.map
+      (fun (threads, task_per_rule) ->
+        let c = closure_program [] in
+        let config =
+          {
+            (base_config threads task_per_rule) with
+            Config.provenance = true;
+            digest = true;
+          }
+        in
+        let frozen = Program.freeze c.c_program in
+        let s = Engine.start frozen config in
+        let feed_edges es =
+          Engine.feed s
+            (List.map
+               (fun (a, b) -> Tuple.make c.c_edge [| v_int a; v_int b |])
+               es)
+        in
+        (* Deepest edge first: [close] joins a *new* Path against
+           *stored* Edges, so feeding the chain back-to-front makes
+           Path(0,3) — derived in the last drain — consume tuples fed
+           in all three. *)
+        feed_edges [ (2, 3) ];
+        ignore (Engine.drain s);
+        feed_edges [ (1, 2) ];
+        ignore (Engine.drain s);
+        feed_edges [ (0, 1) ];
+        ignore (Engine.drain s);
+        let gamma = Engine.session_gamma s c.c_path in
+        let tuples = ref [] in
+        gamma.Store.iter (fun t -> tuples := t :: !tuples);
+        let result = Engine.finish s in
+        let lineage = Option.get result.Engine.lineage in
+        (match Jstar_prov.Explain.completeness_error ~lineage with
+        | None -> ()
+        | Some msg ->
+            Alcotest.fail ("session lineage incomplete: " ^ msg));
+        List.map
+          (fun t ->
+            match Jstar_prov.Explain.derive ~lineage ~frozen t with
+            | Some node -> Jstar_prov.Explain.to_string node
+            | None -> Alcotest.fail ("stored but untracked: " ^ Tuple.show t))
+          (List.sort Tuple.compare !tuples))
+      configs
+  in
+  match trees with
+  | reference :: rest ->
+      Alcotest.(check int)
+        "all six paths derived across the three drains" 6
+        (List.length reference);
+      List.iteri
+        (fun i t ->
+          Alcotest.(check bool)
+            (Printf.sprintf "session trees identical at config %d" (i + 1))
+            true (t = reference))
+        rest
+  | [] -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-rule opt-out: [~provenance:false] rules leave no lineage, other
+   rules' capture is unaffected, and completeness still holds for what
+   *is* tracked. *)
+
+let test_rule_provenance_optout () =
+  let build ~optout =
+    let c = closure_program [ (0, 1); (1, 2) ] in
+    let flag =
+      Program.table c.c_program "Flag"
+        ~columns:Schema.[ int_col "a"; int_col "b" ]
+        ~orderby:Schema.[ Lit "Flag" ]
+        ()
+    in
+    Program.order c.c_program [ "Edge"; "Path"; "Flag" ];
+    Program.rule c.c_program "flag" ~provenance:(not optout) ~trigger:c.c_path
+      (fun ctx t ->
+        ctx.Rule.put (Tuple.make flag [| Tuple.get t 0; Tuple.get t 1 |]));
+    (c, flag)
+  in
+  let run ~optout =
+    let c, flag = build ~optout in
+    let config = { Config.default with Config.provenance = true } in
+    let frozen = Program.freeze c.c_program in
+    let result, gamma = Engine.run_with_gamma ~init:c.c_init frozen config in
+    let lineage = Option.get result.Engine.lineage in
+    (c, flag, frozen, lineage, gamma)
+  in
+  let c, flag, frozen, lineage, gamma = run ~optout:true in
+  (match Jstar_prov.Explain.completeness_error ~lineage with
+  | None -> ()
+  | Some msg -> Alcotest.fail ("optout lineage incomplete: " ^ msg));
+  (* Path tuples (tracked rules) still explain... *)
+  (gamma c.c_path).Store.iter (fun t ->
+      match Jstar_prov.Explain.derive ~lineage ~frozen t with
+      | Some _ -> ()
+      | None -> Alcotest.fail ("tracked rule lost lineage: " ^ Tuple.show t));
+  (* ...while the opted-out rule's tuples are stored but untracked. *)
+  (gamma flag).Store.iter (fun t ->
+      match Jstar_prov.Explain.derive ~lineage ~frozen t with
+      | None -> ()
+      | Some _ ->
+          Alcotest.fail ("opted-out rule left lineage: " ^ Tuple.show t));
+  let tracked_optout = Lineage.tuples_tracked lineage in
+  let _, _, _, lineage_full, _ = run ~optout:false in
+  Alcotest.(check bool) "opting out shrinks the lineage store" true
+    (tracked_optout < Lineage.tuples_tracked lineage_full)
+
+(* ------------------------------------------------------------------ *)
+(* Output-stream digest: print-ordered, schedule-independent *)
+
+let test_outputs_digest_threads () =
+  let edges = [ (0, 1); (1, 2); (2, 3); (3, 0); (1, 4) ] in
+  let d_out result =
+    match result.Engine.digest with
+    | Some d -> d.Engine.d_outputs
+    | None -> Alcotest.fail "digest missing"
+  in
+  let digests =
+    List.map
+      (fun (threads, task_per_rule) ->
+        run_closure ~threads ~task_per_rule edges ~f:(fun _ _ result _ ->
+            (d_out result, result.Engine.outputs)))
+      configs
+  in
+  (match digests with
+  | (reference, ref_outputs) :: rest ->
+      List.iter
+        (fun (d, outs) ->
+          Alcotest.(check string) "output digest equal across configs"
+            reference d;
+          Alcotest.(check bool) "output stream equal across configs" true
+            (outs = ref_outputs))
+        rest
+  | [] -> ());
+  let other =
+    run_closure ~threads:1 ~task_per_rule:false
+      [ (0, 1) ]
+      ~f:(fun _ _ result _ -> d_out result)
+  in
+  Alcotest.(check bool) "different outputs, different stream digest" false
+    (other = fst (List.hd digests))
+
+(* ------------------------------------------------------------------ *)
 (* Provenance off: the duplicate-put hot path still allocates nothing *)
 
 let test_put_path_zero_alloc_prov_off () =
@@ -431,6 +579,12 @@ let suite =
           test_auditor_silent_on_sound_programs;
         Alcotest.test_case "pvwatts explain tree deterministic" `Slow
           test_pvwatts_explain_deterministic;
+        Alcotest.test_case "explain across session feed/drain boundaries"
+          `Quick test_explain_across_session_boundaries;
+        Alcotest.test_case "per-rule provenance opt-out" `Quick
+          test_rule_provenance_optout;
+        Alcotest.test_case "output-stream digest across configs" `Quick
+          test_outputs_digest_threads;
         Alcotest.test_case "zero-alloc put path, provenance off" `Quick
           test_put_path_zero_alloc_prov_off;
         Alcotest.test_case "config validation" `Quick test_config_validation;

@@ -307,7 +307,12 @@ let run_advisor_program ~threads ~advisor () =
       advisor =
         (if advisor then
            Some
-             { Config.adv_warmup = 16; adv_min_queries = 8; adv_min_size = 16 }
+             {
+               Config.adv_warmup = 16;
+               adv_min_queries = 8;
+               adv_min_size = 16;
+               adv_demote_windows = 4;
+             }
          else None);
       tracing = Jstar_obs.Level.Counters;
     }
@@ -333,6 +338,105 @@ let test_advisor_determinism () =
     [ (1, true); (2, false); (2, true); (4, false); (4, true) ]
 
 (* ------------------------------------------------------------------ *)
+(* Advisor demotion: a promoted index whose traffic goes cold for
+   [adv_demote_windows] review windows is dropped again.  Reviews fire
+   on global query volume, so the cold phase keeps querying a *second*
+   table — the promoted Data index then serves none of the window's
+   queries and ages out. *)
+
+(* Reviews are amortised to one per [max 64 (warmup/2)] queries and a
+   demotion needs [adv_demote_windows] consecutive cold reviews, so the
+   cold phase must span several hundred queries (2 per probe). *)
+let demotion_probes = 200
+let demotion_hot_until = 24
+
+let run_demotion_program ~threads ~advisor () =
+  let p = Program.create () in
+  let data =
+    Program.table p "Data"
+      ~columns:Schema.[ int_col "g"; int_col "i" ]
+      ~orderby:Schema.[ Lit "Data" ]
+      ()
+  in
+  let other =
+    Program.table p "Other"
+      ~columns:Schema.[ int_col "g"; int_col "i" ]
+      ~orderby:Schema.[ Lit "Other" ]
+      ()
+  in
+  let probe =
+    Program.table p "Probe"
+      ~columns:Schema.[ int_col "k" ]
+      ~orderby:Schema.[ Lit "Probe"; Seq "k" ]
+      ()
+  in
+  Program.order p [ "Data"; "Other"; "Probe" ];
+  Program.rule p "query" ~trigger:probe (fun ctx t ->
+      let k = Tuple.int t "k" in
+      let g = k mod advisor_groups in
+      let target = if k < demotion_hot_until then data else other in
+      let n = Query.count ctx target ~prefix:[| v_int g |] () in
+      let hit =
+        Query.fold ctx target ~prefix:[| v_int g |] ~init:0 ~f:(fun acc t ->
+            max acc (Tuple.int t "i"))
+          ()
+      in
+      ctx.Rule.println
+        (Printf.sprintf "probe %d group %d count %d max %d" k g n hit);
+      if k + 1 < demotion_probes then
+        ctx.Rule.put (Tuple.make probe [| v_int (k + 1) |]));
+  let init =
+    Tuple.make probe [| v_int 0 |]
+    :: List.init 64 (fun i ->
+           Tuple.make data [| v_int (i mod advisor_groups); v_int i |])
+    @ List.init 64 (fun i ->
+          Tuple.make other [| v_int (i mod advisor_groups); v_int i |])
+  in
+  let base =
+    if threads = 1 then Config.default else Config.parallel ~threads ()
+  in
+  let config =
+    {
+      base with
+      Config.stores =
+        [ ("Data", Store.Hash_index 2); ("Other", Store.Hash_index 2) ];
+      agg_cache = false;
+      advisor =
+        (if advisor then
+           Some
+             {
+               Config.adv_warmup = 16;
+               adv_min_queries = 8;
+               adv_min_size = 16;
+               adv_demote_windows = 3;
+             }
+         else None);
+      tracing = Jstar_obs.Level.Counters;
+    }
+  in
+  let r = Engine.run_program ~init p config in
+  if advisor then begin
+    Alcotest.(check bool)
+      "advisor promoted before the cold phase" true
+      (metric_int r.Engine.metrics "advisor.promotions" > 0);
+    Alcotest.(check bool)
+      "advisor demoted the cold index" true
+      (metric_int r.Engine.metrics "advisor.demotions" > 0)
+  end;
+  r.Engine.outputs
+
+let test_advisor_demotion () =
+  let reference = run_demotion_program ~threads:1 ~advisor:false () in
+  Alcotest.(check int) "probe lines" demotion_probes (List.length reference);
+  List.iter
+    (fun (threads, advisor) ->
+      let got = run_demotion_program ~threads ~advisor () in
+      Alcotest.(check (list string))
+        (Printf.sprintf "demotion run threads=%d advisor=%b" threads advisor)
+        reference got)
+    [ (1, true); (2, true); (4, true) ]
+
+(* ------------------------------------------------------------------ *)
 (* Config validation of the new knobs *)
 
 let test_config_validation () =
@@ -349,7 +453,13 @@ let test_config_validation () =
     {
       Config.default with
       Config.advisor =
-        Some { Config.adv_warmup = -1; adv_min_queries = 1; adv_min_size = 0 };
+        Some
+          {
+            Config.adv_warmup = -1;
+            adv_min_queries = 1;
+            adv_min_size = 0;
+            adv_demote_windows = 4;
+          };
     };
   raises "unknown suppress kind"
     { Config.default with Config.trace_suppress = [ "no-such-kind" ] };
@@ -422,6 +532,8 @@ let suite =
         Alcotest.test_case "memo_min tie-break" `Quick test_memo_min_tiebreak;
         Alcotest.test_case "advisor determinism + promotion" `Slow
           test_advisor_determinism;
+        Alcotest.test_case "advisor demotion after cold windows" `Slow
+          test_advisor_demotion;
         Alcotest.test_case "config validation" `Quick test_config_validation;
         Alcotest.test_case "zero-alloc put path when off" `Quick
           test_put_path_zero_alloc_when_off;
