@@ -118,13 +118,19 @@ let build ?(prov_optout = false) () =
   in
   (p, init)
 
-type knobs = { label : string; batching : bool; auto_grain : bool }
+type knobs = {
+  label : string;
+  batching : bool;
+  auto_grain : bool;
+  batch : bool; (* Config.batch_fire: vectorized Phase B *)
+}
 
 let config_of k =
   {
     (Config.parallel ~threads:2 ()) with
     Config.stores = [ ("Row", Store.Hash_index 1) ];
     put_batching = k.batching;
+    batch_fire = k.batch;
     (* The query-acceleration knobs are off: this workload never
        queries, so they'd only add barrier noise to the ablation. *)
     agg_cache = false;
@@ -134,10 +140,14 @@ let config_of k =
 
 let configurations =
   [
-    { label = "all-off"; batching = false; auto_grain = false };
-    { label = "put-batching"; batching = true; auto_grain = false };
-    { label = "auto-grain"; batching = false; auto_grain = true };
-    { label = "all-on"; batching = true; auto_grain = true };
+    { label = "all-off"; batching = false; auto_grain = false; batch = false };
+    { label = "put-batching"; batching = true; auto_grain = false;
+      batch = false };
+    { label = "auto-grain"; batching = false; auto_grain = true;
+      batch = false };
+    { label = "batch-fire"; batching = false; auto_grain = false;
+      batch = true };
+    { label = "all-on"; batching = true; auto_grain = true; batch = true };
   ]
 
 let rounds = 4
@@ -222,9 +232,9 @@ let run () =
         Buffer.add_string b
           (Printf.sprintf
              "    {\"label\": \"%s\", \"put_batching\": %b, \
-              \"auto_grain\": %b, \"seconds\": %.6f, \
+              \"auto_grain\": %b, \"batch_fire\": %b, \"seconds\": %.6f, \
               \"tuples_per_second\": %.1f}%s\n"
-             k.label k.batching k.auto_grain t thr
+             k.label k.batching k.auto_grain k.batch t thr
              (if i = List.length rows - 1 then "" else ",")))
       rows;
     Buffer.add_string b "  ]\n}\n";

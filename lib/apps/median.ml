@@ -127,6 +127,7 @@ let make ?(seed = 7) ?(regions = 8) ~n () =
       insert;
       insert_batch = Store.seq_batch insert;
       mem = (fun _ -> false);
+      probe_prefix = Store.no_probe;
       iter_prefix =
         (fun prefix f ->
           (* only prefix [iter] or [iter; index] queries are meaningful *)

@@ -92,6 +92,7 @@ let month_array_store schema =
         let found = Hashtbl.mem table fields in
         Mutex.unlock mutex;
         found);
+    probe_prefix = Store.no_probe;
     iter_prefix =
       (fun prefix f ->
         (* queries always supply (year, month); month picks the bucket *)

@@ -80,5 +80,24 @@ let note_inserted t tuple =
     | [] -> ()
     | es -> List.iter (fun e -> e.e_update tuple) es
 
+let note_batch t tuples n =
+  (* Vectorized barrier update: the class arrives grouped by table, so
+     one entry-list load covers each contiguous run instead of one per
+     tuple.  Same update multiset as [note_inserted] element-wise. *)
+  let i = ref 0 in
+  while !i < n do
+    let id = (Tuple.schema tuples.(!i)).Schema.id in
+    let j = ref (!i + 1) in
+    while !j < n && (Tuple.schema tuples.(!j)).Schema.id = id do incr j done;
+    (if id < Array.length t.entries then
+       match Atomic.get t.entries.(id) with
+       | [] -> ()
+       | es ->
+           for k = !i to !j - 1 do
+             List.iter (fun e -> e.e_update tuples.(k)) es
+           done);
+    i := !j
+  done
+
 let entries_count t =
   Array.fold_left (fun acc a -> acc + List.length (Atomic.get a)) 0 t.entries

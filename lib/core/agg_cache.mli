@@ -35,5 +35,11 @@ val note_inserted : t -> Tuple.t -> unit
     (never a dedup drop) to every registered partial of its table.
     Single-threaded by the engine's phase structure. *)
 
+val note_batch : t -> Tuple.t array -> int -> unit
+(** [note_batch t tuples n]: {!note_inserted} over [tuples.(0..n-1)],
+    paying one entry-list lookup per contiguous same-table run instead
+    of one per tuple — the vectorized Phase-A barrier update.  Same
+    single-threaded contract. *)
+
 val entries_count : t -> int
 (** Registered (table, memo) partials — exported as a gauge. *)

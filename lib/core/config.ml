@@ -49,6 +49,14 @@ type t = {
   put_batching : bool;
       (* buffer parallel-phase puts per domain and flush them through
          Delta.insert_batch / Store.insert_batch at the phase barriers *)
+  batch_fire : bool;
+      (* vectorized Phase B: group the class by (rule, table), sort each
+         chunk by the rule's declared join key, probe Gamma through a
+         batched hash-join cursor, and sink puts into per-task scratch
+         arenas flushed straight through Delta.insert_batch — one
+         amortized firing pipeline instead of one closure round-trip per
+         tuple.  Within-class firing order is free under the law of
+         causality, so digests/lineage/outputs are unchanged *)
   specialized_compare : bool;
       (* no-op, kept so existing configs build: the generic-comparator
          path it used to toggle is retired and the schema-compiled
@@ -108,6 +116,7 @@ let default =
     stores = [];
     grain = Auto_grain;
     put_batching = false;
+    batch_fire = false;
     specialized_compare = true;
     indexes = [];
     agg_cache = false;
@@ -134,6 +143,7 @@ let parallel ?(threads = 4) () =
     default with
     threads;
     put_batching = true;
+    batch_fire = true;
     agg_cache = true;
     advisor = Some advisor_default;
   }

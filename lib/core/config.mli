@@ -46,6 +46,15 @@ type t = {
       (** buffer parallel-phase puts per domain, flushing them through
           [Delta.insert_batch] / [Store.insert_batch] at the phase
           barriers that already define class visibility *)
+  batch_fire : bool;
+      (** vectorized Phase B: fire each minimal class as batched
+          relational-algebra operations — group by (rule, table), sort
+          each chunk by the rule's declared join key ({!Spec.read}
+          [?prefix]), probe Gamma through a batched hash-join cursor,
+          and flush puts from per-task scratch arenas straight through
+          [Delta.insert_batch].  Firing order within a class is
+          unconstrained by the law of causality, so determinism digests,
+          lineage and outputs are bit-identical to the per-tuple path *)
   specialized_compare : bool;
       (** No-op, kept for config compatibility: the generic-comparator
           path it used to toggle was retired (the schema-compiled

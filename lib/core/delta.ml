@@ -289,6 +289,11 @@ let is_empty t = size t = 0
 let inserted_total t = stripe_read t.inserted
 let deduped_total t = stripe_read t.deduped
 
+(* Callers that dedup upstream (the engine's batched-firing scratch
+   arenas) report the drops here so [deduped_total] stays comparable
+   with the per-tuple path's counts. *)
+let note_deduped t k = if k > 0 then stripe_add t.deduped k
+
 (* Depth of the deepest subtree still holding pending tuples — an
    observability gauge for how far timestamps fan out at runtime.
    Subtrees whose count has drained to 0 are skipped, so cost tracks
@@ -406,6 +411,36 @@ let node_path t (ts : Timestamp.t) =
 let insert_batch t (tuples : Tuple.t array) (tss : Timestamp.t array) n =
   let res = Array.make (max n 0) false in
   if n > 0 then begin
+    (* Same-timestamp fast path: literal-only orderbys memoise one
+       timestamp array per table (engine [const_ts]), so a batch from
+       one such table carries the *same* array in every slot.  Physical
+       equality proves structural equality, and the whole batch is one
+       leaf run — skip the grouping table entirely. *)
+    let ts0 = tss.(0) in
+    let uniform = ref true in
+    (try
+       for i = 1 to n - 1 do
+         if not (tss.(i) == ts0) then begin
+           uniform := false;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !uniform then begin
+      let run = List.init n Fun.id in
+      let path = node_path t ts0 in
+      let leaf_node = path.(Array.length path - 1) in
+      let added =
+        leaf_node.leaf.l_add_many tuples run (fun p -> res.(p) <- true)
+      in
+      if added > 0 then
+        Array.iter
+          (fun nd -> ignore (Atomic.fetch_and_add nd.count added))
+          path;
+      stripe_add t.inserted added;
+      stripe_add t.deduped (n - added)
+    end
+    else begin
     (* Group by timestamp: structural equality of timestamps IS tree-path
        identity ([par] components with different values live in different
        subtrees), so one hash-table pass — O(n), no comparator sort —
@@ -442,6 +477,7 @@ let insert_batch t (tuples : Tuple.t array) (tss : Timestamp.t array) n =
       !order;
     stripe_add t.inserted !inserted;
     stripe_add t.deduped (n - !inserted)
+    end
   end;
   res
 

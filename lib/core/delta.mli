@@ -51,6 +51,12 @@ val inserted_total : t -> int
 val deduped_total : t -> int
 (** Lifetime count of duplicate tuples dropped on insert. *)
 
+val note_deduped : t -> int -> unit
+(** Add [k] duplicates dropped by an upstream dedup stage (a batched
+    put buffer that filtered them before insert) to the
+    {!deduped_total} count, keeping the counter comparable across
+    batched and per-tuple put paths. *)
+
 val depth : t -> int
 (** Depth of the deepest subtree still holding pending tuples (0 when
     empty) — a gauge for how far timestamps fan out at runtime.  Reads

@@ -75,6 +75,46 @@ type put_buf = {
   mutable pb_len : int;
 }
 
+(* Per-task scratch arena for the batched firing path: pending Delta
+   inserts as growable parallel arrays, owned by exactly one (rule,
+   table)-chunk task at a time, so pushes are plain stores — no mutex,
+   unlike [put_buf_push].  Arenas live on a free list in the engine
+   state and keep their capacity across tasks and steps, so after
+   warmup a batched put allocates nothing. *)
+type scratch = {
+  mutable sc_tuples : Tuple.t array;
+  mutable sc_ts : Timestamp.t array;
+  mutable sc_len : int;
+  sc_seen : Tuple.Dset.t;
+      (* Task-local dedup: any tuple pushed once this task is already
+         pending in Delta for the rest of the class, so later puts of
+         it are dropped here with one lock-free probe instead of riding
+         through the flush.  Valid across mid-task flushes (flushed
+         tuples stay pending until the class barrier); cleared when the
+         task releases the arena. *)
+  mutable sc_dups : int; (* drops by [sc_seen], reported at task end *)
+}
+
+(* Flush a scratch arena into Delta once it holds this many puts (or at
+   task end).  Large enough that [Delta.insert_batch]'s grouping and
+   per-leaf lock amortisation dominate, small enough to stay resident
+   in cache; exposed as the [engine.put_flush_threshold] gauge. *)
+let scratch_flush_threshold = 32_768
+
+let scratch_push sc tuple ts =
+  let cap = Array.length sc.sc_tuples in
+  if sc.sc_len = cap then begin
+    let ncap = if cap = 0 then 1024 else 2 * cap in
+    let bigger_t = Array.make ncap tuple and bigger_s = Array.make ncap ts in
+    Array.blit sc.sc_tuples 0 bigger_t 0 cap;
+    Array.blit sc.sc_ts 0 bigger_s 0 cap;
+    sc.sc_tuples <- bigger_t;
+    sc.sc_ts <- bigger_s
+  end;
+  sc.sc_tuples.(sc.sc_len) <- tuple;
+  sc.sc_ts.(sc.sc_len) <- ts;
+  sc.sc_len <- sc.sc_len + 1
+
 let put_buf_push b tuple ts =
   Mutex.lock b.pb_mutex;
   let cap = Array.length b.pb_tuples in
@@ -153,6 +193,24 @@ type state = {
       (* current step number for lineage records: 0 during initial
          puts, then counts classes from 1.  Monotonic across session
          drains *)
+  batch_on : bool; (* Config.batch_fire, cached *)
+  probe_ok : bool array;
+      (* by table id: may the batched firing path cache this table's
+         probe results across a chunk?  Requires Gamma to grow only at
+         Phase-A barriers and never evict — the same indexable &&
+         Delta-bound && stored condition as the aggregate cache *)
+  rule_sort_pos : int array option array;
+      (* by rule id: trigger-field positions of the rule's first
+         positive read with a declared all-[Field] [Spec.rd_prefix].
+         The batch path sorts each (rule, table) chunk by these fields
+         so triggers probing the same join key run adjacently and the
+         one-entry probe cursor hits *)
+  scratch_mutex : Mutex.t;
+  scratch_free : scratch list ref;
+      (* free list of firing-task scratch arenas; arenas keep capacity *)
+  trace_batch_fire : bool; (* [Tracer.enabled obs Kind.batch_fire] *)
+  h_batch_width : Jstar_obs.Metrics.histogram;
+      (* triggers per (rule, table) run entering the batch firing path *)
 }
 
 let store_for config ~parallel schema =
@@ -182,6 +240,7 @@ let null_store schema =
     insert_batch = Store.seq_batch insert;
     mem = (fun _ -> false);
     iter_prefix = (fun _ _ -> cannot_query ());
+    probe_prefix = (fun _ -> cannot_query ());
     iter = (fun _ -> cannot_query ());
     size = (fun () -> 0);
   }
@@ -268,9 +327,13 @@ let make_state frozen config =
   in
   let metrics = Jstar_obs.Metrics.create () in
   (* Stripe count scales with the pool so domains rarely share a stripe
-     lock, with a floor of 16 to keep small pools spread out too. *)
+     lock.  The floor used to be 16; with batched firing sinking the
+     parallel-phase puts into per-task scratch arenas the striped
+     buffers mostly serve the per-tuple path and external feeds, and
+     fewer stripes shorten the every-barrier flush scan — 2x threads
+     with a floor of 8 measures no worse at every pool size. *)
   let put_stripes =
-    Jstar_sched.Bits.next_pow2 (max 16 (2 * config.Config.threads))
+    Jstar_sched.Bits.next_pow2 (max 8 (2 * config.Config.threads))
   in
   let lineage =
     if config.Config.provenance then Some (Lineage.create ~stripes:put_stripes)
@@ -282,6 +345,38 @@ let make_state frozen config =
       (fun r -> if r.Rule.rid >= 0 then m.(r.Rule.rid) <- r.Rule.prov)
       (Program.rules frozen.Program.program);
     m
+  in
+  let probe_ok =
+    Array.init nt (fun i ->
+        indexable.(i) && (not no_delta.(i)) && not no_gamma.(i))
+  in
+  let rule_sort_pos =
+    (* Resolve each rule's declared hash-join key ([Spec.rd_prefix] of
+       its first positive read, when every entry is a plain [Field]) to
+       trigger-field positions once, at freeze time. *)
+    let arr = Array.make (Array.length frozen.Program.rule_names) None in
+    List.iter
+      (fun r ->
+        if r.Rule.rid >= 0 then
+          arr.(r.Rule.rid) <-
+            List.find_map
+              (fun rd ->
+                match (rd.Spec.rd_kind, rd.Spec.rd_prefix) with
+                | Spec.Positive, (_ :: _ as pfx) -> (
+                    try
+                      Some
+                        (Array.of_list
+                           (List.map
+                              (function
+                                | Spec.Field f ->
+                                    Schema.field_pos r.Rule.trigger f
+                                | _ -> raise Exit)
+                              pfx))
+                    with Exit | Schema.Schema_error _ -> None)
+                | _ -> None)
+              r.Rule.reads)
+      (Program.rules frozen.Program.program);
+    arr
   in
   let st = {
     frozen;
@@ -353,6 +448,14 @@ let make_state frozen config =
     digest_on = config.Config.digest;
     seq_digest = Fingerprint.create ();
     step_no = ref 0;
+    batch_on = config.Config.batch_fire;
+    probe_ok;
+    rule_sort_pos;
+    scratch_mutex = Mutex.create ();
+    scratch_free = ref [];
+    trace_batch_fire = Jstar_obs.Tracer.enabled obs Jstar_obs.Kind.batch_fire;
+    h_batch_width =
+      Jstar_obs.Metrics.histogram metrics ~name:"engine.batch_width";
   }
   in
   (* Pull-based registry sources: closures read live engine state only
@@ -367,6 +470,8 @@ let make_state frozen config =
     (fun () ->
       Jstar_obs.Metrics.Int
         (Array.fold_left (fun acc b -> acc + b.pb_len) 0 st.put_bufs));
+  Jstar_obs.Metrics.register_gauge metrics ~name:"engine.put_flush_threshold"
+    (fun () -> Jstar_obs.Metrics.Int scratch_flush_threshold);
   Array.iteri
     (fun id s ->
       let table = s.Schema.name in
@@ -464,10 +569,26 @@ let record_lineage st l tuple =
   let rid = fr.Prov_frame.rule in
   if rid < 0 || st.prov_mask.(rid) then begin
     let parents =
-      match fr.Prov_frame.bound with
-      | [] -> [||]
-      | [ t ] -> [| t |]
-      | bound -> Array.of_list (List.rev bound) (* trigger first *)
+      match (fr.Prov_frame.bound, fr.Prov_frame.past) with
+      | [], [] -> [||]
+      | [ t ], [] -> [| t |]
+      | bound, [] -> Array.of_list (List.rev bound) (* trigger first *)
+      | bound, past ->
+          (* A put after a positive scan completed still depends on the
+             tuples that scan bound (PR-4 recorded only the trigger
+             here).  [past] arrives in store-visit order, which is
+             schedule-dependent for hash stores — sort and dedup so the
+             parent array is a function of the visited *set*, and drop
+             tuples already in [bound] (a parent once is a parent). *)
+          let past = List.sort_uniq Tuple.fast_compare past in
+          let past =
+            List.filter
+              (fun p -> not (List.exists (Tuple.equal p) bound))
+              past
+          in
+          Array.of_list (List.rev_append bound past)
+          (* = List.rev bound @ past: trigger first, then completed
+             scans' bindings in tuple order *)
     in
     Lineage.record l ~rule:rid ~step:!(st.step_no) ~parents tuple
   end
@@ -610,12 +731,14 @@ and fire_rules st ctx tuple =
          let fr = Prov_frame.get () in
          let s_rule = fr.Prov_frame.rule
          and s_now = fr.Prov_frame.now
-         and s_bound = fr.Prov_frame.bound in
+         and s_bound = fr.Prov_frame.bound
+         and s_past = fr.Prov_frame.past in
          let now = Some (timestamp_of st id tuple) in
          let restore () =
            fr.Prov_frame.rule <- s_rule;
            fr.Prov_frame.now <- s_now;
-           fr.Prov_frame.bound <- s_bound
+           fr.Prov_frame.bound <- s_bound;
+           fr.Prov_frame.past <- s_past
          in
          try
            List.iter
@@ -624,6 +747,7 @@ and fire_rules st ctx tuple =
                fr.Prov_frame.rule <- r.Rule.rid;
                fr.Prov_frame.now <- now;
                fr.Prov_frame.bound <- [ tuple ];
+               fr.Prov_frame.past <- [];
                r.Rule.body ctx tuple)
              rules;
            restore ()
@@ -645,6 +769,309 @@ and fire_rules st ctx tuple =
             ~ts:t0 ~dur
       end
 
+(* Positive-scan wrapping shared by the per-tuple context and the
+   batched cursor: audit each visited tuple, bind it for the duration
+   of the body [f], and — once the scan has completed — retain the
+   visited set in [fr.past] so later puts of the same firing still see
+   the scan's bindings as parents.  Strict (negative/aggregate) scans
+   are not retained: their contribution is the aggregate, not the
+   tuples, and the visited set would be unbounded. *)
+let scan_wrapped st iter f =
+  let fr = Prov_frame.get () in
+  if fr.Prov_frame.rule = Prov_frame.seed_rule then
+    (* outside any firing (inspection after a run) *)
+    iter f
+  else begin
+    let retain = st.prov_on && fr.Prov_frame.strict = 0 in
+    let visited = ref [] in
+    iter (fun t ->
+        if st.audit_on then audit_visit st fr t;
+        if st.prov_on then begin
+          (* The visited tuple is a binding of this body literal for
+             the duration of [f]: any put inside records it as a
+             parent. *)
+          let saved = fr.Prov_frame.bound in
+          fr.Prov_frame.bound <- t :: saved;
+          match f t with
+          | () ->
+              fr.Prov_frame.bound <- saved;
+              if retain then visited := t :: !visited
+          | exception e ->
+              fr.Prov_frame.bound <- saved;
+              raise e
+        end
+        else f t);
+    match !visited with
+    | [] -> ()
+    | vs -> fr.Prov_frame.past <- List.rev_append vs fr.Prov_frame.past
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Batched rule firing (Config.batch_fire): Phase B as vectorized
+   relational algebra.  The accepted class arrives grouped by table;
+   each (rule, table) run is optionally sorted by the rule's declared
+   hash-join key and split into chunks, and each chunk task fires the
+   rule body over its triggers with every fixed cost hoisted out of the
+   per-tuple loop: one firing context, one scratch arena for pending
+   puts (no stripe mutex), one probe cursor that turns a run of
+   equal-key lookups into a single bucket probe, one frame
+   save/restore.  Within-class firing order is free under the law of
+   causality, so none of this changes what any rule observes. *)
+
+let acquire_scratch st =
+  Mutex.lock st.scratch_mutex;
+  let sc =
+    match !(st.scratch_free) with
+    | sc :: rest ->
+        st.scratch_free := rest;
+        sc
+    | [] ->
+        {
+          sc_tuples = [||];
+          sc_ts = [||];
+          sc_len = 0;
+          sc_seen = Tuple.Dset.create 64;
+          sc_dups = 0;
+        }
+  in
+  Mutex.unlock st.scratch_mutex;
+  sc
+
+let release_scratch st sc =
+  Mutex.lock st.scratch_mutex;
+  st.scratch_free := sc :: !(st.scratch_free);
+  Mutex.unlock st.scratch_mutex
+
+let flush_scratch st sc =
+  if sc.sc_len > 0 then begin
+    (* [Delta.insert_batch] is safe under concurrent insertion, so
+       chunk tasks flush without coordination; stats are aggregated per
+       table first, as in the stripe flush. *)
+    let n = sc.sc_len in
+    let res = Delta.insert_batch st.delta sc.sc_tuples sc.sc_ts n in
+    let ntab = Array.length st.gamma in
+    let ins = Array.make ntab 0 and dup = Array.make ntab 0 in
+    for i = 0 to n - 1 do
+      let id = (Tuple.schema sc.sc_tuples.(i)).Schema.id in
+      if res.(i) then ins.(id) <- ins.(id) + 1 else dup.(id) <- dup.(id) + 1
+    done;
+    sc.sc_len <- 0;
+    for id = 0 to ntab - 1 do
+      if ins.(id) > 0 || dup.(id) > 0 then begin
+        let c = Table_stats.counters st.stats id in
+        Table_stats.add c.Table_stats.delta_inserts ins.(id);
+        Table_stats.add c.Table_stats.delta_dups dup.(id)
+      end
+    done
+  end
+
+(* [route_put] for the batched path: identical head (stats, timestamp,
+   lineage, audit, runtime check, -noDelta immediate fire, Gamma
+   dedup), but pending Delta inserts sink into the task-owned scratch
+   arena with plain stores instead of a striped mutex push. *)
+let route_put_batch st bctx scratch tuple =
+  let schema = Tuple.schema tuple in
+  let id = schema.Schema.id in
+  let c = Table_stats.counters st.stats id in
+  Table_stats.incr c.Table_stats.puts;
+  let ts = timestamp_of st id tuple in
+  (match st.lineage with
+  | Some l -> record_lineage st l tuple
+  | None -> ());
+  if st.audit_on then audit_put st tuple ts;
+  if st.config.Config.runtime_causality_check then
+    (match !(st.current_ts) with
+    | Some now when not (Timestamp.leq now ts) ->
+        raise
+          (Causality_violation
+             (Fmt.str "rule at %a put %a into the past (%a)" Timestamp.pp now
+                Tuple.pp tuple Timestamp.pp ts))
+    | _ -> ());
+  if st.no_delta.(id) then (
+    if st.gamma.(id).Store.insert tuple then (
+      Table_stats.incr c.Table_stats.gamma_inserts;
+      fire_rules st bctx tuple)
+    else Table_stats.incr c.Table_stats.gamma_dups)
+  else if st.gamma.(id).Store.mem tuple then
+    Table_stats.incr c.Table_stats.gamma_dups
+  else if not (Tuple.Dset.add_if_absent scratch.sc_seen tuple) then begin
+    (* Duplicate of a put already pending from this task: drop it here
+       — same outcome and counter totals as the per-tuple path, which
+       would discover the duplicate inside [Delta.insert]. *)
+    Table_stats.incr c.Table_stats.delta_dups;
+    scratch.sc_dups <- scratch.sc_dups + 1
+  end
+  else begin
+    scratch_push scratch tuple ts;
+    if scratch.sc_len >= scratch_flush_threshold then flush_scratch st scratch
+  end
+
+(* Firing context for one batched chunk task.  Positive queries go
+   through a one-entry probe cursor: the sorted chunk probes equal join
+   keys back to back, so a run of lookups against a hash-indexed table
+   costs one bucket probe.  Only probe-stable tables (Gamma grows at
+   Phase-A barriers only, never evicts — [st.probe_ok]) may serve
+   cached items; everything else falls through to a plain scan. *)
+let make_batch_ctx st base scratch =
+  let cur_id = ref (-1) in
+  let cur_prefix = ref [||] in
+  let cur_items = ref [] in
+  let rec bctx =
+    {
+      Rule.put = (fun tuple -> route_put_batch st bctx scratch tuple);
+      iter_prefix =
+        (fun schema prefix f ->
+          let id = schema.Schema.id in
+          let c = Table_stats.counters st.stats id in
+          Table_stats.incr c.Table_stats.queries;
+          (match st.advisor with
+          | Some adv -> Advisor.note_query adv id (Array.length prefix)
+          | None -> ());
+          let items =
+            if !cur_id = id && Value.equal_arrays prefix !cur_prefix then
+              Some !cur_items
+            else if st.probe_ok.(id) then (
+              match st.gamma.(id).Store.probe_prefix prefix with
+              | Some items ->
+                  cur_id := id;
+                  (* Copy: rule bodies may reuse one prefix buffer
+                     across probes, and the cursor must remember the
+                     values probed, not alias the live buffer. *)
+                  cur_prefix := Array.copy prefix;
+                  cur_items := items;
+                  Some items
+              | None -> None)
+            else None
+          in
+          match items with
+          | Some items ->
+              let iter g = List.iter g items in
+              if st.prov_or_audit then scan_wrapped st iter f else iter f
+          | None ->
+              if st.prov_or_audit then
+                scan_wrapped st (st.gamma.(id).Store.iter_prefix prefix) f
+              else st.gamma.(id).Store.iter_prefix prefix f);
+      store_of = base.Rule.store_of;
+      println = base.Rule.println;
+      class_ts = base.Rule.class_ts;
+      par_iter = base.Rule.par_iter;
+      agg = base.Rule.agg;
+    }
+  in
+  bctx
+
+(* Chunk sort order: the rule's declared join-key fields of the trigger,
+   tie-broken by total tuple order so the sort is deterministic. *)
+let key_cmp pos a b =
+  let fa = Tuple.fields a and fb = Tuple.fields b in
+  let rec go i =
+    if i >= Array.length pos then Tuple.fast_compare a b
+    else
+      let c = Value.compare fa.(pos.(i)) fb.(pos.(i)) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(* Fire rule [r] for [chunk.(lo..hi-1)] as one task. *)
+let fire_chunk st base r id chunk lo hi =
+  let t0 = if st.trace_batch_fire then Jstar_obs.Monotonic.now_ns () else 0 in
+  let scratch = acquire_scratch st in
+  let bctx = make_batch_ctx st base scratch in
+  (if st.prov_or_audit then begin
+     let fr = Prov_frame.get () in
+     let s_rule = fr.Prov_frame.rule
+     and s_now = fr.Prov_frame.now
+     and s_bound = fr.Prov_frame.bound
+     and s_past = fr.Prov_frame.past in
+     let restore () =
+       fr.Prov_frame.rule <- s_rule;
+       fr.Prov_frame.now <- s_now;
+       fr.Prov_frame.bound <- s_bound;
+       fr.Prov_frame.past <- s_past
+     in
+     let mk_now =
+       match st.const_ts.(id) with
+       | Some _ as s -> fun _ -> s
+       | None -> fun t -> Some (Timestamp.of_tuple st.order t)
+     in
+     try
+       for i = lo to hi - 1 do
+         let t = chunk.(i) in
+         fr.Prov_frame.rule <- r.Rule.rid;
+         fr.Prov_frame.now <- mk_now t;
+         fr.Prov_frame.bound <- [ t ];
+         fr.Prov_frame.past <- [];
+         r.Rule.body bctx t
+       done;
+       restore ()
+     with e ->
+       restore ();
+       raise e
+   end
+   else
+     for i = lo to hi - 1 do
+       r.Rule.body bctx chunk.(i)
+     done);
+  flush_scratch st scratch;
+  if scratch.sc_dups > 0 then begin
+    Delta.note_deduped st.delta scratch.sc_dups;
+    scratch.sc_dups <- 0
+  end;
+  Tuple.Dset.clear scratch.sc_seen;
+  release_scratch st scratch;
+  if st.trace_batch_fire then
+    Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.batch_fire
+      ~arg:(hi - lo) ~ts:t0
+      ~dur:(Jstar_obs.Monotonic.now_ns () - t0)
+
+(* Phase B over the accepted class, batched: walk the (already grouped)
+   class as contiguous per-table runs; for each (rule, run) pair,
+   optionally sort a copy of the run by the rule's join key, then fire
+   it as coarse chunk tasks. *)
+let fire_rules_batch st ctx to_fire =
+  let n = Array.length to_fire in
+  let lo = ref 0 in
+  while !lo < n do
+    let id = (Tuple.schema to_fire.(!lo)).Schema.id in
+    let hi = ref (!lo + 1) in
+    while !hi < n && (Tuple.schema to_fire.(!hi)).Schema.id = id do
+      incr hi
+    done;
+    let rlo = !lo and rhi = !hi in
+    (match st.frozen.Program.rules_by_trigger.(id) with
+    | [] -> ()
+    | rules ->
+        let width = rhi - rlo in
+        let c = Table_stats.counters st.stats id in
+        List.iter
+          (fun r ->
+            Table_stats.add c.Table_stats.triggers width;
+            if st.counters_on then
+              Jstar_obs.Metrics.observe st.h_batch_width (float_of_int width);
+            let arr, clo, chi =
+              match st.rule_sort_pos.(r.Rule.rid) with
+              | Some pos when width > 2 ->
+                  let copy = Array.sub to_fire rlo width in
+                  Array.sort (key_cmp pos) copy;
+                  (copy, 0, width)
+              | _ -> (to_fire, rlo, rhi)
+            in
+            match st.pool with
+            | Some pool when width > 1 ->
+                let grain = Jstar_sched.Pool.batch_grain pool ~n:width in
+                let nchunks = (width + grain - 1) / grain in
+                if nchunks <= 1 then fire_chunk st ctx r id arr clo chi
+                else
+                  Jstar_sched.Forkjoin.parallel_for pool ~grain:1 ~lo:0
+                    ~hi:nchunks (fun k ->
+                      let tlo = clo + (k * grain) in
+                      let thi = min chi (tlo + grain) in
+                      fire_chunk st ctx r id arr tlo thi)
+            | _ -> fire_chunk st ctx r id arr clo chi)
+          rules);
+    lo := rhi
+  done
+
 let make_ctx st =
   let rec ctx =
     {
@@ -657,28 +1084,8 @@ let make_ctx st =
           (match st.advisor with
           | Some adv -> Advisor.note_query adv id (Array.length prefix)
           | None -> ());
-          if st.prov_or_audit then begin
-            let fr = Prov_frame.get () in
-            if fr.Prov_frame.rule = Prov_frame.seed_rule then
-              (* outside any firing (inspection after a run) *)
-              st.gamma.(id).Store.iter_prefix prefix f
-            else
-              st.gamma.(id).Store.iter_prefix prefix (fun t ->
-                  if st.audit_on then audit_visit st fr t;
-                  if st.prov_on then begin
-                    (* The visited tuple is a binding of this body
-                       literal for the duration of [f]: any put inside
-                       records it as a parent. *)
-                    let saved = fr.Prov_frame.bound in
-                    fr.Prov_frame.bound <- t :: saved;
-                    (match f t with
-                    | () -> fr.Prov_frame.bound <- saved
-                    | exception e ->
-                        fr.Prov_frame.bound <- saved;
-                        raise e)
-                  end
-                  else f t)
-          end
+          if st.prov_or_audit then
+            scan_wrapped st (st.gamma.(id).Store.iter_prefix prefix) f
           else st.gamma.(id).Store.iter_prefix prefix f);
       store_of = (fun schema -> st.gamma.(schema.Schema.id));
       println =
@@ -705,22 +1112,26 @@ let make_ctx st =
                   let rule = fr.Prov_frame.rule
                   and now = fr.Prov_frame.now
                   and bound = fr.Prov_frame.bound
-                  and strict = fr.Prov_frame.strict in
+                  and strict = fr.Prov_frame.strict
+                  and past = fr.Prov_frame.past in
                   fun i ->
                     let cfr = Prov_frame.get () in
                     let s_rule = cfr.Prov_frame.rule
                     and s_now = cfr.Prov_frame.now
                     and s_bound = cfr.Prov_frame.bound
-                    and s_strict = cfr.Prov_frame.strict in
+                    and s_strict = cfr.Prov_frame.strict
+                    and s_past = cfr.Prov_frame.past in
                     cfr.Prov_frame.rule <- rule;
                     cfr.Prov_frame.now <- now;
                     cfr.Prov_frame.bound <- bound;
                     cfr.Prov_frame.strict <- strict;
+                    cfr.Prov_frame.past <- past;
                     let restore () =
                       cfr.Prov_frame.rule <- s_rule;
                       cfr.Prov_frame.now <- s_now;
                       cfr.Prov_frame.bound <- s_bound;
-                      cfr.Prov_frame.strict <- s_strict
+                      cfr.Prov_frame.strict <- s_strict;
+                      cfr.Prov_frame.past <- s_past
                     in
                     (match f i with
                     | () -> restore ()
@@ -782,14 +1193,17 @@ let run_class_effects st ctx tuples =
               let fr = Prov_frame.get () in
               let s_rule = fr.Prov_frame.rule
               and s_now = fr.Prov_frame.now
-              and s_bound = fr.Prov_frame.bound in
+              and s_bound = fr.Prov_frame.bound
+              and s_past = fr.Prov_frame.past in
               fr.Prov_frame.rule <- Prov_frame.action_rule;
               fr.Prov_frame.now <- Some (timestamp_of st id t);
               fr.Prov_frame.bound <- [ t ];
+              fr.Prov_frame.past <- [];
               let restore () =
                 fr.Prov_frame.rule <- s_rule;
                 fr.Prov_frame.now <- s_now;
-                fr.Prov_frame.bound <- s_bound
+                fr.Prov_frame.bound <- s_bound;
+                fr.Prov_frame.past <- s_past
               in
               match handler ctx t with
               | () -> restore ()
@@ -852,7 +1266,7 @@ let run_step st ctx tuples =
   let gamma_t0 = if st.trace_spans then Jstar_obs.Monotonic.now_ns () else 0 in
   let t0 = now () in
   let to_fire =
-    if st.config.Config.put_batching && n > 1 then begin
+    if (st.config.Config.put_batching || st.batch_on) && n > 1 then begin
       (* Batched Phase A.  A class usually comes from one table, and
          extraction emits each par-subtree's leaf contiguously, so the
          class is already grouped the way the stores want it: a stable
@@ -930,15 +1344,17 @@ let run_step st ctx tuples =
      newly accepted tuple to the registered aggregate partials, so
      Phase-B reads see partials consistent with the Gamma they query. *)
   (match st.agg with
-  | Some agg ->
-      Array.iter (fun t -> Agg_cache.note_inserted agg t) to_fire
+  | Some agg -> Agg_cache.note_batch agg to_fire (Array.length to_fire)
   | None -> ());
   run_class_effects st ctx tuples;
   (* Phase B: fire all rules of the class in parallel — one task per
-     tuple by default, or one per (tuple, rule) pair under the §5.2
-     [task_per_rule] strategy. *)
+     tuple by default, one per (tuple, rule) pair under the §5.2
+     [task_per_rule] strategy, or as vectorized (rule, table)-chunk
+     tasks under [Config.batch_fire]. *)
   let t1 = now () in
-  if st.config.Config.task_per_rule then begin
+  if st.batch_on && Array.length to_fire > 1 then
+    fire_rules_batch st ctx to_fire
+  else if st.config.Config.task_per_rule then begin
     let pairs =
       Array.of_list
         (List.concat_map
@@ -960,14 +1376,17 @@ let run_step st ctx tuples =
            let fr = Prov_frame.get () in
            let s_rule = fr.Prov_frame.rule
            and s_now = fr.Prov_frame.now
-           and s_bound = fr.Prov_frame.bound in
+           and s_bound = fr.Prov_frame.bound
+           and s_past = fr.Prov_frame.past in
            fr.Prov_frame.rule <- r.Rule.rid;
            fr.Prov_frame.now <- Some (timestamp_of st id t);
            fr.Prov_frame.bound <- [ t ];
+           fr.Prov_frame.past <- [];
            let restore () =
              fr.Prov_frame.rule <- s_rule;
              fr.Prov_frame.now <- s_now;
-             fr.Prov_frame.bound <- s_bound
+             fr.Prov_frame.bound <- s_bound;
+             fr.Prov_frame.past <- s_past
            in
            match r.Rule.body ctx t with
            | () -> restore ()

@@ -63,3 +63,20 @@ let iter_prefix ix prefix f =
       let items = b.b_items in
       Mutex.unlock b.b_mutex;
       List.iter (fun t -> if Tuple.matches_prefix t prefix then f t) items
+
+let probe ix prefix =
+  (* Batched hash-join entry point: the filtered match list as a value,
+     so a firing cursor can cache it across equal probes.  The bucket's
+     item list is immutable once read (inserts cons a new head), so the
+     snapshot needs no copy; matches come back in the same order
+     [iter_prefix] would visit them. *)
+  match
+    Jstar_cds.Chashmap.find_opt ix.buckets
+      (Value.hash_prefix prefix ix.prefix_len)
+  with
+  | None -> []
+  | Some b ->
+      Mutex.lock b.b_mutex;
+      let items = b.b_items in
+      Mutex.unlock b.b_mutex;
+      List.filter (fun t -> Tuple.matches_prefix t prefix) items

@@ -21,5 +21,11 @@ val iter_prefix : t -> Value.t array -> (Tuple.t -> unit) -> unit
     [Array.length prefix >= prefix_len] — shorter prefixes cannot pick
     a bucket; callers fall back to the primary store. *)
 
+val probe : t -> Value.t array -> Tuple.t list
+(** The filtered matches of [prefix] as a list (the batched hash-join
+    entry point): same tuples and order as {!iter_prefix}, but
+    returned as a value a scan cursor can cache across equal probes.
+    Same precondition on the prefix length. *)
+
 val size : t -> int
 (** Tuples indexed so far. *)

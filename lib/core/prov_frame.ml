@@ -26,6 +26,18 @@ type t = {
   mutable strict : int;
       (* > 0 inside a negative/aggregate query, where the law demands
          strictly-earlier timestamps *)
+  mutable past : Tuple.t list;
+      (* tuples visited by *completed* positive scans of this firing.
+         A put after a scan finished still depends on what the scan saw
+         (the rule bound them into locals), but [bound] has already
+         popped them — [past] keeps them so lineage captures the full
+         bound-input frame, not just the trigger.  The visited set of a
+         completed positive scan is a function of Gamma at the class
+         timestamp, hence schedule-independent; strict (negative /
+         aggregate) scans are excluded — their contribution is the
+         scanned *aggregate*, and retaining whole scans would make
+         parent arrays unbounded.  Reset at each firing entry,
+         saved/restored exactly like [bound]. *)
 }
 
 let seed_rule = -1
@@ -33,7 +45,7 @@ let action_rule = -2
 
 let key : t Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      { rule = seed_rule; now = None; bound = []; strict = 0 })
+      { rule = seed_rule; now = None; bound = []; strict = 0; past = [] })
 
 let get () = Domain.DLS.get key
 

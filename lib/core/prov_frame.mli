@@ -8,6 +8,12 @@ type t = {
   mutable now : Timestamp.t option;
   mutable bound : Tuple.t list;  (** innermost binding first *)
   mutable strict : int;  (** > 0 inside a negative/aggregate query *)
+  mutable past : Tuple.t list;
+      (** tuples visited by completed positive scans of this firing —
+          the rest of the bound-input frame once their scan has popped
+          them from [bound].  Lineage appends them (sorted, deduped) to
+          every put's parents; strict scans are excluded.  Managed by
+          the engine like [bound]. *)
 }
 
 val seed_rule : int

@@ -11,10 +11,12 @@
    verifies per rule. *)
 
 let iter ctx schema ?(prefix = [||]) ?where f =
-  ctx.Rule.iter_prefix schema prefix (fun t ->
-      match where with
-      | None -> f t
-      | Some p -> if p t then f t)
+  (* Branch on [where] once, outside the scan: the [None] case passes
+     [f] straight through, so an unfiltered scan (the hash-join hot
+     path) allocates no wrapper closure and tests nothing per tuple. *)
+  match where with
+  | None -> ctx.Rule.iter_prefix schema prefix f
+  | Some p -> ctx.Rule.iter_prefix schema prefix (fun t -> if p t then f t)
 
 let fold ctx schema ?prefix ?where ~init ~f () =
   let acc = ref init in

@@ -54,6 +54,13 @@ type read_spec = {
   rd_ts : ts_binding list;
       (* known bindings for the read's orderby fields; missing fields are
          unconstrained *)
+  rd_prefix : iexpr list;
+      (* the leading key fields the rule's body passes as the query
+         prefix, as expressions over the trigger tuple ([Field] entries
+         for a plain hash join).  Purely descriptive for the checker;
+         the batched firing path ([Config.batch_fire]) uses it to sort
+         each (rule, table) chunk by join key so equal probes become
+         one cursor hit.  Empty = undeclared (no sort). *)
 }
 
 type put_spec = {
@@ -70,8 +77,8 @@ type constr =
   | Lt of iexpr * iexpr
   | Eq of iexpr * iexpr
 
-let read ?(kind = Positive) ?(ts = []) table =
-  { rd_table = table; rd_kind = kind; rd_ts = ts }
+let read ?(kind = Positive) ?(ts = []) ?(prefix = []) table =
+  { rd_table = table; rd_kind = kind; rd_ts = ts; rd_prefix = prefix }
 
 let put ?when_ ?(ts = []) table = { pt_table = table; pt_ts = ts; pt_when = when_ }
 

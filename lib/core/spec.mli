@@ -23,6 +23,11 @@ type read_spec = {
   rd_table : string;
   rd_kind : read_kind;
   rd_ts : ts_binding list;
+  rd_prefix : iexpr list;
+      (** leading key fields the body passes as the query prefix,
+          as expressions over the trigger tuple; the batched firing
+          path sorts (rule, table) chunks by these join keys so equal
+          probes coalesce into one cursor hit.  Empty = undeclared. *)
 }
 
 type put_spec = {
@@ -33,7 +38,9 @@ type put_spec = {
 
 type constr = Le of iexpr * iexpr | Lt of iexpr * iexpr | Eq of iexpr * iexpr
 
-val read : ?kind:read_kind -> ?ts:ts_binding list -> string -> read_spec
+val read :
+  ?kind:read_kind -> ?ts:ts_binding list -> ?prefix:iexpr list -> string ->
+  read_spec
 val put : ?when_:string -> ?ts:ts_binding list -> string -> put_spec
 val bind : string -> iexpr -> ts_binding
 val pp_iexpr : Format.formatter -> iexpr -> unit

@@ -28,11 +28,17 @@ type t = {
   mem : Tuple.t -> bool;
   iter_prefix : Value.t array -> (Tuple.t -> unit) -> unit;
       (* all tuples whose leading fields equal the prefix *)
+  probe_prefix : Value.t array -> Tuple.t list option;
+      (* [Some matches] — the same tuples (same order) [iter_prefix]
+         would visit, as a cacheable value for the batched hash-join
+         cursor; [None] = no O(bucket) access path for this prefix,
+         fall back to [iter_prefix] *)
   iter : (Tuple.t -> unit) -> unit;
   size : unit -> int;
 }
 
 let seq_batch insert arr lo hi = Array.init (hi - lo) (fun k -> insert arr.(lo + k))
+let no_probe _ = None
 
 type kind_spec =
   | Tree
@@ -107,6 +113,7 @@ let tree schema =
                 go rest)
         in
         go seq);
+    probe_prefix = no_probe;
     iter = (fun f -> TSet.iter f !set);
     size = (fun () -> TSet.cardinal !set);
   }
@@ -127,6 +134,7 @@ let skiplist schema =
               f t;
               true)
             else false));
+    probe_prefix = no_probe;
     iter = (fun f -> Jstar_cds.Cset.iter set f);
     size = (fun () -> Jstar_cds.Cset.length set);
   }
@@ -235,6 +243,22 @@ let hash_index ~prefix_len schema =
               List.iter
                 (fun t -> if Tuple.matches_prefix t prefix then f t)
                 items));
+    probe_prefix =
+      (fun prefix ->
+        (* The batched hash-join path: exactly [iter_prefix]'s bucket
+           case, returned as a value.  [b_items] is immutable once read
+           (inserts cons a fresh head), so no copy is needed. *)
+        if Array.length prefix < prefix_len then None
+        else
+          match
+            Jstar_cds.Chashmap.find_opt buckets
+              (Value.hash_prefix prefix prefix_len)
+          with
+          | None -> Some []
+          | Some b ->
+              let items = with_bucket b (fun () -> b.b_items) in
+              Some
+                (List.filter (fun t -> Tuple.matches_prefix t prefix) items));
     iter =
       (fun f ->
         Jstar_cds.Chashmap.iter buckets (fun _ b ->
@@ -343,6 +367,7 @@ let native_int_array ~dims schema =
               let t = tuple_at i in
               if Tuple.matches_prefix t prefix then f t
           done);
+      probe_prefix = no_probe;
       iter =
         (fun f ->
           let n = total_size dims in
@@ -429,6 +454,7 @@ let native_float_array ~dims schema =
               let t = tuple_at i in
               if Tuple.matches_prefix t prefix then f t
           done);
+      probe_prefix = no_probe;
       iter =
         (fun f ->
           let n = total_size dims in
@@ -504,6 +530,13 @@ let indexed ?(prefix_lens = []) schema inner =
           match best_for (Array.length prefix) (Atomic.get indexes) with
           | Some ix -> Index.iter_prefix ix prefix f
           | None -> inner.iter_prefix prefix f);
+      probe_prefix =
+        (fun prefix ->
+          (* Must route exactly like [iter_prefix] so a batched probe
+             visits the same tuples in the same order as a scan. *)
+          match best_for (Array.length prefix) (Atomic.get indexes) with
+          | Some ix -> Some (Index.probe ix prefix)
+          | None -> inner.probe_prefix prefix);
       iter = inner.iter;
       size = inner.size;
     }
@@ -615,6 +648,7 @@ let windowed ~field ~width inner schema =
       (fun prefix f ->
         let bs = with_lock live in
         List.iter (fun b -> b.iter_prefix prefix f) bs);
+    probe_prefix = no_probe;
     iter =
       (fun f ->
         let bs = with_lock live in

@@ -15,6 +15,14 @@ type t = {
   mem : Tuple.t -> bool;
   iter_prefix : Value.t array -> (Tuple.t -> unit) -> unit;
       (** Visit every tuple whose leading fields equal the prefix. *)
+  probe_prefix : Value.t array -> Tuple.t list option;
+      (** Batched hash-join probe: [Some matches] — the tuples
+          {!field-iter_prefix} would visit, in the same order, as a
+          value the engine's firing cursor can cache across equal
+          probes; [None] when this store cannot answer the prefix in
+          O(bucket) (wrong length, ordered store, ...) — callers then
+          fall back to {!field-iter_prefix}.  Build custom stores'
+          default with {!no_probe}. *)
   iter : (Tuple.t -> unit) -> unit;
   size : unit -> int;
 }
@@ -36,6 +44,10 @@ val seq_batch :
 (** Element-wise batch fallback: [seq_batch insert arr lo hi] applies
     [insert] in order.  The default [insert_batch] of every store that
     has nothing to amortise. *)
+
+val no_probe : Value.t array -> Tuple.t list option
+(** Always [None]: the [probe_prefix] of stores without an O(bucket)
+    prefix access path. *)
 
 (** The builders below always use the schema-compiled comparator and
     the cached-hash dedup tables.  (They once took a [?specialized]

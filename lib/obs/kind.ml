@@ -18,7 +18,8 @@ let advisor = 9
 let prov_merge = 10
 let audit = 11
 let advisor_demote = 12
-let builtin_count = 13
+let batch_fire = 13
+let builtin_count = 14
 
 let builtin_names =
   [|
@@ -35,6 +36,7 @@ let builtin_names =
     "prov-merge";
     "audit-violation";
     "advisor-demote";
+    "batch-fire";
   |]
 
 let builtin_name k =

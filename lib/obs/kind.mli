@@ -34,6 +34,10 @@ val audit : t
 val advisor_demote : t
 (** store advisor dropped a cold secondary index (instant) *)
 
+val batch_fire : t
+(** Phase B batched firing: one (rule, table)-chunk task of a
+    vectorized class execution; the span arg is the chunk width *)
+
 val builtin_count : int
 val builtin_name : int -> string option
 

@@ -61,8 +61,15 @@ let run_once config =
 
 let () =
   (* -- 1. traced run exports a valid, complete Chrome trace ---------- *)
+  (* Batched firing replaces the per-tuple rule-fire spans with
+     per-chunk batch-fire spans; the rule-fire mask and sampling checks
+     below need a span per firing, so they run with it off. *)
   let spans_config =
-    { (Config.parallel ~threads:2 ()) with Config.tracing = Level.Spans }
+    {
+      (Config.parallel ~threads:2 ()) with
+      Config.tracing = Level.Spans;
+      batch_fire = false;
+    }
   in
   let _, result = run_once spans_config in
   let buf = Buffer.create (1 lsl 16) in
@@ -90,6 +97,23 @@ let () =
     summary.Trace_check.events summary.Trace_check.tracks
     summary.Trace_check.spans
     (Tracer.dropped result.Engine.tracer);
+
+  (* -- 1b. batched firing traces batch-fire chunk spans --------------- *)
+  let batched_spans_config =
+    { (Config.parallel ~threads:2 ()) with Config.tracing = Level.Spans }
+  in
+  let _, batched_result = run_once batched_spans_config in
+  let bbuf = Buffer.create (1 lsl 16) in
+  Export.chrome_trace bbuf batched_result.Engine.tracer;
+  let bsummary =
+    match Trace_check.validate_string (Buffer.contents bbuf) with
+    | Ok s -> s
+    | Error e -> fail "batched trace fails schema validation: %s" e
+  in
+  if Trace_check.name_count bsummary "batch-fire" = 0 then
+    fail "batched run traced no batch-fire spans";
+  if Trace_check.name_count bsummary "step" = 0 then
+    fail "batched trace lost its step spans";
 
   (* -- 2. tracing = Off is free -------------------------------------- *)
   let off_config = Config.parallel ~threads:2 () in
