@@ -123,6 +123,7 @@ type knobs = {
   batching : bool;
   auto_grain : bool;
   batch : bool; (* Config.batch_fire: vectorized Phase B *)
+  profile : bool; (* continuous profiler (on by default in parallel configs) *)
 }
 
 let config_of k =
@@ -132,22 +133,31 @@ let config_of k =
     put_batching = k.batching;
     batch_fire = k.batch;
     (* The query-acceleration knobs are off: this workload never
-       queries, so they'd only add barrier noise to the ablation. *)
+       queries, so they'd only add barrier noise to the ablation.  The
+       profiler is priced by its own row, so the knob rows switch it
+       off explicitly (Config.parallel defaults it on). *)
     agg_cache = false;
     advisor = None;
+    profile = k.profile;
     grain = (if k.auto_grain then Config.Auto_grain else Config.Fixed 1);
   }
 
 let configurations =
   [
-    { label = "all-off"; batching = false; auto_grain = false; batch = false };
+    { label = "all-off"; batching = false; auto_grain = false; batch = false;
+      profile = false };
     { label = "put-batching"; batching = true; auto_grain = false;
-      batch = false };
+      batch = false; profile = false };
     { label = "auto-grain"; batching = false; auto_grain = true;
-      batch = false };
+      batch = false; profile = false };
     { label = "batch-fire"; batching = false; auto_grain = false;
-      batch = true };
-    { label = "all-on"; batching = true; auto_grain = true; batch = true };
+      batch = true; profile = false };
+    { label = "all-on"; batching = true; auto_grain = true; batch = true;
+      profile = false };
+    (* all-on plus the continuous profiler: the overhead row backing the
+       "profiling is cheap enough to leave on" claim. *)
+    { label = "profiler"; batching = true; auto_grain = true; batch = true;
+      profile = true };
   ]
 
 let rounds = 4
@@ -210,6 +220,7 @@ let run () =
     t
   in
   let ratio = t_of "all-off" /. t_of "all-on" in
+  let profiler_overhead = (t_of "profiler" /. t_of "all-on") -. 1.0 in
   Util.heading
     (Printf.sprintf "Hot-path ablation (%d rows, %d groups, 2 threads)"
        (rows_n ()) groups);
@@ -217,24 +228,31 @@ let run () =
     ~title:"wall time per knob combination" ~unit:"s"
     (List.map (fun (k, t, _) -> (k.label, t)) rows);
   Util.note "all-on vs all-off: %.2fx throughput" ratio;
+  Util.note "continuous profiler overhead vs all-on: %+.1f%%"
+    (100.0 *. profiler_overhead);
   let json =
     let b = Buffer.create 512 in
     Buffer.add_string b "{\n";
     Buffer.add_string b
-      (Printf.sprintf "  \"bench\": \"hotpath\",\n  \"rows\": %d,\n" (rows_n ()));
+      (Printf.sprintf "  \"bench\": \"hotpath\",\n  \"meta\": %s,\n  \
+                       \"rows\": %d,\n"
+         (Util.meta_json ()) (rows_n ()));
     Buffer.add_string b
       (Printf.sprintf "  \"groups\": %d,\n  \"threads\": 2,\n" groups);
     Buffer.add_string b
       (Printf.sprintf "  \"speedup_all_on_vs_all_off\": %.4f,\n" ratio);
+    Buffer.add_string b
+      (Printf.sprintf "  \"profiler_overhead_vs_all_on\": %.4f,\n"
+         profiler_overhead);
     Buffer.add_string b "  \"configurations\": [\n";
     List.iteri
       (fun i (k, t, thr) ->
         Buffer.add_string b
           (Printf.sprintf
              "    {\"label\": \"%s\", \"put_batching\": %b, \
-              \"auto_grain\": %b, \"batch_fire\": %b, \"seconds\": %.6f, \
-              \"tuples_per_second\": %.1f}%s\n"
-             k.label k.batching k.auto_grain k.batch t thr
+              \"auto_grain\": %b, \"batch_fire\": %b, \"profile\": %b, \
+              \"seconds\": %.6f, \"tuples_per_second\": %.1f}%s\n"
+             k.label k.batching k.auto_grain k.batch k.profile t thr
              (if i = List.length rows - 1 then "" else ",")))
       rows;
     Buffer.add_string b "  ]\n}\n";

@@ -148,6 +148,8 @@ let run () =
     Buffer.add_string b "{\n";
     Buffer.add_string b "  \"bench\": \"joins\",\n";
     Buffer.add_string b
+      (Printf.sprintf "  \"meta\": %s,\n" (Util.meta_json ()));
+    Buffer.add_string b
       (Printf.sprintf
          "  \"edges\": %d,\n  \"clusters\": %d,\n  \"layers\": %d,\n\
          \  \"width\": %d,\n  \"threads\": %d,\n"

@@ -193,9 +193,10 @@ let run () =
     Buffer.add_string b "{\n";
     Buffer.add_string b
       (Printf.sprintf
-         "  \"bench\": \"persist\",\n  \"ticks\": %d,\n  \"batch\": %d,\n\
-         \  \"tuples\": %d,\n  \"baseline_seconds\": %.6f,\n"
-         n sensors tuples t_base);
+         "  \"bench\": \"persist\",\n  \"meta\": %s,\n  \"ticks\": %d,\n\
+         \  \"batch\": %d,\n  \"tuples\": %d,\n\
+         \  \"baseline_seconds\": %.6f,\n"
+         (Util.meta_json ()) n sensors tuples t_base);
     Buffer.add_string b "  \"policies\": [\n";
     List.iteri
       (fun i (pol, t, over) ->

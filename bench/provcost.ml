@@ -116,8 +116,9 @@ let run () =
     Buffer.add_string b "{\n";
     Buffer.add_string b
       (Printf.sprintf
-         "  \"bench\": \"provcost\",\n  \"rows\": %d,\n  \"threads\": 2,\n"
-         (Hotpath.rows_n ()));
+         "  \"bench\": \"provcost\",\n  \"meta\": %s,\n  \"rows\": %d,\n\
+         \  \"threads\": 2,\n"
+         (Util.meta_json ()) (Hotpath.rows_n ()));
     Buffer.add_string b
       (Printf.sprintf
          "  \"lineage_tuples\": %d,\n  \"lineage_records\": %d,\n\

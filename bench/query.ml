@@ -169,9 +169,9 @@ let run () =
     Buffer.add_string b "{\n";
     Buffer.add_string b
       (Printf.sprintf
-         "  \"bench\": \"query\",\n  \"rows\": %d,\n  \"groups\": %d,\n\
-         \  \"probes\": %d,\n"
-         (rows_n ()) groups (probes_n ()));
+         "  \"bench\": \"query\",\n  \"meta\": %s,\n  \"rows\": %d,\n\
+         \  \"groups\": %d,\n  \"probes\": %d,\n"
+         (Util.meta_json ()) (rows_n ()) groups (probes_n ()));
     Buffer.add_string b
       (Printf.sprintf "  \"speedup_indexed_cache_vs_scan\": %.4f,\n" speedup);
     Buffer.add_string b

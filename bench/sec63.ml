@@ -20,14 +20,14 @@ let run () =
     Jstar_csv.Pvwatts_data.to_bytes ~installations
       ~ordering:Jstar_csv.Pvwatts_data.Month_major
   in
-  let timer = Jstar_stats.Phase_timer.create () in
+  let timer = Jstar_obs.Phase_timer.create () in
   (* The same decomposition doubles as a trace artifact: each phase
      becomes a named span, exported Perfetto-ready via --trace-out. *)
   let tracer = Jstar_obs.Tracer.create ~level:Jstar_obs.Level.Spans () in
   let phase name f =
     let kind = Jstar_obs.Tracer.register_kind tracer name in
     Jstar_obs.Tracer.span tracer kind (fun () ->
-        Jstar_stats.Phase_timer.time timer name f)
+        Jstar_obs.Phase_timer.time timer name f)
   in
   let p = Program.create () in
   let pv =
@@ -92,12 +92,12 @@ let run () =
         ignore (Reducer.Statistics.mean !stats)
       done);
   Util.heading "Sec 6.3: PvWatts single-thread phase breakdown";
-  Fmt.pr "%a" Jstar_stats.Phase_timer.pp timer;
+  Fmt.pr "%a" Jstar_obs.Phase_timer.pp timer;
   Util.note
     "paper: read 16.9%% | Gamma insert 63.7%% | Delta insert 3.8%% | reduce \
      15.6%%";
   let bound =
-    Jstar_stats.Phase_timer.amdahl_bound timer ~serial:[ "read+parse" ]
+    Jstar_obs.Phase_timer.amdahl_bound timer ~serial:[ "read+parse" ]
       ~workers:12
   in
   Util.note

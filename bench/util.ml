@@ -61,6 +61,30 @@ let time ?(warmup = 1) ?(repeats = 3) f =
   done;
   !best
 
+(* Shared run metadata stamped into every BENCH_*.json so a committed
+   number can be traced to the tree, toolchain and machine shape that
+   produced it. *)
+
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown")
+
+let scale_name () =
+  match !scale with Quick -> "quick" | Default -> "default" | Paper -> "paper"
+
+let meta_json () =
+  Printf.sprintf
+    "{\"git_rev\": \"%s\", \"ocaml\": \"%s\", \"cores\": %d, \
+     \"thread_grid\": [%s], \"scale\": \"%s\"}"
+    (git_rev ()) Sys.ocaml_version cores
+    (String.concat ", " (List.map string_of_int thread_counts))
+    (scale_name ())
+
 let heading title =
   Fmt.pr "@.=== %s ===@." title
 

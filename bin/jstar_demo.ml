@@ -90,26 +90,64 @@ let show_stats =
   let doc = "Print per-table usage statistics after the run." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
-(* [--trace-out] / [--metrics-out] imply the level they need, so
-   "--trace-out t.json" alone produces a useful trace. *)
-let effective_tracing tracing ~trace_out ~metrics_out =
+let profile_flag =
+  let doc =
+    "Enable the continuous profiler: per-rule self time and fire counts, \
+     per-table put/query attribution, scheduler utilization and GC deltas, \
+     folded at each step barrier (already on for configs built with \
+     $(b,Config.parallel)).  Timing lanes are non-deterministic; digests \
+     are unaffected."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let metrics_every =
+  let doc =
+    "With $(b,--metrics-out), rewrite the CSV snapshot atomically (temp \
+     file + rename) every $(docv) engine steps instead of only at the \
+     end, so a live run can be watched from the filesystem.  Implies at \
+     least $(b,--tracing counters)."
+  in
+  Arg.(value & opt int 0 & info [ "metrics-every" ] ~docv:"N" ~doc)
+
+(* [--trace-out] / [--metrics-out] / [--metrics-every] imply the level
+   they need, so "--trace-out t.json" alone produces a useful trace. *)
+let effective_tracing tracing ~trace_out ~metrics_out ~metrics_every =
   match tracing with
   | Jstar_obs.Level.Spans -> tracing
   | _ when trace_out <> None -> Jstar_obs.Level.Spans
   | Jstar_obs.Level.Counters -> tracing
-  | Jstar_obs.Level.Off when metrics_out <> None -> Jstar_obs.Level.Counters
+  | Jstar_obs.Level.Off when metrics_out <> None || metrics_every > 0 ->
+      Jstar_obs.Level.Counters
   | _ -> tracing
 
+(* Temp + rename so a concurrent reader never sees a half-written
+   snapshot. *)
+let flush_metrics_csv path metrics =
+  let tmp = path ^ ".tmp" in
+  Jstar_obs.Export.write_metrics_csv tmp metrics;
+  Sys.rename tmp path
+
 let apply_common config ~tracing ~trace_out ~metrics_out ~causality_check
-    ~task_per_rule ~audit ~digest ~trace_sample =
+    ~task_per_rule ~audit ~digest ~trace_sample ~profile ~metrics_every =
+  let step_hook =
+    match (metrics_out, metrics_every) with
+    | Some path, n when n > 0 ->
+        Some
+          (fun step metrics ->
+            if step > 0 && step mod n = 0 then flush_metrics_csv path metrics)
+    | _ -> None
+  in
   {
     config with
-    Config.tracing = effective_tracing tracing ~trace_out ~metrics_out;
+    Config.tracing =
+      effective_tracing tracing ~trace_out ~metrics_out ~metrics_every;
     runtime_causality_check = causality_check;
     task_per_rule;
     audit_causality = audit;
     digest;
     trace_sample;
+    profile = config.Config.profile || profile;
+    step_hook;
   }
 
 let report ?(max_lines = 20) ?trace_out ?metrics_out result show_stats =
@@ -313,7 +351,7 @@ let pvwatts_cmd =
   let run installations threads naive store sorted chunks disruptor consumers
       dot explain explain_json explain_dot explain_depth explain_width tracing
       trace_out metrics_out causality_check task_per_rule audit digest
-      trace_sample show_stats =
+      trace_sample profile metrics_every show_stats =
     tune_runtime ();
     let ordering =
       if sorted then Jstar_csv.Pvwatts_data.Round_robin
@@ -347,7 +385,7 @@ let pvwatts_cmd =
       | None -> ());
       let config =
         apply_common ~tracing ~trace_out ~metrics_out ~causality_check
-          ~task_per_rule ~audit ~digest ~trace_sample
+          ~task_per_rule ~audit ~digest ~trace_sample ~profile ~metrics_every
           (Jstar_apps.Pvwatts.config ~threads ~no_delta:(not naive) ~store ())
       in
       let config =
@@ -373,7 +411,7 @@ let pvwatts_cmd =
       $ disruptor $ consumers $ dot $ explain $ explain_json $ explain_dot
       $ explain_depth $ explain_width $ tracing $ trace_out $ metrics_out
       $ causality_check $ task_per_rule $ audit $ digest $ trace_sample
-      $ show_stats)
+      $ profile_flag $ metrics_every $ show_stats)
 
 (* -- matmul ----------------------------------------------------------- *)
 
@@ -499,12 +537,12 @@ let median_cmd =
 
 let ship_cmd =
   let run threads tracing trace_out metrics_out causality_check task_per_rule
-      audit digest trace_sample show_stats =
+      audit digest trace_sample profile metrics_every show_stats =
     tune_runtime ();
     let app = Jstar_apps.Spaceinvaders.make () in
     let config =
       apply_common ~tracing ~trace_out ~metrics_out ~causality_check
-        ~task_per_rule ~audit ~digest ~trace_sample
+        ~task_per_rule ~audit ~digest ~trace_sample ~profile ~metrics_every
         { Config.default with threads }
     in
     report ?trace_out ?metrics_out
@@ -517,7 +555,7 @@ let ship_cmd =
     Term.(
       const run $ threads $ tracing $ trace_out $ metrics_out
       $ causality_check $ task_per_rule $ audit $ digest $ trace_sample
-      $ show_stats)
+      $ profile_flag $ metrics_every $ show_stats)
 
 (* -- stream ------------------------------------------------------------ *)
 
@@ -576,9 +614,18 @@ let stream_cmd =
            ~doc:"SIGKILL this process after $(docv) drains — rerun with \
                  the same $(b,--persist) directory to watch recovery.")
   in
-  let run ticks sensors persist checkpoint_every fsync crash_after threads
-      tracing trace_out metrics_out causality_check task_per_rule audit digest
-      trace_sample show_stats =
+  let ops_port =
+    Arg.(value & opt (some int) None & info [ "ops-port" ] ~docv:"PORT"
+           ~doc:"Serve the live introspection endpoints ($(b,/metrics), \
+                 $(b,/health), $(b,/profile), $(b,/explain)) on \
+                 127.0.0.1:$(docv) while the session runs (0 picks an \
+                 ephemeral port, printed at startup).  Implies \
+                 $(b,--profile) and provenance capture; the server shuts \
+                 down when the last drain completes.")
+  in
+  let run ticks sensors persist checkpoint_every fsync crash_after ops_port
+      threads tracing trace_out metrics_out causality_check task_per_rule
+      audit digest trace_sample profile metrics_every show_stats =
     tune_runtime ();
     let p = Program.create () in
     let tick_t =
@@ -610,7 +657,26 @@ let stream_cmd =
     let config =
       apply_common ~tracing ~trace_out ~metrics_out ~causality_check
         ~task_per_rule ~audit ~digest ~trace_sample
+        ~profile:(profile || ops_port <> None)
+        ~metrics_every
         { Config.default with Config.threads }
+    in
+    (* /explain needs lineage, so a live ops session captures it. *)
+    let config =
+      if ops_port <> None then { config with Config.provenance = true }
+      else config
+    in
+    let start_ops session ~extra =
+      match ops_port with
+      | None -> None
+      | Some p ->
+          let o = Jstar_ops.Ops.attach ~port:p ~extra_health:extra session in
+          Fmt.pr
+            "ops: serving http://127.0.0.1:%d (/metrics /health /profile \
+             /explain)@."
+            (Jstar_ops.Ops.port o);
+          Format.pp_print_flush Fmt.stdout ();
+          Some o
     in
     let batch t =
       Tuple.make tick_t [| Value.Int t |]
@@ -630,16 +696,41 @@ let stream_cmd =
     match persist with
     | None ->
         let s = Engine.start frozen config in
+        let ops = start_ops s ~extra:(fun () -> []) in
         for t = 0 to ticks - 1 do
           Engine.feed s (batch t);
           ignore (Engine.drain s);
           maybe_crash (t + 1)
         done;
+        Option.iter Jstar_ops.Ops.stop ops;
         report ?trace_out ?metrics_out (Engine.finish s) show_stats
     | Some dir ->
         let d, status =
           Jstar_persist.Durable.open_ ~checkpoint_every ~fsync ~dir frozen
             config
+        in
+        let wal_extras () =
+          let lag = Jstar_persist.Durable.wal_lag d in
+          [
+            ( "wal",
+              Jstar_obs.Json.Obj
+                [
+                  ( "fsync",
+                    Jstar_obs.Json.Str
+                      (Jstar_persist.Durable.fsync_policy_name d) );
+                  ( "generation",
+                    Jstar_obs.Json.Num
+                      (float_of_int (Jstar_persist.Durable.generation d)) );
+                  ( "lag_records",
+                    Jstar_obs.Json.Num
+                      (float_of_int lag.Jstar_persist.Wal.lag_records) );
+                  ( "lag_seconds",
+                    Jstar_obs.Json.Num lag.Jstar_persist.Wal.lag_seconds );
+                ] );
+          ]
+        in
+        let ops =
+          start_ops (Jstar_persist.Durable.session d) ~extra:wal_extras
         in
         let start =
           match status with
@@ -667,6 +758,7 @@ let stream_cmd =
           incr drains;
           maybe_crash !drains
         done;
+        Option.iter Jstar_ops.Ops.stop ops;
         let gen = Jstar_persist.Durable.generation d in
         report ?trace_out ?metrics_out (Jstar_persist.Durable.finish d)
           show_stats;
@@ -678,9 +770,9 @@ let stream_cmd =
              (WAL + snapshot checkpoints + automatic restore).")
     Term.(
       const run $ ticks $ sensors $ persist $ checkpoint_every $ fsync
-      $ crash_after $ threads $ tracing $ trace_out $ metrics_out
+      $ crash_after $ ops_port $ threads $ tracing $ trace_out $ metrics_out
       $ causality_check $ task_per_rule $ audit $ digest $ trace_sample
-      $ show_stats)
+      $ profile_flag $ metrics_every $ show_stats)
 
 (* -- check ------------------------------------------------------------- *)
 

@@ -105,6 +105,18 @@ type t = {
       (* cross-run determinism digests: order-independent 128-bit
          hashes of final Gamma contents and of the per-step class
          sequence, exposed in the result and the metrics snapshot *)
+  profile : bool;
+      (* continuous profiler (Jstar_obs.Profiler): per-rule self-time
+         brackets on the firing hot path plus a per-step barrier fold of
+         table/scheduler/GC deltas into decayed aggregates — the lane
+         /profile and the heartbeat read.  Timing lanes are
+         non-deterministic; deterministic counters and digests are
+         unaffected *)
+  step_hook : (int -> Jstar_obs.Metrics.t -> unit) option;
+      (* called at the end of every engine step with the step number and
+         the live metrics registry — the CLI's --metrics-every periodic
+         flush; keep it cheap, it runs on the driving domain inside the
+         barrier *)
 }
 
 let default =
@@ -131,6 +143,8 @@ let default =
     provenance = false;
     audit_causality = false;
     digest = false;
+    profile = false;
+    step_hook = None;
   }
 
 let sequential = default
@@ -146,6 +160,7 @@ let parallel ?(threads = 4) () =
     batch_fire = true;
     agg_cache = true;
     advisor = Some advisor_default;
+    profile = true;
   }
 
 let effective_mode t =

@@ -109,6 +109,19 @@ type t = {
           contents (per table and overall) and of the per-step class
           sequence, exposed in [Engine.result.digest] and the metrics
           snapshot — CI can assert equality across thread counts *)
+  profile : bool;
+      (** continuous profiler ({!Jstar_obs.Profiler}): self-time
+          brackets per rule firing plus a per-step barrier fold of
+          table / scheduler / GC deltas into exponentially decayed
+          aggregates, served by [/profile] and the [/health] heartbeat.
+          Timing lanes are non-deterministic by nature; deterministic
+          counters, outputs and digests are unaffected (asserted by
+          [test_ops]) *)
+  step_hook : (int -> Jstar_obs.Metrics.t -> unit) option;
+      (** called on the driving domain at the end of every step with
+          the step number and live metrics registry — powers the CLI's
+          [--metrics-every] periodic flush so crashed runs still leave
+          a trail.  Runs inside the barrier: keep it cheap *)
 }
 
 val default : t
@@ -120,9 +133,10 @@ val sequential : t
 
 val parallel : ?threads:int -> unit -> t
 (** Parallel defaults ([threads] defaults to 4): put batching, the
-    aggregate cache and the store advisor on — the knobs EXPERIMENTS.md
-    showed strictly helping multi-threaded runs.  {!default} keeps them
-    off so ablation baselines remain reachable. *)
+    aggregate cache, the store advisor and the continuous profiler on —
+    the knobs EXPERIMENTS.md showed strictly helping (or costing ≤ 3%
+    on) multi-threaded runs.  {!default} keeps them off so ablation
+    baselines remain reachable. *)
 
 val effective_mode : t -> Delta.mode
 (** Which structure family the configuration resolves to. *)

@@ -211,6 +211,12 @@ type state = {
   trace_batch_fire : bool; (* [Tracer.enabled obs Kind.batch_fire] *)
   h_batch_width : Jstar_obs.Metrics.histogram;
       (* triggers per (rule, table) run entering the batch firing path *)
+  profiler : Jstar_obs.Profiler.t option;
+      (* Config.profile: continuous per-rule/per-table cost attribution.
+         Firing sites bracket rule bodies with [fire_start]/[fire_stop];
+         [run_step] folds table/scheduler/GC deltas at its barrier.
+         Purely observational: never read by evaluation, so digests and
+         deterministic counters are bit-identical with it on or off *)
 }
 
 let store_for config ~parallel schema =
@@ -456,6 +462,14 @@ let make_state frozen config =
     trace_batch_fire = Jstar_obs.Tracer.enabled obs Jstar_obs.Kind.batch_fire;
     h_batch_width =
       Jstar_obs.Metrics.histogram metrics ~name:"engine.batch_width";
+    profiler =
+      (if config.Config.profile then
+         Some
+           (Jstar_obs.Profiler.create ~workers:config.Config.threads
+              ~rules:frozen.Program.rule_names
+              ~tables:(Array.map (fun s -> s.Schema.name) tables)
+              ())
+       else None);
   }
   in
   (* Pull-based registry sources: closures read live engine state only
@@ -548,6 +562,40 @@ let make_state frozen config =
     reg "digest.outputs.lo" (fun () -> fst (output_lanes ()));
     reg "digest.outputs.hi" (fun () -> snd (output_lanes ()))
   end;
+  (* Scheduler lanes whenever a pool exists: owner-written counters,
+     non-deterministic but monotone.  Utilization/GC lanes need the
+     profiler's barrier folds. *)
+  (match st.pool with
+  | Some pool ->
+      let reg name f =
+        Jstar_obs.Metrics.register_counter metrics ~name (fun () ->
+            f (Jstar_sched.Pool.stats pool))
+      in
+      reg "sched.tasks" (fun s -> s.Jstar_sched.Pool.tasks);
+      reg "sched.steals" (fun s -> s.Jstar_sched.Pool.steals);
+      reg "sched.parks" (fun s -> s.Jstar_sched.Pool.parks);
+      Jstar_obs.Metrics.register_gauge metrics ~name:"sched.idle_s" (fun () ->
+          Jstar_obs.Metrics.Float
+            (float_of_int (Jstar_sched.Pool.stats pool).Jstar_sched.Pool.idle_ns
+            *. 1e-9))
+  | None -> ());
+  (match st.profiler with
+  | Some p ->
+      Jstar_obs.Metrics.register_gauge metrics ~name:"profiler.steps" (fun () ->
+          Jstar_obs.Metrics.Int (Jstar_obs.Profiler.steps p));
+      Jstar_obs.Metrics.register_gauge metrics ~name:"sched.utilization"
+        (fun () ->
+          Jstar_obs.Metrics.Float
+            (Option.value ~default:1.0 (Jstar_obs.Profiler.utilization p)));
+      Jstar_obs.Metrics.register_gauge metrics ~name:"gc.alloc_words" (fun () ->
+          Jstar_obs.Metrics.Float (Jstar_obs.Profiler.gc p).Jstar_obs.Profiler.pg_alloc_words);
+      Jstar_obs.Metrics.register_gauge metrics ~name:"gc.minor_collections"
+        (fun () ->
+          Jstar_obs.Metrics.Int (Jstar_obs.Profiler.gc p).Jstar_obs.Profiler.pg_minor);
+      Jstar_obs.Metrics.register_gauge metrics ~name:"gc.major_collections"
+        (fun () ->
+          Jstar_obs.Metrics.Int (Jstar_obs.Profiler.gc p).Jstar_obs.Profiler.pg_major)
+  | None -> ());
   st
 
 (* ------------------------------------------------------------------ *)
@@ -748,7 +796,12 @@ and fire_rules st ctx tuple =
                fr.Prov_frame.now <- now;
                fr.Prov_frame.bound <- [ tuple ];
                fr.Prov_frame.past <- [];
-               r.Rule.body ctx tuple)
+               match st.profiler with
+               | Some p ->
+                   let p0 = Jstar_obs.Profiler.fire_start p in
+                   r.Rule.body ctx tuple;
+                   Jstar_obs.Profiler.fire_stop p ~rule:r.Rule.rid p0
+               | None -> r.Rule.body ctx tuple)
              rules;
            restore ()
          with e ->
@@ -756,11 +809,21 @@ and fire_rules st ctx tuple =
            raise e
        end
        else
-         List.iter
-           (fun r ->
-             Table_stats.incr c.Table_stats.triggers;
-             r.Rule.body ctx tuple)
-           rules);
+         match st.profiler with
+         | Some p ->
+             List.iter
+               (fun r ->
+                 Table_stats.incr c.Table_stats.triggers;
+                 let p0 = Jstar_obs.Profiler.fire_start p in
+                 r.Rule.body ctx tuple;
+                 Jstar_obs.Profiler.fire_stop p ~rule:r.Rule.rid p0)
+               rules
+         | None ->
+             List.iter
+               (fun r ->
+                 Table_stats.incr c.Table_stats.triggers;
+                 r.Rule.body ctx tuple)
+               rules);
       if st.counters_on then begin
         let dur = Jstar_obs.Monotonic.now_ns () - t0 in
         Jstar_obs.Metrics.observe st.h_rule_latency (float_of_int dur *. 1e-9);
@@ -975,6 +1038,16 @@ let key_cmp pos a b =
 (* Fire rule [r] for [chunk.(lo..hi-1)] as one task. *)
 let fire_chunk st base r id chunk lo hi =
   let t0 = if st.trace_batch_fire then Jstar_obs.Monotonic.now_ns () else 0 in
+  (* One profiler frame for the whole chunk, credited [hi - lo] firings:
+     batching amortises the bracket the same way it amortises every
+     other per-firing fixed cost.  Nested immediate (-noDelta) firings
+     inside the chunk open their own frames, so they are excluded from
+     this rule's self time as usual. *)
+  let p0 =
+    match st.profiler with
+    | Some p -> Jstar_obs.Profiler.fire_start p
+    | None -> 0
+  in
   let scratch = acquire_scratch st in
   let bctx = make_batch_ctx st base scratch in
   (if st.prov_or_audit then begin
@@ -1019,6 +1092,9 @@ let fire_chunk st base r id chunk lo hi =
   end;
   Tuple.Dset.clear scratch.sc_seen;
   release_scratch st scratch;
+  (match st.profiler with
+  | Some p -> Jstar_obs.Profiler.fire_stop p ~rule:r.Rule.rid ~fires:(hi - lo) p0
+  | None -> ());
   if st.trace_batch_fire then
     Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.batch_fire
       ~arg:(hi - lo) ~ts:t0
@@ -1372,6 +1448,11 @@ let run_step st ctx tuples =
         let f0 =
           if st.counters_on then Jstar_obs.Monotonic.now_ns () else 0
         in
+        let p0 =
+          match st.profiler with
+          | Some p -> Jstar_obs.Profiler.fire_start p
+          | None -> 0
+        in
         (if st.prov_or_audit then begin
            let fr = Prov_frame.get () in
            let s_rule = fr.Prov_frame.rule
@@ -1395,6 +1476,9 @@ let run_step st ctx tuples =
                raise e
          end
          else r.Rule.body ctx t);
+        (match st.profiler with
+        | Some p -> Jstar_obs.Profiler.fire_stop p ~rule:r.Rule.rid p0
+        | None -> ());
         if st.counters_on then begin
           let dur = Jstar_obs.Monotonic.now_ns () - f0 in
           Jstar_obs.Metrics.observe st.h_rule_latency
@@ -1428,6 +1512,39 @@ let run_step st ctx tuples =
           ignore prefix_len;
           Jstar_obs.Tracer.instant st.obs ~arg:table_id
             Jstar_obs.Kind.advisor_demote)
+  | None -> ());
+  (* Profiler barrier fold: the deterministic Table_stats counters and
+     store sizes are re-read here (a handful of striped sums per table),
+     so the hot path pays nothing for per-table attribution. *)
+  (match st.profiler with
+  | Some p ->
+      let nt = Array.length st.frozen.Program.tables in
+      let puts = Array.make nt 0
+      and queries = Array.make nt 0
+      and gsize = Array.make nt 0 in
+      for id = 0 to nt - 1 do
+        let c = Table_stats.counters st.stats id in
+        puts.(id) <- Table_stats.read c.Table_stats.puts;
+        queries.(id) <- Table_stats.read c.Table_stats.queries;
+        gsize.(id) <-
+          (if st.no_gamma.(id) then 0 else st.gamma.(id).Store.size ())
+      done;
+      let sched =
+        Option.map
+          (fun pool ->
+            let s = Jstar_sched.Pool.stats pool in
+            {
+              Jstar_obs.Profiler.sc_tasks = s.Jstar_sched.Pool.tasks;
+              sc_steals = s.Jstar_sched.Pool.steals;
+              sc_parks = s.Jstar_sched.Pool.parks;
+              sc_idle_ns = s.Jstar_sched.Pool.idle_ns;
+            })
+          st.pool
+      in
+      Jstar_obs.Profiler.step_barrier p ~puts ~queries ~gamma:gsize ?sched ()
+  | None -> ());
+  (match st.config.Config.step_hook with
+  | Some hook -> hook !(st.step_no) st.metrics
   | None -> ());
   if st.counters_on then begin
     Jstar_obs.Metrics.observe st.h_class_width (float_of_int n);
@@ -1593,6 +1710,18 @@ let drain session =
 
 let session_gamma session schema =
   session.st.gamma.(schema.Schema.id)
+
+(* Live-introspection accessors (the ops plane reads these from a
+   monitoring thread while the driving thread feeds and drains; all of
+   them are either immutable after [start] or safe-stale reads of
+   monotone state). *)
+let session_metrics session = session.st.metrics
+let session_lineage session = session.st.lineage
+let session_profiler session = session.st.profiler
+let session_frozen session = session.st.frozen
+
+let session_delta session =
+  (Delta.size session.st.delta, Delta.depth session.st.delta)
 
 let finish session =
   if not session.finished then begin

@@ -97,6 +97,33 @@ val session_gamma : session -> Schema.t -> Store.t
 val finish : session -> result
 (** Shut the session's pool down and summarise.  Idempotent. *)
 
+(** {2 Live introspection}
+
+    Accessors the ops plane ([Jstar_ops], the [--ops-port] server)
+    reads from a monitoring thread while the driving thread feeds and
+    drains.  Each is either immutable after {!start} or a safe-stale
+    read of monotone state: concurrent scrapes can lag the engine by
+    in-flight updates but never crash it or perturb evaluation. *)
+
+val session_metrics : session -> Jstar_obs.Metrics.t
+(** The live metrics registry (the [/metrics] source). *)
+
+val session_lineage : session -> Lineage.t option
+(** The lineage arenas when [Config.provenance] is on — the bridge
+    [/explain] uses ({!Jstar_prov.Explain.derive} wants it frozen at a
+    drain barrier; between drains reads see the last merge). *)
+
+val session_profiler : session -> Jstar_obs.Profiler.t option
+(** The continuous profiler when [Config.profile] is on (the
+    [/profile] source). *)
+
+val session_frozen : session -> Program.frozen
+(** The frozen program this session runs (schema lookup for query
+    parsing). *)
+
+val session_delta : session -> int * int
+(** Current Delta (size, depth) — heartbeat fields. *)
+
 (** {1 Durability hooks}
 
     Just enough session state for a persistence layer (jstar_persist,

@@ -148,6 +148,51 @@ let snapshot t =
   Mutex.unlock t.mutex;
   List.map row_of srcs
 
+(* -- structured export ----------------------------------------------- *)
+
+type exported =
+  | X_counter of int
+  | X_gauge of value
+  | X_hist of {
+      x_count : int;
+      x_sum : float;
+      x_buckets : (float * int) list; (* (upper bound, cumulative count) *)
+    }
+
+(* Cumulative buckets in the Prometheus sense: each entry counts every
+   observation ≤ its upper bound.  Empty leading/interior buckets are
+   elided except when needed to keep the series cumulative (we keep
+   only buckets whose count changed, which preserves the full
+   distribution at minimal width).  Concurrent observers can race the
+   per-bucket reads against [h_count]; the final count is clamped to
+   the bucket total so the [+Inf] lane (x_count as reported here) never
+   undercounts the buckets. *)
+let hist_cumulative h =
+  let acc = ref 0 and out = ref [] in
+  for b = 0 to hist_buckets - 1 do
+    let c = Atomic.get h.h_counts.(b) in
+    if c > 0 then begin
+      acc := !acc + c;
+      out := (bucket_upper b, !acc) :: !out
+    end
+  done;
+  (List.rev !out, !acc)
+
+let export t =
+  Mutex.lock t.mutex;
+  let srcs = List.rev t.sources in
+  Mutex.unlock t.mutex;
+  List.map
+    (fun (name, src) ->
+      match src with
+      | Counter read -> (name, X_counter (read ()))
+      | Gauge read -> (name, X_gauge (read ()))
+      | Hist h ->
+          let buckets, in_buckets = hist_cumulative h in
+          let count = max (hist_count h) in_buckets in
+          (name, X_hist { x_count = count; x_sum = hist_sum h; x_buckets = buckets }))
+    srcs
+
 (* -- rendering ------------------------------------------------------- *)
 
 let to_csv buf rows =

@@ -44,6 +44,25 @@ val snapshot : t -> row list
 (** Registration order.  Histogram rows carry
     count/sum/mean/p50/p90/p99/max fields. *)
 
+type exported =
+  | X_counter of int
+  | X_gauge of value
+  | X_hist of {
+      x_count : int;
+      x_sum : float;
+      x_buckets : (float * int) list;
+          (** (upper bound, cumulative count) pairs in increasing bound
+              order — Prometheus-style cumulative buckets.  Buckets with
+              no new observations are elided; [x_count] is clamped to at
+              least the last cumulative count so a concurrent observer
+              can never make the [+Inf] lane undercount the buckets. *)
+    }
+
+val export : t -> (string * exported) list
+(** Structured snapshot for exposition-format renderers ({!Prom}):
+    registration order, histograms with cumulative power-of-two
+    buckets rather than precomputed quantiles. *)
+
 val to_csv : Buffer.t -> row list -> unit
 (** [name,kind,field,value] lines with a header. *)
 

@@ -1,0 +1,26 @@
+(** Prometheus text exposition (format 0.0.4) of a {!Metrics} registry.
+
+    Dotted registry names with embedded table names become labeled
+    families ([table.Row.puts] → [jstar_table_puts{table="Row"}]);
+    everything else is sanitized into a flat name.  Histograms render
+    as cumulative [_bucket{le="..."}] series over the registry's
+    power-of-two bounds, a [+Inf] lane, [_sum] and [_count].
+
+    Reading the registry concurrently with a running engine is safe;
+    timing-derived series are non-deterministic monitoring lanes (see
+    DESIGN.md §12) while deterministic counters render bit-identically
+    across runs. *)
+
+val render : ?namespace:string -> Metrics.t -> string
+(** Render the whole registry; [namespace] (default ["jstar"]) prefixes
+    every family name. *)
+
+(** {2 Exposed for tests} *)
+
+val sanitize_name : string -> string
+(** Map to the metric-name alphabet [[a-zA-Z0-9_:]]; a leading digit is
+    prefixed with ['_']. *)
+
+val escape_label : string -> string
+(** Escape backslash, double-quote and newline for a quoted label
+    value. *)

@@ -1,0 +1,228 @@
+(* A dependency-free HTTP/1.0 endpoint over Unix sockets: just enough
+   protocol for a Prometheus scraper, a health prober and a curl-driven
+   operator — GET only, one request per connection, Connection: close.
+
+   Architecture: one acceptor thread (threads.posix, not a domain — it
+   sleeps in [select] and must not burn a core the engine could use)
+   multiplexing the listening socket against a self-pipe.  [stop] writes
+   one byte to the pipe, so shutdown interrupts a blocked accept
+   cleanly, then joins the thread and closes both ends.  Requests are
+   served serially on the acceptor thread: every endpoint renders from
+   in-memory state in microseconds, and serial handling means a scrape
+   can never pile up threads behind a slow client (per-socket timeouts
+   bound even that).
+
+   The handlers run concurrently with the engine's driving thread by
+   design — see the determinism caveats in DESIGN.md §12: everything
+   they read is either immutable, monotone, or a timing lane that
+   tolerates staleness. *)
+
+type response = { status : int; content_type : string; body : string }
+
+let text ?(status = 200) body = { status; content_type = "text/plain"; body }
+
+let json ?(status = 200) body =
+  { status; content_type = "application/json"; body }
+
+type handler = (string * string) list -> response
+
+type t = {
+  lsock : Unix.file_descr;
+  port : int;
+  stop_w : Unix.file_descr;
+  thread : Thread.t;
+}
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+let url_decode s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> raise Exit
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '+' -> Buffer.add_char b ' '
+    | '%' when !i + 2 < n -> (
+        match (hex s.[!i + 1], hex s.[!i + 2]) with
+        | h, l ->
+            Buffer.add_char b (Char.chr ((h * 16) + l));
+            i := !i + 2
+        | exception Exit -> Buffer.add_char b '%')
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let parse_query qs =
+  if qs = "" then []
+  else
+    String.split_on_char '&' qs
+    |> List.filter_map (fun kv ->
+           if kv = "" then None
+           else
+             match String.index_opt kv '=' with
+             | None -> Some (url_decode kv, "")
+             | Some i ->
+                 Some
+                   ( url_decode (String.sub kv 0 i),
+                     url_decode
+                       (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+
+(* Parse a request line ("GET /path?query HTTP/1.x"); anything but GET
+   maps to [None]. *)
+let parse_request line =
+  match String.split_on_char ' ' line with
+  | [ "GET"; target; _version ] ->
+      let path, query =
+        match String.index_opt target '?' with
+        | None -> (target, [])
+        | Some i ->
+            ( String.sub target 0 i,
+              parse_query
+                (String.sub target (i + 1) (String.length target - i - 1)) )
+      in
+      Some (path, query)
+  | _ -> None
+
+let write_response fd { status; content_type; body } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      status (reason status) content_type (String.length body)
+  in
+  let send s =
+    let b = Bytes.of_string s in
+    let off = ref 0 in
+    while !off < Bytes.length b do
+      let n = Unix.write fd b !off (Bytes.length b - !off) in
+      if n = 0 then raise Exit;
+      off := !off + n
+    done
+  in
+  send head;
+  send body
+
+(* Read until the end of the request head (blank line) or a size cap —
+   the request line is all we use, but consuming the head keeps clients
+   from seeing a reset before they finish sending. *)
+let read_head fd =
+  let cap = 8192 in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf >= cap then Buffer.contents buf
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Buffer.contents buf
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          let s = Buffer.contents buf in
+          let have_terminator =
+            let rec find i =
+              if i + 3 >= String.length s then false
+              else if
+                s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+                && s.[i + 3] = '\n'
+              then true
+              else find (i + 1)
+            in
+            find 0
+          in
+          if have_terminator then s else go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Buffer.contents buf
+  in
+  go ()
+
+let first_line s =
+  match String.index_opt s '\r' with
+  | Some i -> String.sub s 0 i
+  | None -> ( match String.index_opt s '\n' with
+              | Some i -> String.sub s 0 i
+              | None -> s)
+
+let handle_conn routes fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
+      let head = read_head fd in
+      let resp =
+        match parse_request (first_line head) with
+        | None ->
+            { status = 405; content_type = "text/plain"; body = "GET only\n" }
+        | Some (path, query) -> (
+            match List.assoc_opt path routes with
+            | None ->
+                {
+                  status = 404;
+                  content_type = "application/json";
+                  body = "{\"error\": \"no such endpoint\"}\n";
+                }
+            | Some h -> (
+                try h query
+                with e ->
+                  {
+                    status = 500;
+                    content_type = "text/plain";
+                    body = "handler error: " ^ Printexc.to_string e ^ "\n";
+                  }))
+      in
+      try write_response fd resp with Exit | Unix.Unix_error _ -> ())
+
+let acceptor lsock stop_r routes () =
+  let running = ref true in
+  while !running do
+    match Unix.select [ lsock; stop_r ] [] [] (-1.0) with
+    | readable, _, _ ->
+        if List.mem stop_r readable then running := false
+        else if List.mem lsock readable then begin
+          match Unix.accept lsock with
+          | fd, _ -> handle_conn routes fd
+          | exception Unix.Unix_error _ -> ()
+        end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let start ?(addr = "127.0.0.1") ~port routes =
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+     Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+     Unix.listen lsock 16
+   with e ->
+     (try Unix.close lsock with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  let thread = Thread.create (acceptor lsock stop_r routes) () in
+  { lsock; port; stop_w; thread }
+
+let port t = t.port
+
+let stop t =
+  (try ignore (Unix.write t.stop_w (Bytes.make 1 '.') 0 1)
+   with Unix.Unix_error _ -> ());
+  Thread.join t.thread;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ t.lsock; t.stop_w ]

@@ -1,0 +1,49 @@
+(** A dependency-free HTTP/1.0 server over Unix sockets — the transport
+    under the ops endpoints ({!Ops}).  GET only, one request per
+    connection, [Connection: close]: exactly what a Prometheus scraper,
+    a health prober or [curl] needs, and nothing more.
+
+    Requests are served serially on a single acceptor thread
+    (threads.posix, so it sleeps in [select] rather than occupying a
+    domain the engine could use); handlers therefore run concurrently
+    with the engine's driving thread and must only read state that
+    tolerates staleness. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val text : ?status:int -> string -> response
+(** [text/plain] response, status 200 by default. *)
+
+val json : ?status:int -> string -> response
+(** [application/json] response, status 200 by default. *)
+
+type handler = (string * string) list -> response
+(** Receives the decoded query parameters.  A raised exception becomes
+    a 500 with the exception text. *)
+
+type t
+
+val start : ?addr:string -> port:int -> (string * handler) list -> t
+(** Bind [addr] (default loopback [127.0.0.1]) on [port] ([0] asks the
+    OS for an ephemeral port — read it back with {!port}) and serve the
+    routes, keyed by exact path.  Unknown paths get a 404, non-GET
+    methods a 405.  @raise Unix.Unix_error when the bind fails. *)
+
+val port : t -> int
+(** The bound port (meaningful with [~port:0]). *)
+
+val stop : t -> unit
+(** Wake the acceptor via its self-pipe, join it, close the sockets.
+    Idempotence is not required of callers — call exactly once. *)
+
+(** {1 Parsing internals}
+
+    Exposed for direct unit testing. *)
+
+val url_decode : string -> string
+(** Percent- and plus-decoding; malformed escapes pass through
+    verbatim. *)
+
+val parse_request : string -> (string * (string * string) list) option
+(** Parse a request line into (path, decoded query params); [None] for
+    anything that is not a well-formed GET. *)

@@ -179,6 +179,13 @@ let session t = t.session
 let generation t = t.gen
 let wal_path t = wal_path_of t.dir t.gen
 let output_lanes t = Fingerprint.lanes t.out_digest
+let wal_lag t = Wal.lag t.wal
+
+let fsync_policy_name t =
+  match t.policy with
+  | Wal.Always -> "always"
+  | Wal.Every n -> Printf.sprintf "every-%d" n
+  | Wal.Never -> "never"
 
 (* -- open / recovery ------------------------------------------------- *)
 

@@ -70,3 +70,10 @@ val wal_path : t -> string
 
 val output_lanes : t -> int * int
 (** Running output-stream digest lanes (matches the last watermark). *)
+
+val wal_lag : t -> Wal.lag
+(** Current WAL durability exposure (records not yet fsynced, seconds
+    since the last fsync) — the heartbeat's [wal] block. *)
+
+val fsync_policy_name : t -> string
+(** ["always"], ["every-<n>"] or ["never"] — for monitoring output. *)

@@ -54,7 +54,17 @@ type writer = {
   policy : fsync_policy;
   mutable unsynced : int;  (* records committed but not yet fsynced *)
   mutable pending : int;  (* records sitting in [buf] *)
+  mutable last_sync_ns : int;  (* when the file was last fsynced *)
 }
+
+type lag = { lag_records : int; lag_seconds : float }
+
+let lag w =
+  {
+    lag_records = w.unsynced + w.pending;
+    lag_seconds =
+      float_of_int (Jstar_obs.Monotonic.now_ns () - w.last_sync_ns) *. 1e-9;
+  }
 
 let header schema_hash =
   let b = Buffer.create header_len in
@@ -71,14 +81,30 @@ let create path ~schema_hash ~policy =
   write_all fd h 0 (Bytes.length h);
   Unix.fsync fd;
   fsync_dir path;
-  { path; fd; buf = Buffer.create 4096; policy; unsynced = 0; pending = 0 }
+  {
+    path;
+    fd;
+    buf = Buffer.create 4096;
+    policy;
+    unsynced = 0;
+    pending = 0;
+    last_sync_ns = Jstar_obs.Monotonic.now_ns ();
+  }
 
 let reopen path ~valid_to ~policy =
   let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
   Unix.ftruncate fd valid_to;
   ignore (Unix.lseek fd 0 Unix.SEEK_END);
   Unix.fsync fd;
-  { path; fd; buf = Buffer.create 4096; policy; unsynced = 0; pending = 0 }
+  {
+    path;
+    fd;
+    buf = Buffer.create 4096;
+    policy;
+    unsynced = 0;
+    pending = 0;
+    last_sync_ns = Jstar_obs.Monotonic.now_ns ();
+  }
 
 let frame w kind payload =
   let b = Buffer.create (Bytes.length payload + 9) in
@@ -117,14 +143,23 @@ let commit w =
     w.unsynced <- w.unsynced + w.pending;
     w.pending <- 0
   end;
+  let fsync_now () =
+    Unix.fsync w.fd;
+    w.unsynced <- 0;
+    w.last_sync_ns <- Jstar_obs.Monotonic.now_ns ()
+  in
   match w.policy with
-  | Always -> if w.unsynced > 0 then (Unix.fsync w.fd; w.unsynced <- 0)
-  | Every n -> if w.unsynced >= n then (Unix.fsync w.fd; w.unsynced <- 0)
+  | Always -> if w.unsynced > 0 then fsync_now ()
+  | Every n -> if w.unsynced >= n then fsync_now ()
   | Never -> ()
 
 let sync w =
   commit w;
-  if w.unsynced > 0 then (Unix.fsync w.fd; w.unsynced <- 0)
+  if w.unsynced > 0 then begin
+    Unix.fsync w.fd;
+    w.unsynced <- 0
+  end;
+  w.last_sync_ns <- Jstar_obs.Monotonic.now_ns ()
 
 let close w =
   sync w;

@@ -62,6 +62,15 @@ val sync : writer -> unit
 
 val close : writer -> unit
 
+type lag = { lag_records : int; lag_seconds : float }
+(** Durability exposure right now: records appended but not yet
+    fsynced (buffered or written), and seconds since the file was last
+    fsynced (since open when it never was).  A monitoring lane for the
+    ops heartbeat — under [Never] the age grows without bound, which is
+    exactly the signal. *)
+
+val lag : writer -> lag
+
 (** {1 Reading} *)
 
 type tail =

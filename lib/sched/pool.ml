@@ -26,6 +26,14 @@ type worker = {
   wid : int;
   deque : task Chase_lev.t;
   mutable rng : int; (* xorshift state for victim selection *)
+  (* Owner-written scheduler counters (plain ints: each field is only
+     ever written by the domain running as this worker, so there are no
+     lost updates; cross-domain reads by [stats] may observe a slightly
+     stale value, which is fine for a monitoring lane). *)
+  mutable w_tasks : int; (* tasks executed *)
+  mutable w_steals : int; (* successful steals by this worker *)
+  mutable w_parks : int; (* condition-variable waits *)
+  mutable w_idle_ns : int; (* total parked time *)
 }
 
 type t = {
@@ -102,6 +110,7 @@ let try_steal pool w =
       else
         match Chase_lev.steal victim.deque with
         | Chase_lev.Stolen t ->
+            w.w_steals <- w.w_steals + 1;
             if Jstar_obs.Tracer.spans_on pool.tracer then
               Jstar_obs.Tracer.instant pool.tracer Jstar_obs.Kind.steal
                 ~arg:victim.wid;
@@ -136,7 +145,7 @@ let wake_idlers pool =
     Condition.signal pool.inj_cond;
     Mutex.unlock pool.inj_mutex)
 
-let park pool =
+let park pool w =
   Atomic.incr pool.idlers;
   if any_work_visible pool || Atomic.get pool.shutdown then
     Atomic.decr pool.idlers
@@ -144,9 +153,15 @@ let park pool =
     Mutex.lock pool.inj_mutex;
     if (not (any_work_visible pool)) && not (Atomic.get pool.shutdown) then begin
       (* Only a real wait is worth an idle span: the fast re-check
-         paths above return in nanoseconds and would flood the ring. *)
+         paths above return in nanoseconds and would flood the ring.
+         The clock reads are unconditional — unlike spans they feed the
+         always-on utilization lane, and a parked wait is already two
+         syscalls deep, so two [now_ns] calls are noise. *)
       let t0 = Jstar_obs.Tracer.start pool.tracer in
+      let p0 = Jstar_obs.Monotonic.now_ns () in
       Condition.wait pool.inj_cond pool.inj_mutex;
+      w.w_parks <- w.w_parks + 1;
+      w.w_idle_ns <- w.w_idle_ns + (Jstar_obs.Monotonic.now_ns () - p0);
       Jstar_obs.Tracer.stop pool.tracer Jstar_obs.Kind.idle t0
     end;
     Mutex.unlock pool.inj_mutex;
@@ -201,10 +216,11 @@ let worker_loop pool w =
               Atomic.get pool.idlers > 0
               && not (Chase_lev.is_empty w.deque)
             then wake_idlers pool;
+            w.w_tasks <- w.w_tasks + 1;
             run_task task
         | None ->
             Backoff.once backoff;
-            park pool
+            park pool w
       done);
   Atomic.decr pool.live
 
@@ -215,7 +231,15 @@ let create ~num_workers ?(tracer = Jstar_obs.Tracer.disabled) () =
       pool_id = Atomic.fetch_and_add next_pool_id 1;
       workers =
         Array.init num_workers (fun wid ->
-            { wid; deque = Chase_lev.create (); rng = (wid * 2654435761) + 1 });
+            {
+              wid;
+              deque = Chase_lev.create ();
+              rng = (wid * 2654435761) + 1;
+              w_tasks = 0;
+              w_steals = 0;
+              w_parks = 0;
+              w_idle_ns = 0;
+            });
       caller_slot = Atomic.make 0;
       injector = Queue.create ();
       inj_mutex = Mutex.create ();
@@ -232,6 +256,23 @@ let create ~num_workers ?(tracer = Jstar_obs.Tracer.disabled) () =
     List.init (num_workers - 1) (fun i ->
         Domain.spawn (fun () -> worker_loop pool pool.workers.(i + 1)));
   pool
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler statistics                                                *)
+
+type stats = { tasks : int; steals : int; parks : int; idle_ns : int }
+
+let stats pool =
+  Array.fold_left
+    (fun acc w ->
+      {
+        tasks = acc.tasks + w.w_tasks;
+        steals = acc.steals + w.w_steals;
+        parks = acc.parks + w.w_parks;
+        idle_ns = acc.idle_ns + w.w_idle_ns;
+      })
+    { tasks = 0; steals = 0; parks = 0; idle_ns = 0 }
+    pool.workers
 
 let shutdown pool =
   if not (Atomic.exchange pool.shutdown true) then (
@@ -277,8 +318,18 @@ let join pool fut =
     match my_worker pool with
     | Some w -> w
     | None ->
-        (* Temporary thief identity: deque stays empty, only steals. *)
-        { wid = -1; deque = Chase_lev.create (); rng = 0x9e3779b9 }
+        (* Temporary thief identity: deque stays empty, only steals.
+           Its counters are not part of any pool, so tasks it helps
+           with are invisible to [stats] — a documented blind spot. *)
+        {
+          wid = -1;
+          deque = Chase_lev.create ();
+          rng = 0x9e3779b9;
+          w_tasks = 0;
+          w_steals = 0;
+          w_parks = 0;
+          w_idle_ns = 0;
+        }
   in
   let rec wait () =
     match Atomic.get fut with
@@ -288,6 +339,7 @@ let join pool fut =
         (match find_task pool helper_worker with
         | Some task ->
             Backoff.reset backoff;
+            helper_worker.w_tasks <- helper_worker.w_tasks + 1;
             run_task task
         | None -> Backoff.once backoff);
         wait ()

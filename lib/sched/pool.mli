@@ -31,6 +31,23 @@ val batch_grain : t -> n:int -> int
     each iteration is a whole firing whose fixed costs the chunk
     amortises, so leaves must be wide enough to pay for a fork. *)
 
+type stats = {
+  tasks : int;  (** tasks executed by registered workers *)
+  steals : int;  (** successful Chase-Lev steals *)
+  parks : int;  (** condition-variable waits (real sleeps only) *)
+  idle_ns : int;  (** total wall time spent in those waits *)
+}
+(** Cumulative scheduler counters, summed over worker slots.  Each field
+    is owner-written by its worker's domain (no atomics on the hot
+    path), so a concurrent read may lag by a few events — a monitoring
+    lane, {e not} a deterministic one.  Spin-waiting and steal scans
+    count as busy time: [idle_ns] only accumulates across parked
+    condition waits.  Work executed by an unregistered caller inside
+    {!join} (the temporary-thief path) is not counted. *)
+
+val stats : t -> stats
+(** Snapshot of the pool's scheduler counters since {!create}. *)
+
 val shutdown : t -> unit
 (** Stop all workers and join their domains.  Idempotent.  Tasks still
     queued are dropped. *)

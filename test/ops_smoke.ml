@@ -1,0 +1,239 @@
+(* End-to-end ops-plane smoke (the @ops-smoke alias): attach the
+   introspection server to a live durable session on an ephemeral port,
+   scrape every endpoint over real sockets — including concurrently
+   with the drain loop — and check shapes, not timings.  Exit 0 =
+   healthy; any failure raises. *)
+
+open Jstar_core
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* Minimal HTTP GET: returns (status, headers, body). *)
+let http_get ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec slurp () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            slurp ()
+      in
+      slurp ();
+      let raw = Buffer.contents buf in
+      match String.index_opt raw '\r' with
+      | None -> fail "%s: no status line" path
+      | Some _ -> (
+          let status =
+            match String.split_on_char ' ' raw with
+            | _ :: code :: _ -> int_of_string code
+            | _ -> fail "%s: malformed status line" path
+          in
+          let rec find_body i =
+            if i + 3 >= String.length raw then fail "%s: no header end" path
+            else if
+              raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+              && raw.[i + 3] = '\n'
+            then String.sub raw (i + 4) (String.length raw - i - 4)
+            else find_body (i + 1)
+          in
+          let body = find_body 0 in
+          match String.index_opt raw '\n' with
+          | _ -> (status, String.sub raw 0 (String.length raw - String.length body), body)))
+
+let expect_status path want (status, _, body) =
+  if status <> want then
+    fail "%s: status %d (want %d); body: %s" path status want body;
+  body
+
+let json_of path body =
+  match Jstar_obs.Json.of_string (String.trim body) with
+  | Ok j -> j
+  | Error e -> fail "%s: bad JSON (%s): %s" path e body
+
+let member path key j =
+  match Jstar_obs.Json.member key j with
+  | Some v -> v
+  | None -> fail "%s: missing %S field" path key
+
+let () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "jstar-ops-smoke-%d" (Unix.getpid ())) in
+  let p = Program.create () in
+  let tick =
+    Program.table p "Tick" ~columns:Schema.[ int_col "t" ]
+      ~orderby:Schema.[ Lit "Tick"; Seq "t" ] ()
+  in
+  let double =
+    Program.table p "Double" ~columns:Schema.[ int_col "t"; int_col "v" ]
+      ~orderby:Schema.[ Lit "Double"; Seq "t" ] ()
+  in
+  Program.order p [ "Tick"; "Double" ];
+  Program.rule p "double" ~trigger:tick (fun ctx t ->
+      let x = Tuple.int t "t" in
+      ctx.Rule.put (Tuple.make double [| Value.Int x; Value.Int (2 * x) |]));
+  Program.output p double (fun t ->
+      Printf.sprintf "double %d %d" (Tuple.int t "t") (Tuple.int t "v"));
+  let frozen = Program.freeze p in
+  let config =
+    {
+      (Config.parallel ~threads:2 ()) with
+      Config.tracing = Jstar_obs.Level.Counters;
+      provenance = true;
+      digest = true;
+    }
+  in
+  let d, status = Jstar_persist.Durable.open_ ~dir frozen config in
+  (match status with
+  | Jstar_persist.Durable.Fresh -> ()
+  | _ -> fail "expected a fresh durable session");
+  let session = Jstar_persist.Durable.session d in
+  let ops =
+    Jstar_ops.Ops.attach ~port:0
+      ~extra_health:(fun () ->
+        let lag = Jstar_persist.Durable.wal_lag d in
+        [
+          ( "wal",
+            Jstar_obs.Json.Obj
+              [
+                ( "fsync",
+                  Jstar_obs.Json.Str
+                    (Jstar_persist.Durable.fsync_policy_name d) );
+                ( "lag_records",
+                  Jstar_obs.Json.Num
+                    (float_of_int lag.Jstar_persist.Wal.lag_records) );
+              ] );
+        ])
+      session
+  in
+  let port = Jstar_ops.Ops.port ops in
+
+  (* Scrape from a second thread WHILE the driving thread feeds and
+     drains: the endpoints must answer mid-run without perturbing it. *)
+  let scrape_errors = ref [] in
+  let scraper =
+    Thread.create
+      (fun () ->
+        try
+          for _ = 1 to 20 do
+            ignore (expect_status "/metrics" 200 (http_get ~port "/metrics"));
+            ignore (expect_status "/health" 200 (http_get ~port "/health"));
+            Thread.yield ()
+          done
+        with e -> scrape_errors := Printexc.to_string e :: !scrape_errors)
+      ()
+  in
+  for t = 0 to 199 do
+    Jstar_persist.Durable.feed d [ Tuple.make tick [| Value.Int t |] ];
+    ignore (Jstar_persist.Durable.drain d)
+  done;
+  Thread.join scraper;
+  (match !scrape_errors with
+  | [] -> ()
+  | e :: _ -> fail "concurrent scrape failed: %s" e);
+
+  (* /metrics: Prometheus text format with the engine families. *)
+  let metrics = expect_status "/metrics" 200 (http_get ~port "/metrics") in
+  List.iter
+    (fun needle ->
+      let found =
+        List.exists
+          (fun l ->
+            String.length l >= String.length needle
+            && String.sub l 0 (String.length needle) = needle)
+          (String.split_on_char '\n' metrics)
+      in
+      if not found then fail "/metrics: missing %S in:\n%s" needle metrics)
+    [
+      "# TYPE jstar_table_puts counter";
+      "jstar_table_puts{table=\"Tick\"}";
+      "jstar_gamma_size{table=\"Double\"}";
+      "jstar_profiler_steps";
+      "jstar_sched_tasks";
+      "jstar_sched_utilization";
+      "jstar_gc_alloc_words";
+    ];
+
+  (* /health: the heartbeat with session scalars and the WAL extras. *)
+  let health =
+    json_of "/health" (expect_status "/health" 200 (http_get ~port "/health"))
+  in
+  (match member "/health" "status" health with
+  | Jstar_obs.Json.Str "ok" -> ()
+  | _ -> fail "/health: status not ok");
+  (match member "/health" "outputs" health with
+  | Jstar_obs.Json.Num n when n = 200.0 -> ()
+  | Jstar_obs.Json.Num n -> fail "/health: outputs = %f, want 200" n
+  | _ -> fail "/health: outputs not a number");
+  let wal = member "/health" "wal" health in
+  (match member "/health wal" "fsync" wal with
+  | Jstar_obs.Json.Str "always" -> ()
+  | _ -> fail "/health: wal.fsync not always");
+
+  (* /profile: top rules must include the only rule, marked
+     non-deterministic. *)
+  let profile =
+    json_of "/profile"
+      (expect_status "/profile" 200 (http_get ~port "/profile?k=3"))
+  in
+  (match member "/profile" "deterministic" profile with
+  | Jstar_obs.Json.Bool false -> ()
+  | _ -> fail "/profile: deterministic flag wrong");
+  (match member "/profile" "top_rules" profile with
+  | Jstar_obs.Json.Arr (_ :: _) -> ()
+  | _ -> fail "/profile: no rules listed");
+
+  (* /explain: a derivation tree for Double(7, 14) rooted at the rule. *)
+  let explain =
+    json_of "/explain"
+      (expect_status "/explain" 200
+         (http_get ~port "/explain?table=Double&tuple=7"))
+  in
+  (match member "/explain" "matches" explain with
+  | Jstar_obs.Json.Num 1.0 -> ()
+  | _ -> fail "/explain: expected exactly one match");
+  (match member "/explain" "trees" explain with
+  | Jstar_obs.Json.Arr [ tree ] -> (
+      match Jstar_obs.Json.member "rule" tree with
+      | Some (Jstar_obs.Json.Str "double") -> ()
+      | _ -> fail "/explain: tree not rooted at rule 'double'")
+  | _ -> fail "/explain: expected one tree");
+
+  (* Error paths: unknown endpoint, bad table, bad value. *)
+  ignore (expect_status "/nope" 404 (http_get ~port "/nope"));
+  ignore
+    (expect_status "/explain bad table" 400
+       (http_get ~port "/explain?table=Nope"));
+  ignore
+    (expect_status "/explain bad value" 400
+       (http_get ~port "/explain?table=Double&tuple=xyz"));
+
+  Jstar_ops.Ops.stop ops;
+  (* Stopped: connections are refused, the port is released. *)
+  (match http_get ~port "/health" with
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+  | _ ->
+      (* Some kernels let one queued connection through; a second must
+         fail. *)
+      (match http_get ~port "/health" with
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+      | _ -> fail "server still answering after stop"));
+  ignore (Jstar_persist.Durable.finish d);
+  (* Clean the durable directory. *)
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  (try rm_rf dir with Sys_error _ -> ());
+  print_endline "ops-smoke: all endpoints healthy"

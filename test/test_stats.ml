@@ -4,7 +4,7 @@
 
 open Jstar_core
 module Depgraph = Jstar_stats.Depgraph
-module Phase_timer = Jstar_stats.Phase_timer
+module Phase_timer = Jstar_obs.Phase_timer
 
 let contains ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in
