@@ -34,6 +34,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("micro", "Bechamel micro-benchmarks of the substrates", Micro.run);
     ("hotpath", "hot-path knob ablation (batching/grain) + JSON", Hotpath.run);
     ("joins", "batched vs per-tuple rule firing on transitive closure + JSON", Joins.run);
+    ("shards", "sharded vs unsharded execution on put-heavy scatter waves + JSON", Shards.run);
     ("query", "query acceleration: indexes + agg cache vs scan + JSON", Query.run);
     ("provcost", "provenance/audit/digest overhead + JSON", Provcost.run);
     ("persist", "WAL append overhead + recovery time + JSON", Persist.run);

@@ -109,6 +109,17 @@ let metrics_every =
   in
   Arg.(value & opt int 0 & info [ "metrics-every" ] ~docv:"N" ~doc)
 
+let shards_opt =
+  let doc =
+    "Shared-nothing sharded execution: partition Gamma and Delta by tuple \
+     hash into $(docv) single-owner shards with cross-shard mailbox message \
+     passing (0 = unsharded).  Digests, outputs and lineage are \
+     bit-identical to unsharded runs at any thread count; per-shard \
+     occupancy and message-rate lanes appear in $(b,/metrics) and \
+     $(b,/health)."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+
 (* [--trace-out] / [--metrics-out] / [--metrics-every] imply the level
    they need, so "--trace-out t.json" alone produces a useful trace. *)
 let effective_tracing tracing ~trace_out ~metrics_out ~metrics_every =
@@ -127,8 +138,9 @@ let flush_metrics_csv path metrics =
   Jstar_obs.Export.write_metrics_csv tmp metrics;
   Sys.rename tmp path
 
-let apply_common config ~tracing ~trace_out ~metrics_out ~causality_check
-    ~task_per_rule ~audit ~digest ~trace_sample ~profile ~metrics_every =
+let apply_common ?(shards = 0) config ~tracing ~trace_out ~metrics_out
+    ~causality_check ~task_per_rule ~audit ~digest ~trace_sample ~profile
+    ~metrics_every =
   let step_hook =
     match (metrics_out, metrics_every) with
     | Some path, n when n > 0 ->
@@ -148,6 +160,7 @@ let apply_common config ~tracing ~trace_out ~metrics_out ~causality_check
     trace_sample;
     profile = config.Config.profile || profile;
     step_hook;
+    shards;
   }
 
 let report ?(max_lines = 20) ?trace_out ?metrics_out result show_stats =
@@ -351,7 +364,7 @@ let pvwatts_cmd =
   let run installations threads naive store sorted chunks disruptor consumers
       dot explain explain_json explain_dot explain_depth explain_width tracing
       trace_out metrics_out causality_check task_per_rule audit digest
-      trace_sample profile metrics_every show_stats =
+      trace_sample profile metrics_every shards show_stats =
     tune_runtime ();
     let ordering =
       if sorted then Jstar_csv.Pvwatts_data.Round_robin
@@ -384,7 +397,7 @@ let pvwatts_cmd =
           Fmt.pr "dependency graph -> %s@." path
       | None -> ());
       let config =
-        apply_common ~tracing ~trace_out ~metrics_out ~causality_check
+        apply_common ~shards ~tracing ~trace_out ~metrics_out ~causality_check
           ~task_per_rule ~audit ~digest ~trace_sample ~profile ~metrics_every
           (Jstar_apps.Pvwatts.config ~threads ~no_delta:(not naive) ~store ())
       in
@@ -411,7 +424,7 @@ let pvwatts_cmd =
       $ disruptor $ consumers $ dot $ explain $ explain_json $ explain_dot
       $ explain_depth $ explain_width $ tracing $ trace_out $ metrics_out
       $ causality_check $ task_per_rule $ audit $ digest $ trace_sample
-      $ profile_flag $ metrics_every $ show_stats)
+      $ profile_flag $ metrics_every $ shards_opt $ show_stats)
 
 (* -- matmul ----------------------------------------------------------- *)
 
@@ -625,7 +638,7 @@ let stream_cmd =
   in
   let run ticks sensors persist checkpoint_every fsync crash_after ops_port
       threads tracing trace_out metrics_out causality_check task_per_rule
-      audit digest trace_sample profile metrics_every show_stats =
+      audit digest trace_sample profile metrics_every shards show_stats =
     tune_runtime ();
     let p = Program.create () in
     let tick_t =
@@ -655,7 +668,7 @@ let stream_cmd =
           (Tuple.int t "sensor") (Tuple.int t "value"));
     let frozen = Program.freeze p in
     let config =
-      apply_common ~tracing ~trace_out ~metrics_out ~causality_check
+      apply_common ~shards ~tracing ~trace_out ~metrics_out ~causality_check
         ~task_per_rule ~audit ~digest ~trace_sample
         ~profile:(profile || ops_port <> None)
         ~metrics_every
@@ -772,7 +785,7 @@ let stream_cmd =
       const run $ ticks $ sensors $ persist $ checkpoint_every $ fsync
       $ crash_after $ ops_port $ threads $ tracing $ trace_out $ metrics_out
       $ causality_check $ task_per_rule $ audit $ digest $ trace_sample
-      $ profile_flag $ metrics_every $ show_stats)
+      $ profile_flag $ metrics_every $ shards_opt $ show_stats)
 
 (* -- check ------------------------------------------------------------- *)
 

@@ -117,6 +117,17 @@ type t = {
          the live metrics registry — the CLI's --metrics-every periodic
          flush; keep it cheap, it runs on the driving domain inside the
          barrier *)
+  shards : int;
+      (* shared-nothing sharded execution: partition Gamma and Delta by
+         tuple hash into N single-owner shards; every Delta-bound put is
+         shipped to the owner shard's mailbox as a message and drained
+         at the step barrier (a cross-shard watermark exchange), so the
+         pending structures need no cross-domain locking at all.  0 =
+         unsharded (the pre-sharding code paths, unchanged); 1 = the
+         sharded machinery with a single shard (message path exercised,
+         useful for testing).  The causality law makes the class
+         sequence — and hence digests, outputs and lineage —
+         bit-identical to unsharded runs *)
 }
 
 let default =
@@ -145,6 +156,7 @@ let default =
     digest = false;
     profile = false;
     step_hook = None;
+    shards = 0;
   }
 
 let sequential = default
@@ -201,7 +213,8 @@ let validate t =
       | Some _ -> ()
       | None -> raise (Invalid ("unknown span kind in trace_suppress: " ^ name)))
     t.trace_suppress;
-  if t.trace_sample < 1 then raise (Invalid "trace_sample must be >= 1")
+  if t.trace_sample < 1 then raise (Invalid "trace_sample must be >= 1");
+  if t.shards < 0 then raise (Invalid "shards must be >= 0")
 
 (* The adaptive all-minimums granularity: coarse enough that fork/join
    overhead amortises, fine enough (4 leaves per worker) that stealing

@@ -153,7 +153,21 @@ type state = {
       (* Config.put_batching: domain-striped buffers of pending Delta
          inserts, drained through Delta.insert_batch at the phase
          barriers (which already define class visibility, so buffering
-         inside a phase cannot change what any rule observes) *)
+         inside a phase cannot change what any rule observes).  Under
+         Config.shards the layout becomes [stripe * nshards + dest]:
+         each (stripe, destination-shard) buffer flushes as exactly one
+         mailbox message, so stripes are sized per shard, not shared
+         across the whole grid *)
+  put_stripe_mask : int;
+      (* stripes - 1 (stripes is a power of two): the domain-id mask
+         selecting a stripe, independent of the put_bufs length (which
+         is stripes * nshards when sharded) *)
+  shard : Shard.t option;
+      (* Config.shards >= 1: shared-nothing sharded execution.  Gamma
+         and Delta are partitioned by tuple hash into single-owner
+         shards; every Delta-bound put ships to the owner's mailbox and
+         all mailboxes drain at the step barrier (the cross-shard
+         watermark exchange) before the next class is extracted *)
   current_ts : Timestamp.t option ref;
   processed : int ref;
   phases : phase_times;
@@ -267,28 +281,117 @@ let make_state frozen config =
   let handles = Array.make nt None in
   let indexable = Array.make nt false in
   let advisor_on = config.Config.advisor <> None in
+  let order = Program.order_rel frozen.Program.program in
+  let const_ts =
+    Array.map
+      (fun s ->
+        if
+          Array.for_all
+            (function Schema.Lit _ -> true | _ -> false)
+            s.Schema.orderby
+        then
+          (* any tuple projects to the same literal-only timestamp *)
+          Some
+            (Array.map
+               (function
+                 | Schema.Lit l -> Timestamp.CLit (Order_rel.rank order l, l)
+                 | Schema.Seq _ | Schema.Par _ -> assert false)
+               s.Schema.orderby)
+        else None)
+      tables
+  in
+  let shard =
+    if config.Config.shards >= 1 then begin
+      (* The extraction merge recomputes pending tuples' timestamps;
+         route it through the same memoised projection as the put path
+         so literal-only tables stay O(1). *)
+      let ts_of tuple =
+        match const_ts.((Tuple.schema tuple).Schema.id) with
+        | Some ts -> ts
+        | None -> Timestamp.of_tuple order tuple
+      in
+      Some
+        (Shard.create ~shards:config.Config.shards
+           ~nlits:frozen.Program.nlits ~ts_of ())
+    end
+    else None
+  in
   let gamma =
     Array.mapi
       (fun i s ->
         if no_gamma.(i) then null_store s
         else begin
-          let base, wrappable = store_for config ~parallel s in
-          indexable.(i) <- wrappable;
           let declared =
             match List.assoc_opt s.Schema.name config.Config.indexes with
             | Some lens -> lens
             | None -> []
           in
-          if wrappable && (declared <> [] || advisor_on) then begin
-            let store, h = Store.indexed ~prefix_lens:declared s base in
-            handles.(i) <- Some h;
-            store
-          end
-          else base
+          let is_custom =
+            match List.assoc_opt s.Schema.name config.Config.stores with
+            | Some (Store.Custom _) -> true
+            | _ -> false
+          in
+          match shard with
+          | Some sh when not is_custom ->
+              (* One sub-store per shard, each individually wrapped, so
+                 an owner task touches only its own shard's primary and
+                 indexes.  Custom stores keep their single instance —
+                 they manage their own lifetime and the router cannot
+                 split a handle-backed native array. *)
+              indexable.(i) <- true;
+              let n = Shard.count sh in
+              let wrap = declared <> [] || advisor_on in
+              let hsubs = Array.make n None in
+              let subs =
+                Array.init n (fun k ->
+                    let base, _ = store_for config ~parallel s in
+                    if wrap then begin
+                      let store, h =
+                        Store.indexed ~prefix_lens:declared s base
+                      in
+                      hsubs.(k) <- Some h;
+                      store
+                    end
+                    else base)
+              in
+              if wrap then begin
+                let hs = Array.map (fun h -> Option.get h) hsubs in
+                (* The combined handle fans promotions over every
+                   shard's index set; lens are uniform across shards by
+                   construction, so shard 0 answers for all. *)
+                handles.(i) <-
+                  Some
+                    {
+                      Store.ih_promote =
+                        (fun len ->
+                          Array.fold_left
+                            (fun acc h ->
+                              let r = h.Store.ih_promote len in
+                              acc || r)
+                            false hs);
+                      ih_demote =
+                        (fun len ->
+                          Array.fold_left
+                            (fun acc h ->
+                              let r = h.Store.ih_demote len in
+                              acc || r)
+                            false hs);
+                      ih_lens = (fun () -> hs.(0).Store.ih_lens ());
+                    }
+              end;
+              Shard.gamma_router ~owner:(Shard.owner_of sh) subs
+          | _ ->
+              let base, wrappable = store_for config ~parallel s in
+              indexable.(i) <- wrappable;
+              if wrappable && (declared <> [] || advisor_on) then begin
+                let store, h = Store.indexed ~prefix_lens:declared s base in
+                handles.(i) <- Some h;
+                store
+              end
+              else base
         end)
       tables
   in
-  let order = Program.order_rel frozen.Program.program in
   let obs =
     match config.Config.tracing with
     | Jstar_obs.Level.Off -> Jstar_obs.Tracer.disabled
@@ -340,6 +443,15 @@ let make_state frozen config =
      with a floor of 8 measures no worse at every pool size. *)
   let put_stripes =
     Jstar_sched.Bits.next_pow2 (max 8 (2 * config.Config.threads))
+  in
+  (* Sharded layout: [stripe * nshards + dest] — each (stripe, shard)
+     buffer becomes one mailbox message at the flush, so stripes are
+     sized per shard rather than splitting one stripe set across all
+     destinations. *)
+  let put_buf_count =
+    match shard with
+    | Some sh -> put_stripes * Shard.count sh
+    | None -> put_stripes
   in
   let lineage =
     if config.Config.provenance then Some (Lineage.create ~stripes:put_stripes)
@@ -395,23 +507,7 @@ let make_state frozen config =
     gamma;
     no_delta;
     no_gamma;
-    const_ts =
-      Array.map
-        (fun s ->
-          if
-            Array.for_all
-              (function Schema.Lit _ -> true | _ -> false)
-              s.Schema.orderby
-          then
-            (* any tuple projects to the same literal-only timestamp *)
-            Some
-              (Array.map
-                 (function
-                   | Schema.Lit l -> Timestamp.CLit (Order_rel.rank order l, l)
-                   | Schema.Seq _ | Schema.Par _ -> assert false)
-                 s.Schema.orderby)
-          else None)
-        tables;
+    const_ts;
     stats =
       Table_stats.create
         (Array.to_list (Array.map (fun s -> s.Schema.name) tables));
@@ -425,13 +521,15 @@ let make_state frozen config =
     outputs = ref [];
     outputs_count = ref 0;
     put_bufs =
-      Array.init put_stripes (fun _ ->
+      Array.init put_buf_count (fun _ ->
           {
             pb_mutex = Mutex.create ();
             pb_tuples = [||];
             pb_ts = [||];
             pb_len = 0;
           });
+    put_stripe_mask = put_stripes - 1;
+    shard;
     current_ts = ref None;
     processed = ref 0;
     phases = { t_extract = 0.0; t_gamma = 0.0; t_rules = 0.0 };
@@ -475,11 +573,44 @@ let make_state frozen config =
   (* Pull-based registry sources: closures read live engine state only
      when a snapshot is taken, so registration costs nothing per put. *)
   Jstar_obs.Metrics.register_gauge metrics ~name:"delta.size" (fun () ->
-      Jstar_obs.Metrics.Int (Delta.size st.delta));
+      Jstar_obs.Metrics.Int
+        (match st.shard with
+        | Some sh -> Shard.size sh
+        | None -> Delta.size st.delta));
   Jstar_obs.Metrics.register_gauge metrics ~name:"delta.depth" (fun () ->
-      Jstar_obs.Metrics.Int (Delta.depth st.delta));
+      Jstar_obs.Metrics.Int
+        (match st.shard with
+        | Some sh -> Shard.depth sh
+        | None -> Delta.depth st.delta));
   Jstar_obs.Metrics.register_gauge metrics ~name:"engine.put_stripes"
-    (fun () -> Jstar_obs.Metrics.Int (Array.length st.put_bufs));
+    (fun () -> Jstar_obs.Metrics.Int (st.put_stripe_mask + 1));
+  (match st.shard with
+  | Some sh ->
+      let n = Shard.count sh in
+      Jstar_obs.Metrics.register_gauge metrics ~name:"shard.count" (fun () ->
+          Jstar_obs.Metrics.Int n);
+      Jstar_obs.Metrics.register_gauge metrics ~name:"shard.mailbox_backlog"
+        (fun () -> Jstar_obs.Metrics.Int (Shard.backlog_total sh));
+      Jstar_obs.Metrics.register_counter metrics ~name:"shard.msgs_posted"
+        (fun () -> Shard.msgs_posted sh);
+      Jstar_obs.Metrics.register_counter metrics ~name:"shard.msgs_cross"
+        (fun () -> Shard.msgs_cross sh);
+      Jstar_obs.Metrics.register_counter metrics ~name:"shard.tuples_shipped"
+        (fun () -> Shard.tuples_shipped sh);
+      Jstar_obs.Metrics.register_counter metrics ~name:"shard.tuples_cross"
+        (fun () -> Shard.tuples_cross sh);
+      for k = 0 to n - 1 do
+        Jstar_obs.Metrics.register_gauge metrics
+          ~name:(Printf.sprintf "shard.%d.delta_size" k)
+          (fun () -> Jstar_obs.Metrics.Int (Delta.size (Shard.delta sh k)));
+        Jstar_obs.Metrics.register_gauge metrics
+          ~name:(Printf.sprintf "shard.%d.mailbox_backlog" k)
+          (fun () -> Jstar_obs.Metrics.Int (Shard.backlogs sh).(k));
+        Jstar_obs.Metrics.register_counter metrics
+          ~name:(Printf.sprintf "shard.%d.msgs_posted" k)
+          (fun () -> Shard.msgs_posted_to sh k)
+      done
+  | None -> ());
   Jstar_obs.Metrics.register_gauge metrics ~name:"engine.put_buf_fill"
     (fun () ->
       Jstar_obs.Metrics.Int
@@ -705,21 +836,104 @@ let rec route_put st ctx tuple =
   else if st.gamma.(id).Store.mem tuple then
     (* Already processed: set semantics drop. *)
     Table_stats.incr c.Table_stats.gamma_dups
-  else if st.config.Config.put_batching then
-    (* Defer to the barrier flush.  Gamma of a Delta-bound table only
-       changes at Phase A, so the [mem] precheck above cannot go stale
-       between here and the flush. *)
-    put_buf_push
-      st.put_bufs.((Domain.self () :> int) land (Array.length st.put_bufs - 1))
-      tuple ts
-  else if Delta.insert st.delta tuple ts then
-    Table_stats.incr c.Table_stats.delta_inserts
-  else Table_stats.incr c.Table_stats.delta_dups
+  else
+    match st.shard with
+    | Some sh ->
+        (* Sharded mode defers every Delta-bound put, [put_batching] or
+           not: the (stripe, owner) buffer ships to the owner's mailbox
+           as one message at the barrier flush.  The [mem] precheck
+           stays valid — Gamma of a Delta-bound table only changes at
+           Phase A. *)
+        let stripe = (Domain.self () :> int) land st.put_stripe_mask in
+        put_buf_push
+          st.put_bufs.((stripe * Shard.count sh) + Shard.owner_of sh tuple)
+          tuple ts
+    | None ->
+        if st.config.Config.put_batching then
+          (* Defer to the barrier flush.  Gamma of a Delta-bound table
+             only changes at Phase A, so the [mem] precheck above cannot
+             go stale between here and the flush. *)
+          put_buf_push
+            st.put_bufs.((Domain.self () :> int) land st.put_stripe_mask)
+            tuple ts
+        else if Delta.insert st.delta tuple ts then
+          Table_stats.incr c.Table_stats.delta_inserts
+        else Table_stats.incr c.Table_stats.delta_dups
 
 and flush_puts st =
   (* Drain the striped put buffers into Delta in one sorted batch.
      Runs only at barriers (after initial puts, at the end of each
-     step), never concurrently with rule tasks. *)
+     step), never concurrently with rule tasks.  Sharded mode replaces
+     the direct Delta flush with the watermark exchange: every
+     (stripe, shard) buffer ships as one mailbox message, then each
+     owner drains its own mailbox into its own sequential Delta — one
+     task per shard, no cross-domain contention on the trees. *)
+  match st.shard with
+  | Some sh ->
+      let flush_t0 =
+        if st.trace_spans then Jstar_obs.Monotonic.now_ns () else 0
+      in
+      let pending =
+        if st.trace_spans then
+          Array.fold_left (fun acc b -> acc + b.pb_len) 0 st.put_bufs
+        else 0
+      in
+      let n = Shard.count sh in
+      Array.iteri
+        (fun idx b ->
+          if b.pb_len > 0 then begin
+            (* The message takes ownership of fresh copies; the buffer
+               keeps its capacity for the next step, as in the
+               unsharded flush. *)
+            Shard.post sh ~from:(-1) ~dest:(idx mod n)
+              (Array.sub b.pb_tuples 0 b.pb_len)
+              (Array.sub b.pb_ts 0 b.pb_len)
+              b.pb_len;
+            b.pb_len <- 0
+          end)
+        st.put_bufs;
+      (* All producers have posted (Phase B is over — this runs at the
+         barrier), so one drain round reaches quiescence: draining only
+         inserts into the owner's Delta, never posts. *)
+      let ntab = Array.length st.gamma in
+      let drain_one k =
+        let delta = Shard.delta sh k in
+        let ins = Array.make ntab 0 and dup = Array.make ntab 0 in
+        let any = ref false in
+        Shard.drain sh k ~f:(fun m ->
+            any := true;
+            let res =
+              Delta.insert_batch delta m.Shard.m_tuples m.Shard.m_ts
+                m.Shard.m_len
+            in
+            for i = 0 to m.Shard.m_len - 1 do
+              let id = (Tuple.schema m.Shard.m_tuples.(i)).Schema.id in
+              if res.(i) then ins.(id) <- ins.(id) + 1
+              else dup.(id) <- dup.(id) + 1
+            done);
+        if !any then
+          for id = 0 to ntab - 1 do
+            if ins.(id) > 0 || dup.(id) > 0 then begin
+              let c = Table_stats.counters st.stats id in
+              Table_stats.add c.Table_stats.delta_inserts ins.(id);
+              Table_stats.add c.Table_stats.delta_dups dup.(id)
+            end
+          done
+      in
+      (match st.pool with
+      | Some pool when n > 1 ->
+          Jstar_sched.Forkjoin.parallel_for pool ~grain:1 ~lo:0 ~hi:n
+            drain_one
+      | _ ->
+          for k = 0 to n - 1 do
+            drain_one k
+          done);
+      assert (Shard.quiesced sh);
+      if st.trace_spans then
+        Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.barrier_flush
+          ~arg:pending ~ts:flush_t0
+          ~dur:(Jstar_obs.Monotonic.now_ns () - flush_t0)
+  | None ->
   if st.config.Config.put_batching then begin
     (* Stripes hold disjoint items and [Delta.insert_batch] is safe
        under concurrent insertion, so each stripe can flush as its own
@@ -905,8 +1119,19 @@ let release_scratch st sc =
   st.scratch_free := sc :: !(st.scratch_free);
   Mutex.unlock st.scratch_mutex
 
-let flush_scratch st sc =
+let flush_scratch st ~home sc =
   if sc.sc_len > 0 then begin
+    match st.shard with
+    | Some sh ->
+        (* Sharded: the arena repartitions by owner and ships one
+           message per destination — tuples owned by [home] loop back
+           through its own mailbox (cheap, and it keeps the
+           single-owner invariant on the trees unconditional).  Stats
+           are counted at the drain, where the insert outcome is
+           known. *)
+        Shard.post_partitioned sh ~from:home sc.sc_tuples sc.sc_ts sc.sc_len;
+        sc.sc_len <- 0
+    | None ->
     (* [Delta.insert_batch] is safe under concurrent insertion, so
        chunk tasks flush without coordination; stats are aggregated per
        table first, as in the stripe flush. *)
@@ -932,7 +1157,7 @@ let flush_scratch st sc =
    lineage, audit, runtime check, -noDelta immediate fire, Gamma
    dedup), but pending Delta inserts sink into the task-owned scratch
    arena with plain stores instead of a striped mutex push. *)
-let route_put_batch st bctx scratch tuple =
+let route_put_batch st bctx scratch ~home tuple =
   let schema = Tuple.schema tuple in
   let id = schema.Schema.id in
   let c = Table_stats.counters st.stats id in
@@ -966,22 +1191,27 @@ let route_put_batch st bctx scratch tuple =
   end
   else begin
     scratch_push scratch tuple ts;
-    if scratch.sc_len >= scratch_flush_threshold then flush_scratch st scratch
+    if scratch.sc_len >= scratch_flush_threshold then
+      flush_scratch st ~home scratch
   end
 
 (* Firing context for one batched chunk task.  Positive queries go
-   through a one-entry probe cursor: the sorted chunk probes equal join
+   through a per-table probe cursor: the sorted chunk probes equal join
    keys back to back, so a run of lookups against a hash-indexed table
-   costs one bucket probe.  Only probe-stable tables (Gamma grows at
-   Phase-A barriers only, never evicts — [st.probe_ok]) may serve
-   cached items; everything else falls through to a plain scan. *)
-let make_batch_ctx st base scratch =
-  let cur_id = ref (-1) in
-  let cur_prefix = ref [||] in
-  let cur_items = ref [] in
+   costs one bucket probe.  One cursor entry per table (not a single
+   shared slot) so a rule alternating probes across two tables — a
+   positive join on A plus a negative check on B per trigger — keeps
+   both cached instead of thrashing one entry.  Only probe-stable
+   tables (Gamma grows at Phase-A barriers only, never evicts —
+   [st.probe_ok]) may serve cached items; everything else falls through
+   to a plain scan. *)
+let make_batch_ctx st base scratch ~home =
+  let nt = Array.length st.gamma in
+  let cur_prefix : Value.t array option array = Array.make nt None in
+  let cur_items : Tuple.t list array = Array.make nt [] in
   let rec bctx =
     {
-      Rule.put = (fun tuple -> route_put_batch st bctx scratch tuple);
+      Rule.put = (fun tuple -> route_put_batch st bctx scratch ~home tuple);
       iter_prefix =
         (fun schema prefix f ->
           let id = schema.Schema.id in
@@ -991,20 +1221,21 @@ let make_batch_ctx st base scratch =
           | Some adv -> Advisor.note_query adv id (Array.length prefix)
           | None -> ());
           let items =
-            if !cur_id = id && Value.equal_arrays prefix !cur_prefix then
-              Some !cur_items
-            else if st.probe_ok.(id) then (
-              match st.gamma.(id).Store.probe_prefix prefix with
-              | Some items ->
-                  cur_id := id;
-                  (* Copy: rule bodies may reuse one prefix buffer
-                     across probes, and the cursor must remember the
-                     values probed, not alias the live buffer. *)
-                  cur_prefix := Array.copy prefix;
-                  cur_items := items;
-                  Some items
-              | None -> None)
-            else None
+            match cur_prefix.(id) with
+            | Some p when Value.equal_arrays prefix p -> Some cur_items.(id)
+            | _ ->
+                if st.probe_ok.(id) then (
+                  match st.gamma.(id).Store.probe_prefix prefix with
+                  | Some items ->
+                      (* Copy: rule bodies may reuse one prefix buffer
+                         across probes, and the cursor must remember
+                         the values probed, not alias the live
+                         buffer. *)
+                      cur_prefix.(id) <- Some (Array.copy prefix);
+                      cur_items.(id) <- items;
+                      Some items
+                  | None -> None)
+                else None
           in
           match items with
           | Some items ->
@@ -1035,8 +1266,11 @@ let key_cmp pos a b =
   in
   go 0
 
-(* Fire rule [r] for [chunk.(lo..hi-1)] as one task. *)
-let fire_chunk st base r id chunk lo hi =
+(* Fire rule [r] for [chunk.(lo..hi-1)] as one task.  [home] is the
+   task's owner shard under sharded execution ([-1] unsharded): scratch
+   flushes repartition by owner and ship from [home], so the cross-shard
+   message counters attribute traffic to the producing shard. *)
+let fire_chunk st base r id ~home chunk lo hi =
   let t0 = if st.trace_batch_fire then Jstar_obs.Monotonic.now_ns () else 0 in
   (* One profiler frame for the whole chunk, credited [hi - lo] firings:
      batching amortises the bracket the same way it amortises every
@@ -1049,7 +1283,7 @@ let fire_chunk st base r id chunk lo hi =
     | None -> 0
   in
   let scratch = acquire_scratch st in
-  let bctx = make_batch_ctx st base scratch in
+  let bctx = make_batch_ctx st base scratch ~home in
   (if st.prov_or_audit then begin
      let fr = Prov_frame.get () in
      let s_rule = fr.Prov_frame.rule
@@ -1085,9 +1319,11 @@ let fire_chunk st base r id chunk lo hi =
      for i = lo to hi - 1 do
        r.Rule.body bctx chunk.(i)
      done);
-  flush_scratch st scratch;
+  flush_scratch st ~home scratch;
   if scratch.sc_dups > 0 then begin
-    Delta.note_deduped st.delta scratch.sc_dups;
+    (match st.shard with
+    | Some sh -> Shard.note_deduped sh scratch.sc_dups
+    | None -> Delta.note_deduped st.delta scratch.sc_dups);
     scratch.sc_dups <- 0
   end;
   Tuple.Dset.clear scratch.sc_seen;
@@ -1132,18 +1368,75 @@ let fire_rules_batch st ctx to_fire =
                   (copy, 0, width)
               | _ -> (to_fire, rlo, rhi)
             in
-            match st.pool with
-            | Some pool when width > 1 ->
-                let grain = Jstar_sched.Pool.batch_grain pool ~n:width in
-                let nchunks = (width + grain - 1) / grain in
-                if nchunks <= 1 then fire_chunk st ctx r id arr clo chi
-                else
-                  Jstar_sched.Forkjoin.parallel_for pool ~grain:1 ~lo:0
-                    ~hi:nchunks (fun k ->
-                      let tlo = clo + (k * grain) in
-                      let thi = min chi (tlo + grain) in
-                      fire_chunk st ctx r id arr tlo thi)
-            | _ -> fire_chunk st ctx r id arr clo chi)
+            let dispatch ~home arr clo chi =
+              match st.pool with
+              | Some pool when chi - clo > 1 ->
+                  let grain = Jstar_sched.Pool.batch_grain pool ~n:width in
+                  let nchunks = (chi - clo + grain - 1) / grain in
+                  if nchunks <= 1 then fire_chunk st ctx r id ~home arr clo chi
+                  else
+                    Jstar_sched.Forkjoin.parallel_for pool ~grain:1 ~lo:0
+                      ~hi:nchunks (fun k ->
+                        let tlo = clo + (k * grain) in
+                        let thi = min chi (tlo + grain) in
+                        fire_chunk st ctx r id ~home arr tlo thi)
+              | _ -> fire_chunk st ctx r id ~home arr clo chi
+            in
+            match st.shard with
+            | Some sh when Shard.count sh > 1 ->
+                (* Per-(rule, table, shard) tasks: stable-partition the
+                   (already join-key-sorted) run by owner shard so each
+                   chunk has a home — sorted order survives within each
+                   segment, so the probe cursor still sees equal keys
+                   back to back. *)
+                let nsh = Shard.count sh in
+                let starts = Array.make (nsh + 1) 0 in
+                for i = clo to chi - 1 do
+                  let o = Shard.owner_of sh arr.(i) in
+                  starts.(o + 1) <- starts.(o + 1) + 1
+                done;
+                for k = 0 to nsh - 1 do
+                  starts.(k + 1) <- starts.(k) + starts.(k + 1)
+                done;
+                let part = Array.make width arr.(clo) in
+                let fill = Array.copy starts in
+                for i = clo to chi - 1 do
+                  let o = Shard.owner_of sh arr.(i) in
+                  part.(fill.(o)) <- arr.(i);
+                  fill.(o) <- fill.(o) + 1
+                done;
+                (match st.pool with
+                | Some pool when width > 1 ->
+                    let grain = Jstar_sched.Pool.batch_grain pool ~n:width in
+                    let tasks = ref [] in
+                    for k = 0 to nsh - 1 do
+                      let shi = starts.(k + 1) in
+                      let tlo = ref starts.(k) in
+                      while !tlo < shi do
+                        let thi = min shi (!tlo + grain) in
+                        tasks := (k, !tlo, thi) :: !tasks;
+                        tlo := thi
+                      done
+                    done;
+                    let tasks = Array.of_list !tasks in
+                    if Array.length tasks <= 1 then
+                      Array.iter
+                        (fun (home, tlo, thi) ->
+                          fire_chunk st ctx r id ~home part tlo thi)
+                        tasks
+                    else
+                      Jstar_sched.Forkjoin.parallel_for pool ~grain:1 ~lo:0
+                        ~hi:(Array.length tasks) (fun i ->
+                          let home, tlo, thi = tasks.(i) in
+                          fire_chunk st ctx r id ~home part tlo thi)
+                | _ ->
+                    for k = 0 to nsh - 1 do
+                      if starts.(k + 1) > starts.(k) then
+                        fire_chunk st ctx r id ~home:k part starts.(k)
+                          starts.(k + 1)
+                    done)
+            | Some _ -> dispatch ~home:0 arr clo chi
+            | None -> dispatch ~home:(-1) arr clo chi)
           rules);
     lo := rhi
   done
@@ -1541,7 +1834,21 @@ let run_step st ctx tuples =
             })
           st.pool
       in
-      Jstar_obs.Profiler.step_barrier p ~puts ~queries ~gamma:gsize ?sched ()
+      let shards =
+        Option.map
+          (fun sh ->
+            {
+              Jstar_obs.Profiler.sh_occupancy = Shard.occupancy sh;
+              sh_backlog = Shard.backlogs sh;
+              sh_msgs = Shard.msgs_posted sh;
+              sh_msgs_cross = Shard.msgs_cross sh;
+              sh_tuples = Shard.tuples_shipped sh;
+              sh_tuples_cross = Shard.tuples_cross sh;
+            })
+          st.shard
+      in
+      Jstar_obs.Profiler.step_barrier p ~puts ~queries ~gamma:gsize ?sched
+        ?shards ()
   | None -> ());
   (match st.config.Config.step_hook with
   | Some hook -> hook !(st.step_no) st.metrics
@@ -1582,6 +1889,24 @@ let compute_digest st =
       }
   end
 
+(* Pending-structure accessors that dispatch on the execution mode:
+   sharded state lives in the per-shard trees, unsharded in the one
+   global Delta. *)
+let extract_class st =
+  match st.shard with
+  | Some sh -> Shard.extract_min_class sh
+  | None -> Delta.extract_min_class st.delta
+
+let pending_inserted st =
+  match st.shard with
+  | Some sh -> Shard.inserted_total sh
+  | None -> Delta.inserted_total st.delta
+
+let pending_deduped st =
+  match st.shard with
+  | Some sh -> Shard.deduped_total sh
+  | None -> Delta.deduped_total st.delta
+
 let run_state st ~init =
   let t_start = now () in
   let ctx = make_ctx st in
@@ -1593,7 +1918,7 @@ let run_state st ~init =
   let rec loop () =
     let e0 = if st.trace_spans then Jstar_obs.Monotonic.now_ns () else 0 in
     let t0 = now () in
-    let klass = Delta.extract_min_class st.delta in
+    let klass = extract_class st in
     st.phases.t_extract <- st.phases.t_extract +. (now () -. t0);
     if st.trace_spans then
       Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.extract
@@ -1615,8 +1940,8 @@ let run_state st ~init =
     steps = !steps;
     tuples_processed = !(st.processed);
     elapsed = now () -. t_start;
-    delta_inserted = Delta.inserted_total st.delta;
-    delta_deduped = Delta.deduped_total st.delta;
+    delta_inserted = pending_inserted st;
+    delta_deduped = pending_deduped st;
     stats = st.stats;
     phases = st.phases;
     tracer = st.obs;
@@ -1673,7 +1998,7 @@ let drain session =
   flush_step_outputs st;
   let rec loop () =
     let e0 = if st.trace_spans then Jstar_obs.Monotonic.now_ns () else 0 in
-    let klass = Delta.extract_min_class st.delta in
+    let klass = extract_class st in
     if st.trace_spans then
       Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.extract
         ~arg:(List.length klass) ~ts:e0
@@ -1721,7 +2046,33 @@ let session_profiler session = session.st.profiler
 let session_frozen session = session.st.frozen
 
 let session_delta session =
-  (Delta.size session.st.delta, Delta.depth session.st.delta)
+  match session.st.shard with
+  | Some sh -> (Shard.size sh, Shard.depth sh)
+  | None -> (Delta.size session.st.delta, Delta.depth session.st.delta)
+
+type shard_stats = {
+  sh_count : int;
+  sh_occupancy : int array;
+  sh_backlog : int array;
+  sh_msgs_posted : int;
+  sh_msgs_cross : int;
+  sh_tuples_shipped : int;
+  sh_tuples_cross : int;
+}
+
+let session_shards session =
+  Option.map
+    (fun sh ->
+      {
+        sh_count = Shard.count sh;
+        sh_occupancy = Shard.occupancy sh;
+        sh_backlog = Shard.backlogs sh;
+        sh_msgs_posted = Shard.msgs_posted sh;
+        sh_msgs_cross = Shard.msgs_cross sh;
+        sh_tuples_shipped = Shard.tuples_shipped sh;
+        sh_tuples_cross = Shard.tuples_cross sh;
+      })
+    session.st.shard
 
 let finish session =
   if not session.finished then begin
@@ -1737,8 +2088,8 @@ let finish session =
     steps = session.session_steps;
     tuples_processed = !(session.st.processed);
     elapsed = 0.0;
-    delta_inserted = Delta.inserted_total session.st.delta;
-    delta_deduped = Delta.deduped_total session.st.delta;
+    delta_inserted = pending_inserted session.st;
+    delta_deduped = pending_deduped session.st;
     stats = session.st.stats;
     phases = session.st.phases;
     tracer = session.st.obs;
@@ -1806,7 +2157,9 @@ let load_tuple session tuple =
 
 let session_pending session =
   let st = session.st in
-  Delta.size st.delta
+  (match st.shard with
+  | Some sh -> Shard.size sh + Shard.backlog_total sh
+  | None -> Delta.size st.delta)
   + Array.fold_left (fun acc b -> acc + b.pb_len) 0 st.put_bufs
 
 let stored_tables session =

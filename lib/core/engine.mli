@@ -122,7 +122,23 @@ val session_frozen : session -> Program.frozen
     parsing). *)
 
 val session_delta : session -> int * int
-(** Current Delta (size, depth) — heartbeat fields. *)
+(** Current pending (size, depth) — heartbeat fields.  Under sharded
+    execution, summed (size) / maxed (depth) over the shard trees. *)
+
+type shard_stats = {
+  sh_count : int;
+  sh_occupancy : int array;  (** per-shard pending tuples *)
+  sh_backlog : int array;  (** per-shard queued mailbox messages *)
+  sh_msgs_posted : int;
+  sh_msgs_cross : int;
+  sh_tuples_shipped : int;
+  sh_tuples_cross : int;
+}
+
+val session_shards : session -> shard_stats option
+(** Sharded-execution occupancy and message counters ([/health] extras,
+    bench assertions); [None] when [Config.shards = 0].  Safe-stale
+    reads from a monitoring thread, like every accessor above. *)
 
 (** {1 Durability hooks}
 

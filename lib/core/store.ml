@@ -113,7 +113,21 @@ let tree schema =
                 go rest)
         in
         go seq);
-    probe_prefix = no_probe;
+    probe_prefix =
+      (fun prefix ->
+        (* Ordered stores batch too: materialise the range scan in
+           visit order as a cacheable value, so negative/aggregate
+           probes pay one scan per distinct prefix instead of one per
+           trigger. *)
+        let low = Tuple.make schema (lower_bound_fields schema prefix) in
+        let seq = TSet.to_seq_from low !set in
+        let rec go s acc =
+          match s () with
+          | Seq.Cons (t, rest) when Tuple.matches_prefix t prefix ->
+              go rest (t :: acc)
+          | _ -> List.rev acc
+        in
+        Some (go seq []));
     iter = (fun f -> TSet.iter f !set);
     size = (fun () -> TSet.cardinal !set);
   }
@@ -134,7 +148,19 @@ let skiplist schema =
               f t;
               true)
             else false));
-    probe_prefix = no_probe;
+    probe_prefix =
+      (fun prefix ->
+        (* Same materialised range scan as [tree]: the engine only
+           probes stores whose Gamma is static for the phase, so the
+           snapshot is a safe cacheable value. *)
+        let low = Tuple.make schema (lower_bound_fields schema prefix) in
+        let acc = ref [] in
+        Jstar_cds.Cset.iter_from set low (fun t ->
+            if Tuple.matches_prefix t prefix then (
+              acc := t :: !acc;
+              true)
+            else false);
+        Some (List.rev !acc));
     iter = (fun f -> Jstar_cds.Cset.iter set f);
     size = (fun () -> Jstar_cds.Cset.length set);
   }
@@ -248,7 +274,19 @@ let hash_index ~prefix_len schema =
         (* The batched hash-join path: exactly [iter_prefix]'s bucket
            case, returned as a value.  [b_items] is immutable once read
            (inserts cons a fresh head), so no copy is needed. *)
-        if Array.length prefix < prefix_len then None
+        if Array.length prefix < prefix_len then begin
+          (* Under-specified prefix: the same full scan [iter_prefix]
+             takes, materialised in the same traversal order — one scan
+             per distinct prefix amortised by the firing cursor rather
+             than one per trigger (the negative/aggregate batch path). *)
+          let acc = ref [] in
+          Jstar_cds.Chashmap.iter buckets (fun _ b ->
+              let items = with_bucket b (fun () -> b.b_items) in
+              List.iter
+                (fun t -> if Tuple.matches_prefix t prefix then acc := t :: !acc)
+                items);
+          Some (List.rev !acc)
+        end
         else
           match
             Jstar_cds.Chashmap.find_opt buckets

@@ -19,8 +19,12 @@ type t = {
       (** Batched hash-join probe: [Some matches] — the tuples
           {!field-iter_prefix} would visit, in the same order, as a
           value the engine's firing cursor can cache across equal
-          probes; [None] when this store cannot answer the prefix in
-          O(bucket) (wrong length, ordered store, ...) — callers then
+          probes.  Hash stores answer covered prefixes in O(bucket);
+          ordered stores ([tree], [skiplist]) and under-specified hash
+          prefixes materialise the scan in visit order, so negative and
+          aggregate probes amortise one scan per distinct prefix
+          instead of one per trigger.  [None] means no access path at
+          all (native arrays, windowed/custom stores) — callers then
           fall back to {!field-iter_prefix}.  Build custom stores'
           default with {!no_probe}. *)
   iter : (Tuple.t -> unit) -> unit;

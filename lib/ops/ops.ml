@@ -48,11 +48,38 @@ let health_handler session extra _q =
                (Jstar_obs.Profiler.top_rules ~k:5 p)),
           Jstar_obs.Profiler.utilization p )
   in
+  let shard_extras =
+    match Engine.session_shards session with
+    | None -> []
+    | Some s ->
+        let ints a =
+          Json.Arr
+            (Array.to_list (Array.map (fun v -> Json.Num (float_of_int v)) a))
+        in
+        [
+          ( "shards",
+            Json.Obj
+              [
+                ("count", Json.Num (float_of_int s.Engine.sh_count));
+                ("occupancy", ints s.Engine.sh_occupancy);
+                ("mailbox_backlog", ints s.Engine.sh_backlog);
+                ( "msgs_posted",
+                  Json.Num (float_of_int s.Engine.sh_msgs_posted) );
+                ("msgs_cross", Json.Num (float_of_int s.Engine.sh_msgs_cross));
+                ( "tuples_shipped",
+                  Json.Num (float_of_int s.Engine.sh_tuples_shipped) );
+                ( "tuples_cross",
+                  Json.Num (float_of_int s.Engine.sh_tuples_cross) );
+              ] );
+        ]
+  in
   Httpd.json
     (Jstar_obs.Health.render ~step:st.Engine.ss_step_no
        ~steps:st.Engine.ss_steps ~processed:st.Engine.ss_processed
        ~outputs:st.Engine.ss_outputs_count ~pending ~delta ~gamma ?top_rules
-       ?utilization ~extra:(extra ()) ()
+       ?utilization
+       ~extra:(shard_extras @ extra ())
+       ()
     ^ "\n")
 
 (* -- /profile ---------------------------------------------------------- *)

@@ -298,8 +298,9 @@ let test_session_grid () =
   check_grid_equal ~msg:"session" observations
 
 (* ------------------------------------------------------------------ *)
-(* Probe contract: hash and indexed stores answer probe_prefix with
-   exactly the tuples iter_prefix visits; unsupported stores decline. *)
+(* Probe contract: hash, indexed and (since the sharding PR) ordered
+   stores answer probe_prefix with exactly the tuples iter_prefix
+   visits; only stores with no access path at all decline. *)
 
 let test_probe_prefix_contract () =
   let schema =
@@ -335,11 +336,44 @@ let test_probe_prefix_contract () =
       (Store.of_spec Store.Tree schema)
   in
   check_store "indexed" indexed;
-  (* a plain tree store has no O(1) probe: it must decline, not lie *)
-  let tree = Store.of_spec Store.Tree schema in
-  fill tree;
-  Alcotest.(check bool) "tree store declines probe" true
-    (tree.Store.probe_prefix [| v_int 0 |] = None)
+  (* ordered stores now materialise the range scan in visit order —
+     the vectorized negative/aggregate path; probe must equal scan,
+     including visit order *)
+  List.iter
+    (fun (name, store) ->
+      fill store;
+      List.iter
+        (fun prefix ->
+          let scanned = ref [] in
+          store.Store.iter_prefix prefix (fun t -> scanned := t :: !scanned);
+          match store.Store.probe_prefix prefix with
+          | None -> Alcotest.failf "%s: probe declined a range scan" name
+          | Some items ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: probe = scan in visit order" name)
+                true
+                (List.equal Tuple.equal items (List.rev !scanned)))
+        [ [| v_int 0 |]; [| v_int 1 |]; [| v_int 9 |]; [||] ])
+    [
+      ("tree", Store.of_spec Store.Tree schema);
+      ("skiplist", Store.of_spec Store.Skiplist schema);
+    ];
+  (* under-specified hash prefixes materialise the full scan too *)
+  let hash2 = Store.of_spec (Store.Hash_index 2) schema in
+  fill hash2;
+  (match hash2.Store.probe_prefix [| v_int 0 |] with
+  | None -> Alcotest.fail "hash: under-specified prefix declined"
+  | Some items ->
+      let scanned = ref [] in
+      hash2.Store.iter_prefix [| v_int 0 |] (fun t -> scanned := t :: !scanned);
+      Alcotest.(check bool) "hash under-specified: probe = scan" true
+        (List.equal Tuple.equal (sorted items) (sorted !scanned)));
+  (* stores with no access path at all still decline *)
+  let windowed =
+    Store.windowed ~field:"a" ~width:2 (Store.of_spec Store.Tree) schema
+  in
+  Alcotest.(check bool) "windowed store declines probe" true
+    (windowed.Store.probe_prefix [| v_int 0 |] = None)
 
 let suite =
   [
