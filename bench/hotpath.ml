@@ -124,40 +124,81 @@ type knobs = {
   auto_grain : bool;
   batch : bool; (* Config.batch_fire: vectorized Phase B *)
   profile : bool; (* continuous profiler (on by default in parallel configs) *)
+  diag : bool; (* threshold alerts evaluated at every step barrier *)
 }
 
 let config_of k =
-  {
-    (Config.parallel ~threads:2 ()) with
-    Config.stores = [ ("Row", Store.Hash_index 1) ];
-    put_batching = k.batching;
-    batch_fire = k.batch;
-    (* The query-acceleration knobs are off: this workload never
-       queries, so they'd only add barrier noise to the ablation.  The
-       profiler is priced by its own row, so the knob rows switch it
-       off explicitly (Config.parallel defaults it on). *)
-    agg_cache = false;
-    advisor = None;
-    profile = k.profile;
-    grain = (if k.auto_grain then Config.Auto_grain else Config.Fixed 1);
-  }
+  let base =
+    {
+      (Config.parallel ~threads:2 ()) with
+      Config.stores = [ ("Row", Store.Hash_index 1) ];
+      put_batching = k.batching;
+      batch_fire = k.batch;
+      (* The query-acceleration knobs are off: this workload never
+         queries, so they'd only add barrier noise to the ablation.  The
+         profiler is priced by its own row, so the knob rows switch it
+         off explicitly (Config.parallel defaults it on). *)
+      agg_cache = false;
+      advisor = None;
+      profile = k.profile;
+      grain = (if k.auto_grain then Config.Auto_grain else Config.Fixed 1);
+    }
+  in
+  if not k.diag then base
+  else begin
+    (* The diagnostics plane at bench prices: three alert rules (one
+       threshold, one EMA rate, one absence) read the registry at every
+       step barrier.  The always-on journal is in every row already,
+       and an armed flight recorder is free until something dumps — the
+       hook evaluation is the only recurring cost to measure. *)
+    let alerts =
+      Jstar_obs.Alerts.create
+        [
+          Jstar_obs.Alerts.rule ~for_:4 ~name:"puts"
+            (Jstar_obs.Alerts.Threshold
+               {
+                 metric = "table.Row.puts";
+                 cmp = Jstar_obs.Alerts.Gt;
+                 value = 1e12;
+               });
+          Jstar_obs.Alerts.rule ~name:"delta"
+            (Jstar_obs.Alerts.Rate
+               {
+                 metric = "delta.size";
+                 cmp = Jstar_obs.Alerts.Gt;
+                 value = 1e12;
+               });
+          Jstar_obs.Alerts.rule ~name:"gone"
+            (Jstar_obs.Alerts.Absent { metric = "table.Row.puts" });
+        ]
+    in
+    {
+      base with
+      Config.step_hook =
+        Some (fun step m -> Jstar_obs.Alerts.eval alerts ~step m);
+    }
+  end
 
 let configurations =
   [
     { label = "all-off"; batching = false; auto_grain = false; batch = false;
-      profile = false };
+      profile = false; diag = false };
     { label = "put-batching"; batching = true; auto_grain = false;
-      batch = false; profile = false };
+      batch = false; profile = false; diag = false };
     { label = "auto-grain"; batching = false; auto_grain = true;
-      batch = false; profile = false };
+      batch = false; profile = false; diag = false };
     { label = "batch-fire"; batching = false; auto_grain = false;
-      batch = true; profile = false };
+      batch = true; profile = false; diag = false };
     { label = "all-on"; batching = true; auto_grain = true; batch = true;
-      profile = false };
+      profile = false; diag = false };
     (* all-on plus the continuous profiler: the overhead row backing the
        "profiling is cheap enough to leave on" claim. *)
     { label = "profiler"; batching = true; auto_grain = true; batch = true;
-      profile = true };
+      profile = true; diag = false };
+    (* profiler plus per-barrier alert evaluation and an armed flight
+       recorder: the "black box costs nothing you can measure" row. *)
+    { label = "diagnostics"; batching = true; auto_grain = true; batch = true;
+      profile = true; diag = true };
   ]
 
 let rounds = 4
@@ -221,6 +262,7 @@ let run () =
   in
   let ratio = t_of "all-off" /. t_of "all-on" in
   let profiler_overhead = (t_of "profiler" /. t_of "all-on") -. 1.0 in
+  let diag_overhead = (t_of "diagnostics" /. t_of "profiler") -. 1.0 in
   Util.heading
     (Printf.sprintf "Hot-path ablation (%d rows, %d groups, 2 threads)"
        (rows_n ()) groups);
@@ -230,6 +272,8 @@ let run () =
   Util.note "all-on vs all-off: %.2fx throughput" ratio;
   Util.note "continuous profiler overhead vs all-on: %+.1f%%"
     (100.0 *. profiler_overhead);
+  Util.note "alerts + recorder overhead vs profiler: %+.1f%%"
+    (100.0 *. diag_overhead);
   let json =
     let b = Buffer.create 512 in
     Buffer.add_string b "{\n";
@@ -244,6 +288,9 @@ let run () =
     Buffer.add_string b
       (Printf.sprintf "  \"profiler_overhead_vs_all_on\": %.4f,\n"
          profiler_overhead);
+    Buffer.add_string b
+      (Printf.sprintf "  \"diagnostics_overhead_vs_profiler\": %.4f,\n"
+         diag_overhead);
     Buffer.add_string b "  \"configurations\": [\n";
     List.iteri
       (fun i (k, t, thr) ->
@@ -251,8 +298,9 @@ let run () =
           (Printf.sprintf
              "    {\"label\": \"%s\", \"put_batching\": %b, \
               \"auto_grain\": %b, \"batch_fire\": %b, \"profile\": %b, \
-              \"seconds\": %.6f, \"tuples_per_second\": %.1f}%s\n"
-             k.label k.batching k.auto_grain k.batch k.profile t thr
+              \"diagnostics\": %b, \"seconds\": %.6f, \
+              \"tuples_per_second\": %.1f}%s\n"
+             k.label k.batching k.auto_grain k.batch k.profile k.diag t thr
              (if i = List.length rows - 1 then "" else ",")))
       rows;
     Buffer.add_string b "  ]\n}\n";

@@ -138,16 +138,28 @@ let flush_metrics_csv path metrics =
   Jstar_obs.Export.write_metrics_csv tmp metrics;
   Sys.rename tmp path
 
-let apply_common ?(shards = 0) config ~tracing ~trace_out ~metrics_out
-    ~causality_check ~task_per_rule ~audit ~digest ~trace_sample ~profile
-    ~metrics_every =
-  let step_hook =
+let apply_common ?(shards = 0) ?alert_hook config ~tracing ~trace_out
+    ~metrics_out ~causality_check ~task_per_rule ~audit ~digest ~trace_sample
+    ~profile ~metrics_every =
+  let metrics_hook =
     match (metrics_out, metrics_every) with
     | Some path, n when n > 0 ->
         Some
           (fun step metrics ->
             if step > 0 && step mod n = 0 then flush_metrics_csv path metrics)
     | _ -> None
+  in
+  (* Compose the per-step-barrier hooks: alert evaluation first (cheap
+     named reads), then the CSV rewrite. *)
+  let step_hook =
+    match (alert_hook, metrics_hook) with
+    | None, None -> None
+    | Some h, None | None, Some h -> Some h
+    | Some a, Some m ->
+        Some
+          (fun step metrics ->
+            a step metrics;
+            m step metrics)
   in
   {
     config with
@@ -630,16 +642,59 @@ let stream_cmd =
   let ops_port =
     Arg.(value & opt (some int) None & info [ "ops-port" ] ~docv:"PORT"
            ~doc:"Serve the live introspection endpoints ($(b,/metrics), \
-                 $(b,/health), $(b,/profile), $(b,/explain)) on \
-                 127.0.0.1:$(docv) while the session runs (0 picks an \
-                 ephemeral port, printed at startup).  Implies \
+                 $(b,/health), $(b,/profile), $(b,/explain), $(b,/alerts), \
+                 $(b,/dump)) on 127.0.0.1:$(docv) while the session runs \
+                 (0 picks an ephemeral port, printed at startup).  Implies \
                  $(b,--profile) and provenance capture; the server shuts \
                  down when the last drain completes.")
   in
+  let flight_dir =
+    Arg.(value & opt (some string) None & info [ "flight-dir" ] ~docv:"DIR"
+           ~doc:"Arm the flight recorder: on an uncaught engine exception \
+                 (including a causality violation), on SIGUSR1, or on the \
+                 ops plane's $(b,/dump), write one atomic diagnostic \
+                 bundle (journal tail, metrics, profiler top-K, per-shard \
+                 backlog, WAL lag, explain trees for tuples a violation \
+                 named) into $(docv).")
+  in
+  let alert_specs =
+    Arg.(value & opt_all string [] & info [ "alert" ] ~docv:"SPEC"
+           ~doc:"Declare a threshold alert over the metrics registry, \
+                 evaluated at every step barrier with ok/pending/firing \
+                 hysteresis.  Forms: $(b,NAME:METRIC>VAL), \
+                 $(b,NAME:METRIC<VAL), $(b,NAME:rate(METRIC)>VAL) (EMA \
+                 units/step), $(b,NAME:absent(METRIC)); optional \
+                 $(b,:for=N) (consecutive evals before firing) and \
+                 $(b,:clear=M) suffixes.  Repeatable.  Served at \
+                 $(b,/alerts) and exported in the Prometheus ALERTS \
+                 convention.")
+  in
   let run ticks sensors persist checkpoint_every fsync crash_after ops_port
-      threads tracing trace_out metrics_out causality_check task_per_rule
-      audit digest trace_sample profile metrics_every shards show_stats =
+      flight_dir alert_specs threads tracing trace_out metrics_out
+      causality_check task_per_rule audit digest trace_sample profile
+      metrics_every shards show_stats =
     tune_runtime ();
+    let alerts =
+      match alert_specs with
+      | [] -> None
+      | specs ->
+          let rules =
+            List.map
+              (fun s ->
+                match Jstar_obs.Alerts.parse_spec s with
+                | Ok r -> r
+                | Error msg ->
+                    Fmt.epr "jstar-demo: --alert %s: %s@." s msg;
+                    exit 2)
+              specs
+          in
+          Some (Jstar_obs.Alerts.create rules)
+    in
+    let alert_hook =
+      Option.map
+        (fun a step metrics -> Jstar_obs.Alerts.eval a ~step metrics)
+        alerts
+    in
     let p = Program.create () in
     let tick_t =
       Program.table p "Tick" ~columns:Schema.[ int_col "t" ]
@@ -668,8 +723,8 @@ let stream_cmd =
           (Tuple.int t "sensor") (Tuple.int t "value"));
     let frozen = Program.freeze p in
     let config =
-      apply_common ~shards ~tracing ~trace_out ~metrics_out ~causality_check
-        ~task_per_rule ~audit ~digest ~trace_sample
+      apply_common ~shards ?alert_hook ~tracing ~trace_out ~metrics_out
+        ~causality_check ~task_per_rule ~audit ~digest ~trace_sample
         ~profile:(profile || ops_port <> None)
         ~metrics_every
         { Config.default with Config.threads }
@@ -679,14 +734,51 @@ let stream_cmd =
       if ops_port <> None then { config with Config.provenance = true }
       else config
     in
-    let start_ops session ~extra =
+    (* Arm the flight recorder over a live session: SIGUSR1 and the
+       uncaught-exception wrap below; /dump when the ops plane is up. *)
+    let make_recorder session ~wal_section =
+      match flight_dir with
+      | None -> None
+      | Some dir ->
+          let r = Jstar_ops.Ops.make_recorder ~dir session in
+          (match wal_section with
+          | Some f -> Jstar_obs.Recorder.add_section r "wal" f
+          | None -> ());
+          Jstar_obs.Recorder.on_signal r;
+          Fmt.pr "flight recorder: armed (SIGUSR1, /dump, exceptions) -> %s@."
+            dir;
+          Format.pp_print_flush Fmt.stdout ();
+          Some r
+    in
+    let guard recorder f =
+      match recorder with
+      | None -> f ()
+      | Some r -> (
+          try f ()
+          with exn ->
+            let path =
+              Jstar_obs.Recorder.dump r ~reason:"exception"
+                ~detail:
+                  [ ("exception", Jstar_obs.Json.Str (Printexc.to_string exn)) ]
+            in
+            Fmt.epr "flight recorder: bundle -> %s@." path;
+            raise exn)
+    in
+    let start_ops session ~extra ~recorder =
+      (match alerts with
+      | Some a ->
+          Jstar_obs.Alerts.set_journal a (Engine.session_journal session)
+      | None -> ());
       match ops_port with
       | None -> None
       | Some p ->
-          let o = Jstar_ops.Ops.attach ~port:p ~extra_health:extra session in
+          let o =
+            Jstar_ops.Ops.attach ~port:p ~extra_health:extra ?alerts ?recorder
+              session
+          in
           Fmt.pr
             "ops: serving http://127.0.0.1:%d (/metrics /health /profile \
-             /explain)@."
+             /explain /alerts /dump)@."
             (Jstar_ops.Ops.port o);
           Format.pp_print_flush Fmt.stdout ();
           Some o
@@ -709,12 +801,14 @@ let stream_cmd =
     match persist with
     | None ->
         let s = Engine.start frozen config in
-        let ops = start_ops s ~extra:(fun () -> []) in
-        for t = 0 to ticks - 1 do
-          Engine.feed s (batch t);
-          ignore (Engine.drain s);
-          maybe_crash (t + 1)
-        done;
+        let recorder = make_recorder s ~wal_section:None in
+        let ops = start_ops s ~extra:(fun () -> []) ~recorder in
+        guard recorder (fun () ->
+            for t = 0 to ticks - 1 do
+              Engine.feed s (batch t);
+              ignore (Engine.drain s);
+              maybe_crash (t + 1)
+            done);
         Option.iter Jstar_ops.Ops.stop ops;
         report ?trace_out ?metrics_out (Engine.finish s) show_stats
     | Some dir ->
@@ -722,28 +816,33 @@ let stream_cmd =
           Jstar_persist.Durable.open_ ~checkpoint_every ~fsync ~dir frozen
             config
         in
-        let wal_extras () =
+        let wal_json () =
           let lag = Jstar_persist.Durable.wal_lag d in
-          [
-            ( "wal",
-              Jstar_obs.Json.Obj
-                [
-                  ( "fsync",
-                    Jstar_obs.Json.Str
-                      (Jstar_persist.Durable.fsync_policy_name d) );
-                  ( "generation",
-                    Jstar_obs.Json.Num
-                      (float_of_int (Jstar_persist.Durable.generation d)) );
-                  ( "lag_records",
-                    Jstar_obs.Json.Num
-                      (float_of_int lag.Jstar_persist.Wal.lag_records) );
-                  ( "lag_seconds",
-                    Jstar_obs.Json.Num lag.Jstar_persist.Wal.lag_seconds );
-                ] );
-          ]
+          Jstar_obs.Json.Obj
+            [
+              ( "fsync",
+                Jstar_obs.Json.Str (Jstar_persist.Durable.fsync_policy_name d)
+              );
+              ( "generation",
+                Jstar_obs.Json.Num
+                  (float_of_int (Jstar_persist.Durable.generation d)) );
+              ( "lag_records",
+                Jstar_obs.Json.Num
+                  (float_of_int lag.Jstar_persist.Wal.lag_records) );
+              ( "lag_seconds",
+                Jstar_obs.Json.Num lag.Jstar_persist.Wal.lag_seconds );
+            ]
+        in
+        let wal_extras () = [ ("wal", wal_json ()) ] in
+        let recorder =
+          make_recorder
+            (Jstar_persist.Durable.session d)
+            ~wal_section:(Some wal_json)
         in
         let ops =
-          start_ops (Jstar_persist.Durable.session d) ~extra:wal_extras
+          start_ops
+            (Jstar_persist.Durable.session d)
+            ~extra:wal_extras ~recorder
         in
         let start =
           match status with
@@ -765,12 +864,13 @@ let stream_cmd =
               !next
         in
         let drains = ref 0 in
-        for t = start to ticks - 1 do
-          Jstar_persist.Durable.feed d (batch t);
-          ignore (Jstar_persist.Durable.drain d);
-          incr drains;
-          maybe_crash !drains
-        done;
+        guard recorder (fun () ->
+            for t = start to ticks - 1 do
+              Jstar_persist.Durable.feed d (batch t);
+              ignore (Jstar_persist.Durable.drain d);
+              incr drains;
+              maybe_crash !drains
+            done);
         Option.iter Jstar_ops.Ops.stop ops;
         let gen = Jstar_persist.Durable.generation d in
         report ?trace_out ?metrics_out (Jstar_persist.Durable.finish d)
@@ -783,7 +883,8 @@ let stream_cmd =
              (WAL + snapshot checkpoints + automatic restore).")
     Term.(
       const run $ ticks $ sensors $ persist $ checkpoint_every $ fsync
-      $ crash_after $ ops_port $ threads $ tracing $ trace_out $ metrics_out
+      $ crash_after $ ops_port $ flight_dir $ alert_specs $ threads $ tracing
+      $ trace_out $ metrics_out
       $ causality_check $ task_per_rule $ audit $ digest $ trace_sample
       $ profile_flag $ metrics_every $ shards_opt $ show_stats)
 

@@ -231,6 +231,14 @@ type state = {
          [run_step] folds table/scheduler/GC deltas at its barrier.
          Purely observational: never read by evaluation, so digests and
          deterministic counters are bit-identical with it on or off *)
+  journal : Jstar_obs.Journal.t;
+      (* always-on structured event journal (step seals, watermark
+         rounds, advisor decisions, violations) — barrier-frequency
+         mutex + small alloc, never read by evaluation *)
+  last_violation : (string * Tuple.t list) option ref;
+      (* set just before a Causality_violation raises: the message and
+         the tuples it names, for the flight recorder's explain-tree
+         section (raising unwinds the stack, so capture happens here) *)
 }
 
 let store_for config ~parallel schema =
@@ -568,8 +576,21 @@ let make_state frozen config =
               ~tables:(Array.map (fun s -> s.Schema.name) tables)
               ())
        else None);
+    journal = Jstar_obs.Journal.create ();
+    last_violation = ref None;
   }
   in
+  (* Causal stamping observer: every mailbox post emits the send half
+     of a flow pair on the producing domain's ring, bound to the recv
+     half (emitted by the barrier drain) by the message's stamp. *)
+  (match st.shard with
+  | Some sh ->
+      Shard.set_on_post sh (fun ~src:_ ~dest ~seq ~len:_ ->
+          if st.trace_spans then
+            Jstar_obs.Tracer.flow_send st.obs
+              ~arg:(Jstar_obs.Tracer.shard_arg ~shard:dest ~seq)
+              Jstar_obs.Kind.shard_msg)
+  | None -> ());
   (* Pull-based registry sources: closures read live engine state only
      when a snapshot is taken, so registration costs nothing per put. *)
   Jstar_obs.Metrics.register_gauge metrics ~name:"delta.size" (fun () ->
@@ -710,6 +731,10 @@ let make_state frozen config =
             (float_of_int (Jstar_sched.Pool.stats pool).Jstar_sched.Pool.idle_ns
             *. 1e-9))
   | None -> ());
+  Jstar_obs.Metrics.register_counter metrics ~name:"journal.recorded"
+    (fun () -> Jstar_obs.Journal.recorded st.journal);
+  Jstar_obs.Metrics.register_counter metrics ~name:"journal.dropped"
+    (fun () -> Jstar_obs.Journal.dropped st.journal);
   (match st.profiler with
   | Some p ->
       Jstar_obs.Metrics.register_gauge metrics ~name:"profiler.steps" (fun () ->
@@ -772,8 +797,28 @@ let record_lineage st l tuple =
     Lineage.record l ~rule:rid ~step:!(st.step_no) ~parents tuple
   end
 
-let audit_fail st msg =
+let audit_fail st ?(tuples = []) msg =
   Jstar_obs.Tracer.instant st.obs Jstar_obs.Kind.audit;
+  (* Capture before raising: the exception unwinds through the firing
+     machinery, but the flight recorder needs the offending tuples to
+     build explain trees for the bundle.  Merge the lineage arenas too —
+     the violating put's record is still domain-local (merges normally
+     run at step barriers this raise will never reach), and [merge] is
+     arena-mutex-safe against concurrent recording while no barrier
+     merge can be running during a firing. *)
+  (match st.lineage with Some l -> Lineage.merge l | None -> ());
+  st.last_violation := Some (msg, tuples);
+  Jstar_obs.Journal.error st.journal ~comp:"engine"
+    ~event:"causality-violation"
+    [
+      ("message", Jstar_obs.Json.Str msg);
+      ("step", Jstar_obs.Json.Num (float_of_int !(st.step_no)));
+      ( "tuples",
+        Jstar_obs.Json.Arr
+          (List.map
+             (fun t -> Jstar_obs.Json.Str (Fmt.str "%a" Tuple.pp t))
+             tuples) );
+    ];
   raise (Causality_violation msg)
 
 (* The auditor's put-side check: relative to the *trigger's* timestamp
@@ -784,7 +829,7 @@ let audit_put st tuple ts =
   let fr = Prov_frame.get () in
   match fr.Prov_frame.now with
   | Some now when not (Timestamp.leq now ts) ->
-      audit_fail st
+      audit_fail st ~tuples:[ tuple ]
         (Fmt.str "audit: rule %s at %a put %a into the past (%a)"
            (Program.rule_name st.frozen fr.Prov_frame.rule)
            Timestamp.pp now Tuple.pp tuple Timestamp.pp ts)
@@ -801,7 +846,7 @@ let audit_visit st fr tuple =
       let strict = fr.Prov_frame.strict > 0 in
       let ok = if strict then Timestamp.lt ts now else Timestamp.leq ts now in
       if not ok then
-        audit_fail st
+        audit_fail st ~tuples:[ tuple ]
           (Fmt.str "audit: rule %s at %a %s query visited %a at %a%s"
              (Program.rule_name st.frozen fr.Prov_frame.rule)
              Timestamp.pp now
@@ -822,10 +867,9 @@ let rec route_put st ctx tuple =
   if st.config.Config.runtime_causality_check then
     (match !(st.current_ts) with
     | Some now when not (Timestamp.leq now ts) ->
-        raise
-          (Causality_violation
-             (Fmt.str "rule at %a put %a into the past (%a)" Timestamp.pp now
-                Tuple.pp tuple Timestamp.pp ts))
+        audit_fail st ~tuples:[ tuple ]
+          (Fmt.str "rule at %a put %a into the past (%a)" Timestamp.pp now
+             Tuple.pp tuple Timestamp.pp ts)
     | _ -> ());
   if st.no_delta.(id) then (
     (* §5.1: straight to Gamma, fire immediately in this task. *)
@@ -897,11 +941,20 @@ and flush_puts st =
          inserts into the owner's Delta, never posts. *)
       let ntab = Array.length st.gamma in
       let drain_one k =
+        let d0 = if st.trace_spans then Jstar_obs.Monotonic.now_ns () else 0 in
         let delta = Shard.delta sh k in
         let ins = Array.make ntab 0 and dup = Array.make ntab 0 in
-        let any = ref false in
+        let any = ref false and nmsgs = ref 0 in
         Shard.drain sh k ~f:(fun m ->
             any := true;
+            incr nmsgs;
+            (* the recv half of the causal flow pair, on the draining
+               domain's ring; the exporter re-routes it onto shard [k]'s
+               named track and binds it to the send by the stamp *)
+            if st.trace_spans then
+              Jstar_obs.Tracer.flow_recv st.obs
+                ~arg:(Jstar_obs.Tracer.shard_arg ~shard:k ~seq:m.Shard.m_seq)
+                Jstar_obs.Kind.shard_msg;
             let res =
               Delta.insert_batch delta m.Shard.m_tuples m.Shard.m_ts
                 m.Shard.m_len
@@ -911,14 +964,20 @@ and flush_puts st =
               if res.(i) then ins.(id) <- ins.(id) + 1
               else dup.(id) <- dup.(id) + 1
             done);
-        if !any then
+        if !any then begin
           for id = 0 to ntab - 1 do
             if ins.(id) > 0 || dup.(id) > 0 then begin
               let c = Table_stats.counters st.stats id in
               Table_stats.add c.Table_stats.delta_inserts ins.(id);
               Table_stats.add c.Table_stats.delta_dups dup.(id)
             end
-          done
+          done;
+          if st.trace_spans then
+            Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.shard_drain
+              ~arg:(Jstar_obs.Tracer.shard_arg ~shard:k ~seq:!nmsgs)
+              ~ts:d0
+              ~dur:(Jstar_obs.Monotonic.now_ns () - d0)
+        end
       in
       (match st.pool with
       | Some pool when n > 1 ->
@@ -929,6 +988,12 @@ and flush_puts st =
             drain_one k
           done);
       assert (Shard.quiesced sh);
+      Jstar_obs.Journal.debug st.journal ~comp:"shard" ~event:"watermark"
+        [
+          ("step", Jstar_obs.Json.Num (float_of_int !(st.step_no)));
+          ( "msgs_posted",
+            Jstar_obs.Json.Num (float_of_int (Shard.msgs_posted sh)) );
+        ];
       if st.trace_spans then
         Jstar_obs.Tracer.record_span st.obs Jstar_obs.Kind.barrier_flush
           ~arg:pending ~ts:flush_t0
@@ -1170,10 +1235,9 @@ let route_put_batch st bctx scratch ~home tuple =
   if st.config.Config.runtime_causality_check then
     (match !(st.current_ts) with
     | Some now when not (Timestamp.leq now ts) ->
-        raise
-          (Causality_violation
-             (Fmt.str "rule at %a put %a into the past (%a)" Timestamp.pp now
-                Tuple.pp tuple Timestamp.pp ts))
+        audit_fail st ~tuples:[ tuple ]
+          (Fmt.str "rule at %a put %a into the past (%a)" Timestamp.pp now
+             Tuple.pp tuple Timestamp.pp ts)
     | _ -> ());
   if st.no_delta.(id) then (
     if st.gamma.(id).Store.insert tuple then (
@@ -1796,15 +1860,26 @@ let run_step st ctx tuples =
      replay identically at any thread count. *)
   (match st.advisor with
   | Some adv ->
+      let adv_fields table_id prefix_len =
+        [
+          ( "table",
+            Jstar_obs.Json.Str
+              st.frozen.Program.tables.(table_id).Schema.name );
+          ("prefix_len", Jstar_obs.Json.Num (float_of_int prefix_len));
+          ("step", Jstar_obs.Json.Num (float_of_int !(st.step_no)));
+        ]
+      in
       Advisor.review adv
         ~on_promote:(fun ~table_id ~prefix_len ->
-          ignore prefix_len;
           Jstar_obs.Tracer.instant st.obs ~arg:table_id
-            Jstar_obs.Kind.advisor)
+            Jstar_obs.Kind.advisor;
+          Jstar_obs.Journal.info st.journal ~comp:"advisor" ~event:"promote"
+            (adv_fields table_id prefix_len))
         ~on_demote:(fun ~table_id ~prefix_len ->
-          ignore prefix_len;
           Jstar_obs.Tracer.instant st.obs ~arg:table_id
-            Jstar_obs.Kind.advisor_demote)
+            Jstar_obs.Kind.advisor_demote;
+          Jstar_obs.Journal.info st.journal ~comp:"advisor" ~event:"demote"
+            (adv_fields table_id prefix_len))
   | None -> ());
   (* Profiler barrier fold: the deterministic Table_stats counters and
      store sizes are re-read here (a handful of striped sums per table),
@@ -1850,6 +1925,14 @@ let run_step st ctx tuples =
       Jstar_obs.Profiler.step_barrier p ~puts ~queries ~gamma:gsize ?sched
         ?shards ()
   | None -> ());
+  (* Step seal: the step's identity in the journal — Debug severity, so
+     a Warn-filtered journal keeps only transitions and violations. *)
+  Jstar_obs.Journal.debug st.journal ~comp:"engine" ~event:"step-seal"
+    [
+      ("step", Jstar_obs.Json.Num (float_of_int !(st.step_no)));
+      ("class_width", Jstar_obs.Json.Num (float_of_int n));
+      ("processed", Jstar_obs.Json.Num (float_of_int !(st.processed)));
+    ];
   (match st.config.Config.step_hook with
   | Some hook -> hook !(st.step_no) st.metrics
   | None -> ());
@@ -2031,6 +2114,12 @@ let drain session =
   in
   let fresh = take fresh_n !(st.outputs) [] in
   session.outputs_seen <- !(st.outputs_count);
+  Jstar_obs.Journal.info st.journal ~comp:"engine" ~event:"drain"
+    [
+      ("steps", Jstar_obs.Json.Num (float_of_int session.session_steps));
+      ("outputs", Jstar_obs.Json.Num (float_of_int fresh_n));
+      ("processed", Jstar_obs.Json.Num (float_of_int !(st.processed)));
+    ];
   fresh
 
 let session_gamma session schema =
@@ -2044,6 +2133,8 @@ let session_metrics session = session.st.metrics
 let session_lineage session = session.st.lineage
 let session_profiler session = session.st.profiler
 let session_frozen session = session.st.frozen
+let session_journal session = session.st.journal
+let session_violation session = !(session.st.last_violation)
 
 let session_delta session =
   match session.st.shard with

@@ -121,6 +121,18 @@ val session_frozen : session -> Program.frozen
 (** The frozen program this session runs (schema lookup for query
     parsing). *)
 
+val session_journal : session -> Jstar_obs.Journal.t
+(** The always-on structured event journal (step seals, watermark
+    rounds, advisor decisions, violations) — the flight recorder's
+    first bundle section and a [/dump] input.  Safe-stale monitoring
+    reads, like every accessor here. *)
+
+val session_violation : session -> (string * Tuple.t list) option
+(** The last causality violation's message and the tuples it names,
+    captured just before [Causality_violation] raised — the flight
+    recorder resolves these into explain trees.  [None] until a
+    violation occurs. *)
+
 val session_delta : session -> int * int
 (** Current pending (size, depth) — heartbeat fields.  Under sharded
     execution, summed (size) / maxed (depth) over the shard trees. *)

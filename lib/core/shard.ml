@@ -40,6 +40,8 @@ type msg = {
   m_tuples : Tuple.t array;
   m_ts : Timestamp.t array;
   m_len : int;
+  m_src : int; (* producing shard, or -1 (external feed, striped buffer) *)
+  m_seq : int; (* globally unique send stamp — the causal link id *)
 }
 
 type t = {
@@ -54,7 +56,16 @@ type t = {
   msgs_cross : int Atomic.t;
   tuples_shipped : int Atomic.t;
   tuples_cross : int Atomic.t;
+  (* causal stamping: every post draws the next stamp from one shared
+     counter, so a (send, recv) trace pair can be bound by stamp alone
+     and a recovered bundle can order messages across shards *)
+  seq : int Atomic.t;
+  mutable on_post : src:int -> dest:int -> seq:int -> len:int -> unit;
+      (* observer hook (the engine's flow-send trace emission), called
+         on the producing domain after the push *)
 }
+
+let no_observer ~src:_ ~dest:_ ~seq:_ ~len:_ = ()
 
 let create ~shards ~nlits ~ts_of () =
   let n = max 1 shards in
@@ -69,7 +80,11 @@ let create ~shards ~nlits ~ts_of () =
     msgs_cross = Atomic.make 0;
     tuples_shipped = Atomic.make 0;
     tuples_cross = Atomic.make 0;
+    seq = Atomic.make 0;
+    on_post = no_observer;
   }
+
+let set_on_post t f = t.on_post <- f
 
 let count t = t.n
 let owner_of t tuple = (Tuple.hash tuple land max_int) mod t.n
@@ -90,8 +105,10 @@ let post t ~from ~dest tuples ts len =
       Atomic.incr t.msgs_cross;
       ignore (Atomic.fetch_and_add t.tuples_cross len)
     end;
+    let seq = Atomic.fetch_and_add t.seq 1 in
     Jstar_cds.Ms_queue.push t.mailboxes.(dest)
-      { m_tuples = tuples; m_ts = ts; m_len = len }
+      { m_tuples = tuples; m_ts = ts; m_len = len; m_src = from; m_seq = seq };
+    t.on_post ~src:from ~dest ~seq ~len
   end
 
 (* Partition a producer-owned buffer by owner shard and ship one

@@ -22,9 +22,14 @@ type msg = {
   m_tuples : Tuple.t array;
   m_ts : Timestamp.t array;
   m_len : int;
+  m_src : int;  (** producing shard, or [-1] when unknown *)
+  m_seq : int;  (** globally unique send stamp, one shared counter *)
 }
 (** One mailbox message: a batch of tuples and their timestamps (the
-    first [m_len] slots).  The arrays belong to the message. *)
+    first [m_len] slots), stamped with its producer and a globally
+    unique sequence number.  The stamp binds the send/recv halves of
+    the trace flow pair and totally orders messages across shards in a
+    diagnostic bundle; the arrays belong to the message. *)
 
 val create :
   shards:int -> nlits:int -> ts_of:(Tuple.t -> Timestamp.t) -> unit -> t
@@ -43,7 +48,14 @@ val post : t -> from:int -> dest:int -> Tuple.t array -> Timestamp.t array -> in
 (** Ship a message to [dest]'s mailbox, taking ownership of the
     arrays.  [from] is the producing shard, or [-1] when unknown
     (external feeds, striped put buffers); a known [from <> dest]
-    counts as cross-shard traffic. *)
+    counts as cross-shard traffic.  Every message draws the next
+    sequence stamp and is reported to the {!set_on_post} observer. *)
+
+val set_on_post : t -> (src:int -> dest:int -> seq:int -> len:int -> unit) -> unit
+(** Install the post observer, called on the producing domain after
+    each push with the message's stamp — the engine's flow-send trace
+    emission.  Purely observational: it must not touch engine state.
+    One observer; installing replaces the previous. *)
 
 val post_partitioned :
   t -> from:int -> Tuple.t array -> Timestamp.t array -> int -> unit

@@ -1,0 +1,364 @@
+(* Declarative threshold alerting over the metrics registry.
+
+   A rule names one metric and a condition — an instantaneous threshold,
+   an EMA-smoothed per-step rate, or absence from the registry — and the
+   evaluator advances a three-state hysteresis machine per rule:
+
+       ok --cond--> pending --cond for N evals--> firing
+       firing --!cond for M evals--> ok
+
+   so a metric hovering around its threshold cannot flap the alert at
+   step frequency.  Evaluation runs at step barriers (the engine's
+   [Config.step_hook]), reads only the metrics the rules name (never a
+   full registry export — gauge reads can be as expensive as a Gamma
+   rescan), and journals every state transition.
+
+   Like the journal and the profiler, alerting is observational only:
+   the evaluator reads pull-based sources and mutates nothing the
+   engine ever looks at, so digests are bit-identical with it on or
+   off. *)
+
+type cmp = Gt | Lt
+
+let cmp_name = function Gt -> ">" | Lt -> "<"
+let cmp_holds cmp v threshold =
+  match cmp with Gt -> v > threshold | Lt -> v < threshold
+
+type condition =
+  | Threshold of { metric : string; cmp : cmp; value : float }
+  | Rate of { metric : string; cmp : cmp; value : float }
+      (* EMA of the metric's per-step delta (units per step) *)
+  | Absent of { metric : string }
+
+type rule = {
+  r_name : string;
+  r_cond : condition;
+  r_for : int;  (* consecutive true evals before pending -> firing *)
+  r_clear : int;  (* consecutive false evals before firing -> ok *)
+}
+
+let metric_of_rule r =
+  match r.r_cond with
+  | Threshold { metric; _ } | Rate { metric; _ } | Absent { metric } -> metric
+
+let rule ?(for_ = 1) ?(clear = 1) ~name cond =
+  if for_ < 1 then invalid_arg "Alerts.rule: for_ must be >= 1";
+  if clear < 1 then invalid_arg "Alerts.rule: clear must be >= 1";
+  { r_name = name; r_cond = cond; r_for = for_; r_clear = clear }
+
+type state = Ok | Pending | Firing
+
+let state_name = function Ok -> "ok" | Pending -> "pending" | Firing -> "firing"
+
+(* EMA smoothing for Rate rules: weight of the newest per-step rate
+   sample.  High enough to follow a real regime change within a few
+   evals, low enough to ride out one noisy barrier. *)
+let rate_alpha = 0.3
+
+type cell = {
+  rule : rule;
+  mutable st : state;
+  mutable since_step : int;  (* step of the last state change *)
+  mutable consec_true : int;
+  mutable consec_false : int;
+  mutable last_value : float option;  (* metric reading at last eval *)
+  mutable rate_prev : (int * float) option;  (* (step, value) for deltas *)
+  mutable rate_ema : float option;
+}
+
+type t = {
+  cells : cell array;
+  mutable journal : Journal.t option;
+  mutable evals : int;
+  mutable transitions : int;
+}
+
+let create ?journal rules =
+  {
+    cells =
+      Array.of_list
+        (List.map
+           (fun rule ->
+             {
+               rule;
+               st = Ok;
+               since_step = 0;
+               consec_true = 0;
+               consec_false = 0;
+               last_value = None;
+               rate_prev = None;
+               rate_ema = None;
+             })
+           rules);
+    journal;
+    evals = 0;
+    transitions = 0;
+  }
+
+let set_journal t j = t.journal <- Some j
+let rules t = Array.to_list (Array.map (fun c -> c.rule) t.cells)
+let evals t = t.evals
+let transitions t = t.transitions
+
+let condition_json = function
+  | Threshold { metric; cmp; value } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "threshold");
+          ("metric", Json.Str metric);
+          ("cmp", Json.Str (cmp_name cmp));
+          ("value", Json.Num value);
+        ]
+  | Rate { metric; cmp; value } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "rate");
+          ("metric", Json.Str metric);
+          ("cmp", Json.Str (cmp_name cmp));
+          ("value", Json.Num value);
+        ]
+  | Absent { metric } ->
+      Json.Obj [ ("kind", Json.Str "absent"); ("metric", Json.Str metric) ]
+
+let journal_transition t cell ~step ~from_ ~to_ =
+  t.transitions <- t.transitions + 1;
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      let sev =
+        match to_ with
+        | Firing -> Journal.Warn
+        | Ok | Pending -> Journal.Info
+      in
+      Journal.log j sev ~comp:"alerts" ~event:"transition"
+        ([
+           ("alert", Json.Str cell.rule.r_name);
+           ("from", Json.Str (state_name from_));
+           ("to", Json.Str (state_name to_));
+           ("step", Json.Num (float_of_int step));
+           ("condition", condition_json cell.rule.r_cond);
+         ]
+        @
+        match cell.last_value with
+        | Some v -> [ ("value", Json.Num v) ]
+        | None -> [])
+
+let set_state t cell ~step st =
+  if cell.st <> st then begin
+    let from_ = cell.st in
+    cell.st <- st;
+    cell.since_step <- step;
+    journal_transition t cell ~step ~from_ ~to_:st
+  end
+
+(* One rule's condition against the live registry.  Rate rules need two
+   readings before they can produce a rate at all; until then the
+   condition is false (an alert should not fire off one sample). *)
+let condition_holds cell ~step metrics =
+  match cell.rule.r_cond with
+  | Threshold { metric; cmp; value } -> (
+      match Metrics.read metrics metric with
+      | None ->
+          cell.last_value <- None;
+          false
+      | Some v ->
+          cell.last_value <- Some v;
+          cmp_holds cmp v value)
+  | Absent { metric } ->
+      let r = Metrics.read metrics metric in
+      cell.last_value <- r;
+      r = None
+  | Rate { metric; cmp; value } -> (
+      match Metrics.read metrics metric with
+      | None ->
+          cell.last_value <- None;
+          cell.rate_prev <- None;
+          false
+      | Some v -> (
+          let prev = cell.rate_prev in
+          cell.rate_prev <- Some (step, v);
+          match prev with
+          | Some (s0, v0) when step > s0 ->
+              let inst = (v -. v0) /. float_of_int (step - s0) in
+              let ema =
+                match cell.rate_ema with
+                | None -> inst
+                | Some e -> ((1.0 -. rate_alpha) *. e) +. (rate_alpha *. inst)
+              in
+              cell.rate_ema <- Some ema;
+              cell.last_value <- Some ema;
+              cmp_holds cmp ema value
+          | _ ->
+              cell.last_value <- Some v;
+              false))
+
+let eval_cell t cell ~step metrics =
+  let holds = condition_holds cell ~step metrics in
+  if holds then begin
+    cell.consec_true <- cell.consec_true + 1;
+    cell.consec_false <- 0
+  end
+  else begin
+    cell.consec_false <- cell.consec_false + 1;
+    cell.consec_true <- 0
+  end;
+  match cell.st with
+  | Ok ->
+      if holds then
+        set_state t cell ~step
+          (if cell.rule.r_for <= 1 then Firing else Pending)
+  | Pending ->
+      if not holds then set_state t cell ~step Ok
+      else if cell.consec_true >= cell.rule.r_for then
+        set_state t cell ~step Firing
+  | Firing ->
+      if (not holds) && cell.consec_false >= cell.rule.r_clear then
+        set_state t cell ~step Ok
+
+let eval t ~step metrics =
+  t.evals <- t.evals + 1;
+  Array.iter (fun cell -> eval_cell t cell ~step metrics) t.cells
+
+type status = {
+  a_name : string;
+  a_state : state;
+  a_since_step : int;
+  a_value : float option;
+  a_condition : condition;
+}
+
+let statuses t =
+  Array.to_list
+    (Array.map
+       (fun c ->
+         {
+           a_name = c.rule.r_name;
+           a_state = c.st;
+           a_since_step = c.since_step;
+           a_value = c.last_value;
+           a_condition = c.rule.r_cond;
+         })
+       t.cells)
+
+let firing t =
+  List.filter_map
+    (fun s -> if s.a_state = Firing then Some s.a_name else None)
+    (statuses t)
+
+let to_json t =
+  Json.Obj
+    [
+      ("evals", Json.Num (float_of_int t.evals));
+      ("transitions", Json.Num (float_of_int t.transitions));
+      ( "alerts",
+        Json.Arr
+          (List.map
+             (fun s ->
+               Json.Obj
+                 ([
+                    ("name", Json.Str s.a_name);
+                    ("state", Json.Str (state_name s.a_state));
+                    ("since_step", Json.Num (float_of_int s.a_since_step));
+                    ("condition", condition_json s.a_condition);
+                  ]
+                 @
+                 match s.a_value with
+                 | Some v -> [ ("value", Json.Num v) ]
+                 | None -> []))
+             (statuses t)) );
+    ]
+
+(* Prometheus ALERTS convention: one series per pending/firing alert,
+   value 1 — appended to the /metrics exposition so an unmodified
+   Prometheus scrape picks alerts up next to the registry. *)
+let prom_lines ?(namespace = "jstar") t =
+  ignore namespace;
+  let b = Buffer.create 256 in
+  let active =
+    List.filter (fun s -> s.a_state <> Ok) (statuses t)
+  in
+  if active <> [] then begin
+    Buffer.add_string b "# TYPE ALERTS gauge\n";
+    List.iter
+      (fun s ->
+        Buffer.add_string b
+          (Printf.sprintf "ALERTS{alertname=%S,alertstate=%S} 1\n" s.a_name
+             (state_name s.a_state)))
+      active
+  end;
+  Buffer.contents b
+
+(* -- spec parsing ----------------------------------------------------
+
+   The CLI's declarative form, one rule per --alert flag:
+
+     NAME:METRIC>VALUE[:for=N][:clear=M]
+     NAME:METRIC<VALUE[:for=N][:clear=M]
+     NAME:rate(METRIC)>VALUE[...]          per-step EMA rate
+     NAME:absent(METRIC)[...]              metric missing from registry *)
+
+let parse_spec spec =
+  let fail msg = Error (Printf.sprintf "--alert %s: %s" spec msg) in
+  match String.split_on_char ':' spec with
+  | name :: expr :: opts when name <> "" && expr <> "" -> (
+      let for_ = ref 1 and clear = ref 1 and bad = ref None in
+      List.iter
+        (fun o ->
+          match String.split_on_char '=' o with
+          | [ "for"; n ] -> (
+              match int_of_string_opt n with
+              | Some v when v >= 1 -> for_ := v
+              | _ -> bad := Some ("bad for= value: " ^ n))
+          | [ "clear"; n ] -> (
+              match int_of_string_opt n with
+              | Some v when v >= 1 -> clear := v
+              | _ -> bad := Some ("bad clear= value: " ^ n))
+          | _ -> bad := Some ("unknown option: " ^ o))
+        opts;
+      match !bad with
+      | Some msg -> fail msg
+      | None -> (
+          let wrap metric inner =
+            (* "rate(m)" / "absent(m)" unwrapped to (kind, m) *)
+            let plen = String.length inner in
+            if
+              String.length metric > plen + 2
+              && String.sub metric 0 (plen + 1) = inner ^ "("
+              && metric.[String.length metric - 1] = ')'
+            then
+              Some (String.sub metric (plen + 1) (String.length metric - plen - 2))
+            else None
+          in
+          let split_cmp s =
+            match String.index_opt s '>' with
+            | Some i -> Some (Gt, String.sub s 0 i,
+                              String.sub s (i + 1) (String.length s - i - 1))
+            | None -> (
+                match String.index_opt s '<' with
+                | Some i ->
+                    Some (Lt, String.sub s 0 i,
+                          String.sub s (i + 1) (String.length s - i - 1))
+                | None -> None)
+          in
+          match split_cmp expr with
+          | Some (cmp, lhs, rhs) -> (
+              match float_of_string_opt rhs with
+              | None -> fail ("threshold does not parse as a number: " ^ rhs)
+              | Some value -> (
+                  match wrap lhs "rate" with
+                  | Some metric ->
+                      Ok (rule ~for_:!for_ ~clear:!clear ~name
+                            (Rate { metric; cmp; value }))
+                  | None ->
+                      if lhs = "" then fail "empty metric name"
+                      else
+                        Ok (rule ~for_:!for_ ~clear:!clear ~name
+                              (Threshold { metric = lhs; cmp; value }))))
+          | None -> (
+              match wrap expr "absent" with
+              | Some metric ->
+                  Ok (rule ~for_:!for_ ~clear:!clear ~name (Absent { metric }))
+              | None ->
+                  fail "expected METRIC>VALUE, METRIC<VALUE, rate(M)>V or \
+                        absent(M)")))
+  | _ -> fail "expected NAME:CONDITION[:for=N][:clear=M]"

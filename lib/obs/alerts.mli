@@ -1,0 +1,80 @@
+(** Declarative threshold alerting over the {!Metrics} registry.
+
+    Rules (threshold, EMA per-step rate, absence) are evaluated at step
+    barriers — the engine's [Config.step_hook] — through a three-state
+    hysteresis machine per rule (ok → pending → firing, with
+    configurable consecutive-eval counts in both directions), journaled
+    on every transition, served at [/alerts] and exported in the
+    Prometheus [ALERTS] convention.
+
+    Observational only: evaluation reads pull-based registry sources
+    and never feeds anything back into evaluation, so deterministic
+    digest lanes are bit-identical with alerting on or off. *)
+
+type cmp = Gt | Lt
+
+val cmp_name : cmp -> string
+
+type condition =
+  | Threshold of { metric : string; cmp : cmp; value : float }
+      (** instantaneous reading vs a bound *)
+  | Rate of { metric : string; cmp : cmp; value : float }
+      (** EMA-smoothed per-step delta vs a bound (units per step);
+          needs two readings before it can hold at all *)
+  | Absent of { metric : string }
+      (** the metric is missing from the registry *)
+
+type rule = {
+  r_name : string;
+  r_cond : condition;
+  r_for : int;  (** consecutive true evals before pending → firing *)
+  r_clear : int;  (** consecutive false evals before firing → ok *)
+}
+
+val rule : ?for_:int -> ?clear:int -> name:string -> condition -> rule
+(** [for_] and [clear] default to 1 ([for_ = 1] fires immediately).
+    @raise Invalid_argument when either is < 1. *)
+
+val metric_of_rule : rule -> string
+
+type state = Ok | Pending | Firing
+
+val state_name : state -> string
+
+type t
+
+val create : ?journal:Journal.t -> rule list -> t
+val set_journal : t -> Journal.t -> unit
+val rules : t -> rule list
+
+val eval : t -> step:int -> Metrics.t -> unit
+(** Advance every rule's machine against the live registry.  Reads only
+    the metrics the rules name (one {!Metrics.read} each), never a full
+    export — safe to run at every step barrier. *)
+
+val evals : t -> int
+val transitions : t -> int
+
+type status = {
+  a_name : string;
+  a_state : state;
+  a_since_step : int;  (** step of the last state change *)
+  a_value : float option;  (** reading (or EMA rate) at the last eval *)
+  a_condition : condition;
+}
+
+val statuses : t -> status list
+val firing : t -> string list
+
+val to_json : t -> Json.t
+(** The [/alerts] endpoint body. *)
+
+val prom_lines : ?namespace:string -> t -> string
+(** [ALERTS{alertname="…",alertstate="pending"|"firing"} 1] samples for
+    every non-ok alert — appended to the [/metrics] exposition. *)
+
+val parse_spec : string -> (rule, string) result
+(** Parse the CLI form
+    [NAME:METRIC>VALUE], [NAME:METRIC<VALUE], [NAME:rate(METRIC)>VALUE]
+    or [NAME:absent(METRIC)], each with optional [:for=N] / [:clear=M]
+    suffixes. *)

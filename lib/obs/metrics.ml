@@ -148,6 +148,21 @@ let snapshot t =
   Mutex.unlock t.mutex;
   List.map row_of srcs
 
+(* Read one source by name, as a float: the alert evaluator's entry
+   point.  A single assoc lookup plus one pull — never a full snapshot,
+   whose gauge reads can be as expensive as a Gamma rescan.  Histograms
+   read as their observation count (alert on volume, not shape). *)
+let read t name =
+  Mutex.lock t.mutex;
+  let src = List.assoc_opt name t.sources in
+  Mutex.unlock t.mutex;
+  match src with
+  | None -> None
+  | Some (Counter f) -> Some (float_of_int (f ()))
+  | Some (Gauge f) -> (
+      match f () with Int i -> Some (float_of_int i) | Float x -> Some x)
+  | Some (Hist h) -> Some (float_of_int (hist_count h))
+
 (* -- structured export ----------------------------------------------- *)
 
 type exported =

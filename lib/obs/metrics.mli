@@ -44,6 +44,12 @@ val snapshot : t -> row list
 (** Registration order.  Histogram rows carry
     count/sum/mean/p50/p90/p99/max fields. *)
 
+val read : t -> string -> float option
+(** Read one registered source by name (counter/gauge as its value,
+    histogram as its observation count); [None] when the name is not
+    registered.  One lookup plus one pull — the {!Alerts} evaluator's
+    per-rule read, cheap enough for every step barrier. *)
+
 type exported =
   | X_counter of int
   | X_gauge of value

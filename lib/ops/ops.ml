@@ -16,16 +16,18 @@ let err_json status msg =
 
 (* -- /metrics ---------------------------------------------------------- *)
 
-let metrics_handler session _q =
-  {
-    Httpd.status = 200;
-    content_type = prom_content_type;
-    body = Jstar_obs.Prom.render (Engine.session_metrics session);
-  }
+let metrics_handler session alerts _q =
+  let base = Jstar_obs.Prom.render (Engine.session_metrics session) in
+  let body =
+    match alerts with
+    | None -> base
+    | Some a -> base ^ Jstar_obs.Alerts.prom_lines a
+  in
+  { Httpd.status = 200; content_type = prom_content_type; body }
 
 (* -- /health ----------------------------------------------------------- *)
 
-let health_handler session extra _q =
+let health_body session extra ~status ~stuck _q =
   let st = Engine.session_state ~with_outputs:false session in
   let pending = Engine.session_pending session in
   let delta = Engine.session_delta session in
@@ -73,14 +75,44 @@ let health_handler session extra _q =
               ] );
         ]
   in
+  let stuck_extras =
+    if stuck = [] then []
+    else
+      [
+        ( "stuck_shards",
+          Json.Arr (List.map (fun k -> Json.Num (float_of_int k)) stuck) );
+      ]
+  in
   Httpd.json
-    (Jstar_obs.Health.render ~step:st.Engine.ss_step_no
+    (Jstar_obs.Health.render ~status ~step:st.Engine.ss_step_no
        ~steps:st.Engine.ss_steps ~processed:st.Engine.ss_processed
        ~outputs:st.Engine.ss_outputs_count ~pending ~delta ~gamma ?top_rules
        ?utilization
-       ~extra:(shard_extras @ extra ())
+       ~extra:(stuck_extras @ shard_extras @ extra ())
        ()
     ^ "\n")
+
+(* Backlog degradation needs two consecutive scrapes with no step
+   progress (see Health.shard_status); the handler closure owns the
+   previous (step, backlogs) reading.  Scrapes are serialized by
+   Httpd's single server thread, so a plain ref suffices. *)
+let health_handler session extra =
+  let prev = ref None in
+  fun q ->
+    let status, stuck =
+      match Engine.session_shards session with
+      | None -> ("ok", [])
+      | Some s ->
+          let st = Engine.session_state ~with_outputs:false session in
+          let step = st.Engine.ss_step_no in
+          let r =
+            Jstar_obs.Health.shard_status ~prev:!prev ~step
+              ~backlogs:s.Engine.sh_backlog
+          in
+          prev := Some (step, s.Engine.sh_backlog);
+          r
+    in
+    health_body session extra ~status ~stuck q
 
 (* -- /profile ---------------------------------------------------------- *)
 
@@ -202,24 +234,137 @@ let explain_handler session q =
           ^ "\n")
       with Bad_request msg -> err_json 400 msg)
 
+(* -- the flight-recorder glue ------------------------------------------ *)
+
+(* Build a recorder over a session with the standard engine sections.
+   The obs-layer Recorder is engine-agnostic; this is where the engine-
+   shaped thunks get registered: session scalars, per-shard occupancy
+   and backlog, profiler top-k, and — when a causality violation has
+   been captured — explain trees for the tuples the failure named.
+   Callers add further sections (e.g. WAL generation/lag) with
+   [Jstar_obs.Recorder.add_section]. *)
+let make_recorder ?journal_tail ~dir session =
+  let r =
+    Jstar_obs.Recorder.create ?journal_tail
+      ~journal:(Engine.session_journal session)
+      ~metrics:(Engine.session_metrics session) ~dir ()
+  in
+  let num i = Json.Num (float_of_int i) in
+  Jstar_obs.Recorder.add_section r "session" (fun () ->
+      let st = Engine.session_state ~with_outputs:false session in
+      let dsize, ddepth = Engine.session_delta session in
+      Json.Obj
+        [
+          ("step", num st.Engine.ss_step_no);
+          ("steps", num st.Engine.ss_steps);
+          ("processed", num st.Engine.ss_processed);
+          ("outputs", num st.Engine.ss_outputs_count);
+          ("pending", num (Engine.session_pending session));
+          ("delta_size", num dsize);
+          ("delta_depth", num ddepth);
+        ]);
+  Jstar_obs.Recorder.add_section r "shards" (fun () ->
+      match Engine.session_shards session with
+      | None -> Json.Null
+      | Some s ->
+          let ints a =
+            Json.Arr (Array.to_list (Array.map (fun v -> num v) a))
+          in
+          Json.Obj
+            [
+              ("count", num s.Engine.sh_count);
+              ("occupancy", ints s.Engine.sh_occupancy);
+              ("mailbox_backlog", ints s.Engine.sh_backlog);
+              ("msgs_posted", num s.Engine.sh_msgs_posted);
+              ("msgs_cross", num s.Engine.sh_msgs_cross);
+              ("tuples_shipped", num s.Engine.sh_tuples_shipped);
+              ("tuples_cross", num s.Engine.sh_tuples_cross);
+            ]);
+  Jstar_obs.Recorder.add_section r "profiler" (fun () ->
+      match Engine.session_profiler session with
+      | None -> Json.Null
+      | Some p -> Jstar_obs.Profiler.to_json ~k:10 p);
+  Jstar_obs.Recorder.add_section r "violation" (fun () ->
+      match Engine.session_violation session with
+      | None -> Json.Null
+      | Some (msg, tuples) ->
+          let explain tuple =
+            let pp = Json.Str (Format.asprintf "%a" Tuple.pp tuple) in
+            match Engine.session_lineage session with
+            | None -> Json.Obj [ ("tuple", pp) ]
+            | Some lineage -> (
+                let frozen = Engine.session_frozen session in
+                match
+                  Jstar_prov.Explain.derive ~lineage ~frozen ~max_depth:12
+                    ~max_width:16 tuple
+                with
+                | Some node ->
+                    Json.Obj
+                      [
+                        ("tuple", pp);
+                        ("derivation", Jstar_prov.Explain.to_json node);
+                      ]
+                | None -> Json.Obj [ ("tuple", pp) ])
+          in
+          Json.Obj
+            [
+              ("message", Json.Str msg);
+              ("tuples", Json.Arr (List.map explain tuples));
+            ]);
+  r
+
+(* -- /alerts ----------------------------------------------------------- *)
+
+let alerts_handler alerts _q =
+  match alerts with
+  | None ->
+      err_json 404 "alerting not enabled for this session (run with --alert)"
+  | Some a -> Httpd.json (Json.to_string (Jstar_obs.Alerts.to_json a) ^ "\n")
+
+(* -- /dump ------------------------------------------------------------- *)
+
+let dump_handler recorder _q =
+  match recorder with
+  | None ->
+      err_json 404
+        "flight recorder not enabled for this session (run with --flight-dir)"
+  | Some r -> (
+      match Jstar_obs.Recorder.dump r ~reason:"ops-dump" with
+      | path ->
+          Httpd.json
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("path", Json.Str path);
+                    ( "dumps",
+                      Json.Num (float_of_int (Jstar_obs.Recorder.dumps r)) );
+                  ])
+            ^ "\n")
+      | exception exn -> err_json 500 (Printexc.to_string exn))
+
 (* -- assembly ---------------------------------------------------------- *)
 
 let index_body =
   "jstar ops endpoints:\n\
-  \  /metrics                  Prometheus text format\n\
-  \  /health                   JSON heartbeat\n\
+  \  /metrics                  Prometheus text format (incl. ALERTS)\n\
+  \  /health                   JSON heartbeat (degraded on stuck shards)\n\
   \  /profile?k=N              top-K rules by decayed self time\n\
   \  /explain?table=T&tuple=v1,v2[&depth=D&width=W]\n\
-  \                            derivation trees for matching tuples\n"
+  \                            derivation trees for matching tuples\n\
+  \  /alerts                   threshold-alert statuses\n\
+  \  /dump                     write a flight-recorder bundle\n"
 
-let attach ?addr ~port ?(extra_health = fun () -> []) session =
+let attach ?addr ~port ?(extra_health = fun () -> []) ?alerts ?recorder
+    session =
   let routes =
     [
       ("/", fun _ -> Httpd.text index_body);
-      ("/metrics", metrics_handler session);
+      ("/metrics", metrics_handler session alerts);
       ("/health", health_handler session extra_health);
       ("/profile", profile_handler session);
       ("/explain", explain_handler session);
+      ("/alerts", alerts_handler alerts);
+      ("/dump", dump_handler recorder);
     ]
   in
   { server = Httpd.start ?addr ~port routes }

@@ -162,7 +162,16 @@ let checkpoint t =
   Snapshot.remove ~dir:t.dir ~gen:t.gen;
   t.gen <- next;
   t.wal <- new_wal;
-  t.drains_since_ckpt <- 0
+  t.drains_since_ckpt <- 0;
+  Jstar_obs.Journal.info
+    (Engine.session_journal t.session)
+    ~comp:"persist" ~event:"checkpoint"
+    [
+      ("gen", Jstar_obs.Json.Num (float_of_int next));
+      ( "step_no",
+        Jstar_obs.Json.Num (float_of_int state.Engine.ss_step_no) );
+      ("gamma_digest", Jstar_obs.Json.Str gamma_digest);
+    ]
 
 let drain t =
   let fresh = drain_no_ckpt t in
@@ -303,6 +312,22 @@ let recover ~checkpoint_every ~policy ~dir ~tables ~schema_hash frozen config
           List.iter (Fingerprint.mix_string out_digest) fresh;
           check_watermark t wm ~at:off)
     kept;
+  let tail_name =
+    match tail with
+    | Wal.Clean -> "clean"
+    | Wal.Torn _ -> "torn"
+    | Wal.Corrupt _ -> "corrupt"
+  in
+  Jstar_obs.Journal.info
+    (Engine.session_journal session)
+    ~comp:"persist" ~event:"recovery"
+    [
+      ("gen", Jstar_obs.Json.Num (float_of_int gen));
+      ("feeds_replayed", Jstar_obs.Json.Num (float_of_int !feeds));
+      ("drains_replayed", Jstar_obs.Json.Num (float_of_int !drains));
+      ("pending", Jstar_obs.Json.Num (float_of_int !pending));
+      ("wal_tail", Jstar_obs.Json.Str tail_name);
+    ];
   ( t,
     Restored
       {

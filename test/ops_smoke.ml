@@ -83,12 +83,28 @@ let () =
   Program.output p double (fun t ->
       Printf.sprintf "double %d %d" (Tuple.int t "t") (Tuple.int t "v"));
   let frozen = Program.freeze p in
+  (* a threshold alert that is sure to fire over 200 drains, evaluated
+     at every step barrier through the engine's step hook *)
+  let alerts =
+    Jstar_obs.Alerts.create
+      [
+        Jstar_obs.Alerts.rule ~for_:2 ~name:"busy"
+          (Jstar_obs.Alerts.Threshold
+             {
+               metric = "table.Tick.puts";
+               cmp = Jstar_obs.Alerts.Gt;
+               value = 10.0;
+             });
+      ]
+  in
   let config =
     {
       (Config.parallel ~threads:2 ()) with
       Config.tracing = Jstar_obs.Level.Counters;
       provenance = true;
       digest = true;
+      step_hook =
+        Some (fun step m -> Jstar_obs.Alerts.eval alerts ~step m);
     }
   in
   let d, status = Jstar_persist.Durable.open_ ~dir frozen config in
@@ -96,8 +112,11 @@ let () =
   | Jstar_persist.Durable.Fresh -> ()
   | _ -> fail "expected a fresh durable session");
   let session = Jstar_persist.Durable.session d in
+  Jstar_obs.Alerts.set_journal alerts (Engine.session_journal session);
+  let flight_dir = Filename.concat dir "flight" in
+  let recorder = Jstar_ops.Ops.make_recorder ~dir:flight_dir session in
   let ops =
-    Jstar_ops.Ops.attach ~port:0
+    Jstar_ops.Ops.attach ~port:0 ~alerts ~recorder
       ~extra_health:(fun () ->
         let lag = Jstar_persist.Durable.wal_lag d in
         [
@@ -206,6 +225,71 @@ let () =
       | Some (Jstar_obs.Json.Str "double") -> ()
       | _ -> fail "/explain: tree not rooted at rule 'double'")
   | _ -> fail "/explain: expected one tree");
+
+  (* /alerts: every rule's status; the puts threshold fired long ago,
+     and firing alerts ride /metrics in the ALERTS convention. *)
+  let alerts_body =
+    json_of "/alerts" (expect_status "/alerts" 200 (http_get ~port "/alerts"))
+  in
+  (match member "/alerts" "alerts" alerts_body with
+  | Jstar_obs.Json.Arr [ a ] -> (
+      (match Jstar_obs.Json.member "name" a with
+      | Some (Jstar_obs.Json.Str "busy") -> ()
+      | _ -> fail "/alerts: rule name wrong");
+      match Jstar_obs.Json.member "state" a with
+      | Some (Jstar_obs.Json.Str "firing") -> ()
+      | Some (Jstar_obs.Json.Str s) -> fail "/alerts: state %s, want firing" s
+      | _ -> fail "/alerts: no state")
+  | _ -> fail "/alerts: expected one alert status");
+  (match member "/alerts" "evals" alerts_body with
+  | Jstar_obs.Json.Num n when n > 0.0 -> ()
+  | _ -> fail "/alerts: no evals counted");
+  let metrics = expect_status "/metrics" 200 (http_get ~port "/metrics") in
+  let has_alert_sample =
+    List.exists
+      (fun l ->
+        let needle = "ALERTS{alertname=\"busy\",alertstate=\"firing\"}" in
+        String.length l >= String.length needle
+        && String.sub l 0 (String.length needle) = needle)
+      (String.split_on_char '\n' metrics)
+  in
+  if not has_alert_sample then fail "/metrics: no ALERTS sample:\n%s" metrics;
+
+  (* /dump: writes one bundle and reports its path; the file is a
+     parseable flight-recorder bundle. *)
+  let dump =
+    json_of "/dump" (expect_status "/dump" 200 (http_get ~port "/dump"))
+  in
+  let bundle_path =
+    match member "/dump" "path" dump with
+    | Jstar_obs.Json.Str p -> p
+    | _ -> fail "/dump: no path"
+  in
+  if not (Sys.file_exists bundle_path) then
+    fail "/dump: bundle %s not on disk" bundle_path;
+  let bundle =
+    let ic = open_in bundle_path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    json_of "bundle" s
+  in
+  (match member "bundle" "schema" bundle with
+  | Jstar_obs.Json.Str s when s = Jstar_obs.Recorder.schema_version -> ()
+  | _ -> fail "bundle: wrong schema version");
+  (match member "bundle" "reason" bundle with
+  | Jstar_obs.Json.Str "ops-dump" -> ()
+  | _ -> fail "bundle: wrong reason");
+  List.iter
+    (fun k -> ignore (member "bundle" k bundle))
+    [ "journal"; "metrics"; "session"; "profiler" ];
+
+  (* A server attached without alerting or a recorder 404s both. *)
+  let bare = Jstar_ops.Ops.attach ~port:0 session in
+  let bare_port = Jstar_ops.Ops.port bare in
+  ignore
+    (expect_status "/alerts off" 404 (http_get ~port:bare_port "/alerts"));
+  ignore (expect_status "/dump off" 404 (http_get ~port:bare_port "/dump"));
+  Jstar_ops.Ops.stop bare;
 
   (* Error paths: unknown endpoint, bad table, bad value. *)
   ignore (expect_status "/nope" 404 (http_get ~port "/nope"));
