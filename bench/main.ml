@@ -38,6 +38,9 @@ let targets : (string * string * (unit -> unit)) list =
     ("query", "query acceleration: indexes + agg cache vs scan + JSON", Query.run);
     ("provcost", "provenance/audit/digest overhead + JSON", Provcost.run);
     ("persist", "WAL append overhead + recovery time + JSON", Persist.run);
+    ( "serve",
+      "jstar-serve saturation grid + branch/merge + backpressure + JSON",
+      Serve.run );
     ("smoke", "quick-scale fig8 + fig12 + hotpath, bounded runtime", smoke);
   ]
 

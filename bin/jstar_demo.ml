@@ -595,15 +595,24 @@ let fsync_conv =
     match s with
     | "always" -> Ok Jstar_persist.Wal.Always
     | "never" -> Ok Jstar_persist.Wal.Never
+    | s when Filename.check_suffix s "ms" -> (
+        match int_of_string_opt (Filename.chop_suffix s "ms") with
+        | Some n when n > 0 -> Ok (Jstar_persist.Wal.Every_ms n)
+        | _ -> Error (`Msg "expected a positive window like 5ms"))
     | s -> (
         match int_of_string_opt s with
         | Some n when n > 0 -> Ok (Jstar_persist.Wal.Every n)
-        | _ -> Error (`Msg "expected always, never, or a positive record count"))
+        | _ ->
+            Error
+              (`Msg
+                 "expected always, never, a positive record count, or a \
+                  window like 5ms"))
   in
   let print ppf = function
     | Jstar_persist.Wal.Always -> Fmt.string ppf "always"
     | Jstar_persist.Wal.Never -> Fmt.string ppf "never"
     | Jstar_persist.Wal.Every n -> Fmt.pf ppf "%d" n
+    | Jstar_persist.Wal.Every_ms n -> Fmt.pf ppf "%dms" n
   in
   Arg.conv (parse, print)
 

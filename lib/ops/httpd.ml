@@ -1,16 +1,24 @@
-(* A dependency-free HTTP/1.0 endpoint over Unix sockets: just enough
-   protocol for a Prometheus scraper, a health prober and a curl-driven
-   operator — GET only, one request per connection, Connection: close.
+(* A dependency-free HTTP/1.1 endpoint over Unix sockets: just enough
+   protocol for a Prometheus scraper, a health prober, a curl-driven
+   operator and the serve control plane — GET and POST with
+   Content-Length bodies, persistent connections by default.
 
    Architecture: one acceptor thread (threads.posix, not a domain — it
    sleeps in [select] and must not burn a core the engine could use)
-   multiplexing the listening socket against a self-pipe.  [stop] writes
-   one byte to the pipe, so shutdown interrupts a blocked accept
-   cleanly, then joins the thread and closes both ends.  Requests are
-   served serially on the acceptor thread: every endpoint renders from
-   in-memory state in microseconds, and serial handling means a scrape
-   can never pile up threads behind a slow client (per-socket timeouts
-   bound even that).
+   multiplexing the listening socket, a self-pipe, and every live
+   persistent connection.  [stop] writes one byte to the pipe, so
+   shutdown interrupts a blocked select cleanly, then joins the thread
+   and closes everything.  Requests are served serially on the acceptor
+   thread: every endpoint renders from in-memory state in microseconds,
+   and serial handling means a scrape can never pile up threads behind
+   a slow client (per-socket timeouts bound even that).
+
+   Keep-alive framing discipline: a request whose framing we cannot
+   trust for the *next* request on the same connection (bad request
+   line, unsupported transfer-encoding, malformed or oversized
+   Content-Length, POST without a length) gets a 400/405 with
+   [Connection: close] — never a guess at where the next request
+   starts.
 
    The handlers run concurrently with the engine's driving thread by
    design — see the determinism caveats in DESIGN.md §12: everything
@@ -24,7 +32,16 @@ let text ?(status = 200) body = { status; content_type = "text/plain"; body }
 let json ?(status = 200) body =
   { status; content_type = "application/json"; body }
 
-type handler = (string * string) list -> response
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  body : string;
+}
+
+type handler = request -> response
+
+type conn = { fd : Unix.file_descr; mutable residual : string }
 
 type t = {
   lsock : Unix.file_descr;
@@ -32,6 +49,10 @@ type t = {
   stop_w : Unix.file_descr;
   thread : Thread.t;
 }
+
+let head_cap = 16384
+let body_cap = 1 lsl 20
+let max_conns = 32
 
 let reason = function
   | 200 -> "OK"
@@ -81,11 +102,13 @@ let parse_query qs =
                      url_decode
                        (String.sub kv (i + 1) (String.length kv - i - 1)) ))
 
-(* Parse a request line ("GET /path?query HTTP/1.x"); anything but GET
-   maps to [None]. *)
+(* Parse a request line ("GET /path?query HTTP/1.x") into
+   (method, path, decoded query, http_11). *)
 let parse_request line =
   match String.split_on_char ' ' line with
-  | [ "GET"; target; _version ] ->
+  | [ meth; target; version ]
+    when (meth = "GET" || meth = "POST")
+         && (version = "HTTP/1.0" || version = "HTTP/1.1") ->
       let path, query =
         match String.index_opt target '?' with
         | None -> (target, [])
@@ -94,15 +117,29 @@ let parse_request line =
               parse_query
                 (String.sub target (i + 1) (String.length target - i - 1)) )
       in
-      Some (path, query)
+      Some (meth, path, query, version = "HTTP/1.1")
   | _ -> None
 
-let write_response fd { status; content_type; body } =
+(* Header lines after the request line, names lowercased. *)
+let parse_headers lines =
+  List.filter_map
+    (fun line ->
+      match String.index_opt line ':' with
+      | None -> None
+      | Some i ->
+          Some
+            ( String.lowercase_ascii (String.sub line 0 i),
+              String.trim
+                (String.sub line (i + 1) (String.length line - i - 1)) ))
+    lines
+
+let write_response ~keep_alive fd { status; content_type; body } =
   let head =
     Printf.sprintf
-      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
-       Connection: close\r\n\r\n"
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: %s\r\n\r\n"
       status (reason status) content_type (String.length body)
+      (if keep_alive then "keep-alive" else "close")
   in
   let send s =
     let b = Bytes.of_string s in
@@ -116,88 +153,186 @@ let write_response fd { status; content_type; body } =
   send head;
   send body
 
-(* Read until the end of the request head (blank line) or a size cap —
-   the request line is all we use, but consuming the head keeps clients
-   from seeing a reset before they finish sending. *)
-let read_head fd =
-  let cap = 8192 in
+(* Read from [c] until [pred] says the buffered prefix is complete, or
+   a cap / timeout / EOF intervenes.  Returns the buffered string; the
+   caller re-checks [pred] to distinguish success from truncation. *)
+let read_until c ~cap pred =
   let buf = Buffer.create 256 in
-  let chunk = Bytes.create 512 in
+  Buffer.add_string buf c.residual;
+  c.residual <- "";
+  let chunk = Bytes.create 2048 in
   let rec go () =
-    if Buffer.length buf >= cap then Buffer.contents buf
+    if pred (Buffer.contents buf) || Buffer.length buf >= cap then
+      Buffer.contents buf
     else
-      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      match Unix.read c.fd chunk 0 (Bytes.length chunk) with
       | 0 -> Buffer.contents buf
       | n ->
           Buffer.add_subbytes buf chunk 0 n;
-          let s = Buffer.contents buf in
-          let have_terminator =
-            let rec find i =
-              if i + 3 >= String.length s then false
-              else if
-                s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
-                && s.[i + 3] = '\n'
-              then true
-              else find (i + 1)
-            in
-            find 0
-          in
-          if have_terminator then s else go ()
+          go ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
           Buffer.contents buf
   in
   go ()
 
-let first_line s =
-  match String.index_opt s '\r' with
-  | Some i -> String.sub s 0 i
-  | None -> ( match String.index_opt s '\n' with
-              | Some i -> String.sub s 0 i
-              | None -> s)
+let find_terminator s =
+  let n = String.length s in
+  let rec find i =
+    if i + 3 >= n then None
+    else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+            && s.[i + 3] = '\n'
+    then Some (i + 4)
+    else find (i + 1)
+  in
+  find 0
 
-let handle_conn routes fd =
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
-      Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
-      let head = read_head fd in
-      let resp =
-        match parse_request (first_line head) with
-        | None ->
-            { status = 405; content_type = "text/plain"; body = "GET only\n" }
-        | Some (path, query) -> (
-            match List.assoc_opt path routes with
-            | None ->
-                {
-                  status = 404;
-                  content_type = "application/json";
-                  body = "{\"error\": \"no such endpoint\"}\n";
-                }
-            | Some h -> (
-                try h query
-                with e ->
-                  {
-                    status = 500;
-                    content_type = "text/plain";
-                    body = "handler error: " ^ Printexc.to_string e ^ "\n";
-                  }))
+(* Serve exactly one request on [c].  [`Keep] leaves the connection
+   (and any pipelined residual) live; [`Close] ends it. *)
+let serve_one routes c =
+  let bad ?(status = 400) msg =
+    (try
+       write_response ~keep_alive:false c.fd
+         { status; content_type = "text/plain"; body = msg ^ "\n" }
+     with Exit | Unix.Unix_error _ -> ());
+    `Close
+  in
+  let head = read_until c ~cap:head_cap (fun s -> find_terminator s <> None) in
+  match find_terminator head with
+  | None ->
+      if head = "" then `Close (* clean EOF between requests *)
+      else bad "malformed request head"
+  | Some head_end -> (
+      c.residual <- String.sub head head_end (String.length head - head_end);
+      let lines =
+        String.split_on_char '\n' (String.sub head 0 head_end)
+        |> List.map (fun l ->
+               if l <> "" && l.[String.length l - 1] = '\r' then
+                 String.sub l 0 (String.length l - 1)
+               else l)
       in
-      try write_response fd resp with Exit | Unix.Unix_error _ -> ())
+      match lines with
+      | [] -> bad "malformed request head"
+      | request_line :: header_lines -> (
+          match parse_request request_line with
+          | None -> (
+              (* distinguish "unsupported method" from garbage *)
+              match String.split_on_char ' ' request_line with
+              | [ _; _; v ] when v = "HTTP/1.0" || v = "HTTP/1.1" ->
+                  bad ~status:405 "GET or POST only"
+              | _ -> bad "malformed request line")
+          | Some (meth, path, query, http_11) -> (
+              let headers = parse_headers header_lines in
+              if List.mem_assoc "transfer-encoding" headers then
+                bad "transfer-encoding not supported"
+              else
+                let content_length =
+                  match List.assoc_opt "content-length" headers with
+                  | None -> Ok 0
+                  | Some v -> (
+                      match int_of_string_opt v with
+                      | Some n when n >= 0 && n <= body_cap -> Ok n
+                      | _ -> Error ())
+                in
+                match content_length with
+                | Error () -> bad "malformed Content-Length"
+                | Ok 0 when meth = "POST"
+                            && not (List.mem_assoc "content-length" headers)
+                  ->
+                    (* Without a length we cannot find the next request's
+                       start on this connection. *)
+                    bad "POST requires Content-Length"
+                | Ok clen -> (
+                    let body =
+                      read_until c ~cap:clen (fun s -> String.length s >= clen)
+                    in
+                    if String.length body < clen then
+                      bad "truncated request body"
+                    else begin
+                      if String.length body > clen then
+                        c.residual <-
+                          String.sub body clen (String.length body - clen);
+                      let body = String.sub body 0 clen in
+                      let keep_alive =
+                        match List.assoc_opt "connection" headers with
+                        | Some v ->
+                            String.lowercase_ascii v = "keep-alive"
+                            || (http_11 && String.lowercase_ascii v <> "close")
+                        | None -> http_11
+                      in
+                      let resp =
+                        match List.assoc_opt path routes with
+                        | None ->
+                            {
+                              status = 404;
+                              content_type = "application/json";
+                              body = "{\"error\": \"no such endpoint\"}\n";
+                            }
+                        | Some h -> (
+                            try h { meth; path; query; body }
+                            with e ->
+                              {
+                                status = 500;
+                                content_type = "text/plain";
+                                body =
+                                  "handler error: " ^ Printexc.to_string e
+                                  ^ "\n";
+                              })
+                      in
+                      match write_response ~keep_alive c.fd resp with
+                      | () -> if keep_alive then `Keep else `Close
+                      | exception (Exit | Unix.Unix_error _) -> `Close
+                    end))))
+
+let close_conn c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
 let acceptor lsock stop_r routes () =
+  let conns = ref [] in
   let running = ref true in
   while !running do
-    match Unix.select [ lsock; stop_r ] [] [] (-1.0) with
+    let watched = lsock :: stop_r :: List.map (fun c -> c.fd) !conns in
+    match Unix.select watched [] [] (-1.0) with
     | readable, _, _ ->
         if List.mem stop_r readable then running := false
-        else if List.mem lsock readable then begin
-          match Unix.accept lsock with
-          | fd, _ -> handle_conn routes fd
-          | exception Unix.Unix_error _ -> ()
+        else begin
+          (* Serve pending requests on live connections first, then
+             accept.  Pipelined requests may land in [residual] in one
+             read — with nothing left in the socket buffer, select
+             would never wake for them — so keep serving while the
+             residual holds a complete head. *)
+          let rec serve c =
+            match serve_one routes c with
+            | `Keep -> find_terminator c.residual = None || serve c
+            | `Close ->
+                close_conn c;
+                false
+            | exception _ ->
+                close_conn c;
+                false
+          in
+          conns :=
+            List.filter
+              (fun c -> (not (List.mem c.fd readable)) || serve c)
+              !conns;
+          if List.mem lsock readable then begin
+            match Unix.accept lsock with
+            | fd, _ ->
+                Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+                Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
+                (* Bound the fd set: shed the oldest idle connection
+                   rather than refusing the new one. *)
+                (if List.length !conns >= max_conns then
+                   match List.rev !conns with
+                   | oldest :: _ ->
+                       close_conn oldest;
+                       conns := List.filter (fun c -> c != oldest) !conns
+                   | [] -> ());
+                conns := { fd; residual = "" } :: !conns
+            | exception Unix.Unix_error _ -> ()
+          end
         end
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  done
+  done;
+  List.iter close_conn !conns
 
 let start ?(addr = "127.0.0.1") ~port routes =
   let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in

@@ -1,13 +1,21 @@
-(** A dependency-free HTTP/1.0 server over Unix sockets — the transport
-    under the ops endpoints ({!Ops}).  GET only, one request per
-    connection, [Connection: close]: exactly what a Prometheus scraper,
-    a health prober or [curl] needs, and nothing more.
+(** A dependency-free HTTP/1.1 server over Unix sockets — the transport
+    under the ops endpoints ({!Ops}) and the serve control plane.  GET
+    and POST with [Content-Length] bodies, persistent connections by
+    default: repeated [/metrics] scrapes and control requests reuse one
+    TCP connection instead of paying setup per request.
 
     Requests are served serially on a single acceptor thread
     (threads.posix, so it sleeps in [select] rather than occupying a
-    domain the engine could use); handlers therefore run concurrently
-    with the engine's driving thread and must only read state that
-    tolerates staleness. *)
+    domain the engine could use) that multiplexes the listening socket
+    against every live persistent connection; handlers therefore run
+    concurrently with the engine's driving thread and must only read
+    state that tolerates staleness.
+
+    Framing is strict because connections are reused: a request whose
+    byte boundaries cannot be trusted (malformed request line or
+    [Content-Length], unsupported [Transfer-Encoding], POST without a
+    length) is answered with a 400/405 carrying [Connection: close] —
+    the connection is never left in an ambiguous position. *)
 
 type response = { status : int; content_type : string; body : string }
 
@@ -17,24 +25,32 @@ val text : ?status:int -> string -> response
 val json : ?status:int -> string -> response
 (** [application/json] response, status 200 by default. *)
 
-type handler = (string * string) list -> response
-(** Receives the decoded query parameters.  A raised exception becomes
-    a 500 with the exception text. *)
+type request = {
+  meth : string;  (** ["GET"] or ["POST"] *)
+  path : string;
+  query : (string * string) list;  (** decoded query parameters *)
+  body : string;  (** request body ([""] without a [Content-Length]) *)
+}
+
+type handler = request -> response
+(** A raised exception becomes a 500 with the exception text. *)
 
 type t
 
 val start : ?addr:string -> port:int -> (string * handler) list -> t
 (** Bind [addr] (default loopback [127.0.0.1]) on [port] ([0] asks the
     OS for an ephemeral port — read it back with {!port}) and serve the
-    routes, keyed by exact path.  Unknown paths get a 404, non-GET
-    methods a 405.  @raise Unix.Unix_error when the bind fails. *)
+    routes, keyed by exact path.  Unknown paths get a 404, methods
+    other than GET/POST a 405.  @raise Unix.Unix_error when the bind
+    fails. *)
 
 val port : t -> int
 (** The bound port (meaningful with [~port:0]). *)
 
 val stop : t -> unit
-(** Wake the acceptor via its self-pipe, join it, close the sockets.
-    Idempotence is not required of callers — call exactly once. *)
+(** Wake the acceptor via its self-pipe, join it, close the listening
+    socket and every live persistent connection.  Idempotence is not
+    required of callers — call exactly once. *)
 
 (** {1 Parsing internals}
 
@@ -44,6 +60,8 @@ val url_decode : string -> string
 (** Percent- and plus-decoding; malformed escapes pass through
     verbatim. *)
 
-val parse_request : string -> (string * (string * string) list) option
-(** Parse a request line into (path, decoded query params); [None] for
-    anything that is not a well-formed GET. *)
+val parse_request :
+  string -> (string * string * (string * string) list * bool) option
+(** Parse a request line into (method, path, decoded query params,
+    is-HTTP/1.1); [None] for anything that is not a well-formed
+    GET/POST. *)

@@ -356,15 +356,18 @@ let index_body =
 
 let attach ?addr ~port ?(extra_health = fun () -> []) ?alerts ?recorder
     session =
+  (* The ops handlers consume only the decoded query parameters; adapt
+     them to the transport's request record. *)
+  let q h (req : Httpd.request) = h req.Httpd.query in
   let routes =
     [
       ("/", fun _ -> Httpd.text index_body);
-      ("/metrics", metrics_handler session alerts);
-      ("/health", health_handler session extra_health);
-      ("/profile", profile_handler session);
-      ("/explain", explain_handler session);
-      ("/alerts", alerts_handler alerts);
-      ("/dump", dump_handler recorder);
+      ("/metrics", q (metrics_handler session alerts));
+      ("/health", q (health_handler session extra_health));
+      ("/profile", q (profile_handler session));
+      ("/explain", q (explain_handler session));
+      ("/alerts", q (alerts_handler alerts));
+      ("/dump", q (dump_handler recorder));
     ]
   in
   { server = Httpd.start ?addr ~port routes }

@@ -30,6 +30,8 @@ type t = {
   mutable gen : int;
   mutable wal : Wal.writer;
   mutable drains_since_ckpt : int;
+  mutable wal_records : int;  (* records in the current generation's WAL *)
+  mutable syncs_base : int * int;  (* (fsyncs, coalesced) of retired writers *)
 }
 
 type restore_info = {
@@ -108,6 +110,7 @@ let check_watermark t wm ~at =
 let feed t tuples =
   Wal.append_feed t.wal tuples;
   Wal.commit t.wal;
+  t.wal_records <- t.wal_records + 1;
   Engine.feed t.session tuples
 
 let drain_no_ckpt t =
@@ -115,6 +118,7 @@ let drain_no_ckpt t =
   List.iter (Fingerprint.mix_string t.out_digest) fresh;
   Wal.append_watermark t.wal (watermark_of t);
   Wal.commit t.wal;
+  t.wal_records <- t.wal_records + 1;
   fresh
 
 let checkpoint t =
@@ -160,9 +164,12 @@ let checkpoint t =
   Wal.close t.wal;
   (try Unix.unlink (wal_path_of t.dir t.gen) with Unix.Unix_error _ -> ());
   Snapshot.remove ~dir:t.dir ~gen:t.gen;
+  let fb, cb = t.syncs_base in
+  t.syncs_base <- (fb + Wal.fsyncs t.wal, cb + Wal.coalesced_syncs t.wal);
   t.gen <- next;
   t.wal <- new_wal;
   t.drains_since_ckpt <- 0;
+  t.wal_records <- 0;
   Jstar_obs.Journal.info
     (Engine.session_journal t.session)
     ~comp:"persist" ~event:"checkpoint"
@@ -186,15 +193,30 @@ let finish t =
 
 let session t = t.session
 let generation t = t.gen
+let dir t = t.dir
 let wal_path t = wal_path_of t.dir t.gen
+let wal_records t = t.wal_records
 let output_lanes t = Fingerprint.lanes t.out_digest
 let wal_lag t = Wal.lag t.wal
+let wal_fsyncs t = fst t.syncs_base + Wal.fsyncs t.wal
+let wal_coalesced_syncs t = snd t.syncs_base + Wal.coalesced_syncs t.wal
 
 let fsync_policy_name t =
   match t.policy with
   | Wal.Always -> "always"
   | Wal.Every n -> Printf.sprintf "every-%d" n
+  | Wal.Every_ms n -> Printf.sprintf "every-ms-%d" n
   | Wal.Never -> "never"
+
+let register_wal_metrics t =
+  let m = Engine.session_metrics t.session in
+  Jstar_obs.Metrics.register_counter m ~name:"wal.fsyncs" (fun () ->
+      wal_fsyncs t);
+  Jstar_obs.Metrics.register_counter m ~name:"wal.coalesced_syncs" (fun () ->
+      wal_coalesced_syncs t);
+  Jstar_obs.Metrics.register_gauge m ~name:"wal.policy_window_ms" (fun () ->
+      Jstar_obs.Metrics.Int
+        (match t.policy with Wal.Every_ms n -> n | _ -> 0))
 
 (* -- open / recovery ------------------------------------------------- *)
 
@@ -212,6 +234,8 @@ let fresh_session ~checkpoint_every ~policy ~dir ~tables ~schema_hash frozen
     gen = 0;
     wal;
     drains_since_ckpt = 0;
+    wal_records = 0;
+    syncs_base = (0, 0);
   }
 
 let recover ~checkpoint_every ~policy ~dir ~tables ~schema_hash frozen config
@@ -296,6 +320,8 @@ let recover ~checkpoint_every ~policy ~dir ~tables ~schema_hash frozen config
       gen;
       wal = Wal.reopen path ~valid_to ~policy;
       drains_since_ckpt = 0;
+      wal_records = List.length kept;
+      syncs_base = (0, 0);
     }
   in
   List.iter
@@ -350,7 +376,82 @@ let open_ ?(checkpoint_every = 0) ?(fsync = Wal.Always) ~dir frozen config =
           frozen config
       in
       write_current dir 0;
+      register_wal_metrics t;
       (t, Fresh)
   | Some gen ->
-      recover ~checkpoint_every ~policy ~dir ~tables ~schema_hash frozen
-        config gen
+      let t, status =
+        recover ~checkpoint_every ~policy ~dir ~tables ~schema_hash frozen
+          config gen
+      in
+      register_wal_metrics t;
+      (t, status)
+
+(* -- branching -------------------------------------------------------- *)
+
+let link_or_copy src dst =
+  (* Snapshot files are immutable once written, so a hard link is a
+     zero-copy fork; fall back to a byte copy on filesystems without
+     link support. *)
+  try Unix.link src dst
+  with Unix.Unix_error ((Unix.EXDEV | Unix.EPERM | Unix.ENOSYS), _, _) ->
+    let b = Bytes.create 65536 in
+    let ifd = Unix.openfile src [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close ifd)
+      (fun () ->
+        let ofd =
+          Unix.openfile dst [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+        in
+        Fun.protect
+          ~finally:(fun () -> Unix.close ofd)
+          (fun () ->
+            let rec loop () =
+              let n = Unix.read ifd b 0 (Bytes.length b) in
+              if n > 0 then begin
+                let off = ref 0 in
+                while !off < n do
+                  off := !off + Unix.write ofd b !off (n - !off)
+                done;
+                loop ()
+              end
+            in
+            loop ();
+            Unix.fsync ofd))
+
+let fork t ~dir =
+  let pending = Engine.session_pending t.session in
+  if pending <> 0 then
+    invalid_arg
+      (Printf.sprintf "Durable.fork: %d tuples still pending (drain first)"
+         pending);
+  if Sys.file_exists (current_path dir) then
+    invalid_arg (Printf.sprintf "Durable.fork: %s already holds a session" dir);
+  (* Bring the snapshot up to date only when the WAL actually diverged
+     from it — a fork right after a checkpoint (or another fork) links
+     the existing generation untouched. *)
+  if t.wal_records > 0 || t.gen = 0 then checkpoint t;
+  mkdir_p dir;
+  let gen = t.gen in
+  let src_snap = Filename.concat t.dir (Snapshot.dir_name gen) in
+  let dst_snap = Filename.concat dir (Snapshot.dir_name gen) in
+  mkdir_p dst_snap;
+  Array.iter
+    (fun f ->
+      link_or_copy (Filename.concat src_snap f) (Filename.concat dst_snap f))
+    (Sys.readdir src_snap);
+  (let dfd = Unix.openfile dst_snap [ Unix.O_RDONLY ] 0 in
+   (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+   Unix.close dfd);
+  (* A fresh, empty WAL: the branch's future diverges here. *)
+  Wal.close
+    (Wal.create (wal_path_of dir gen) ~schema_hash:t.schema_hash
+       ~policy:t.policy);
+  write_current dir gen;
+  Jstar_obs.Journal.info
+    (Engine.session_journal t.session)
+    ~comp:"persist" ~event:"fork"
+    [
+      ("gen", Jstar_obs.Json.Num (float_of_int gen));
+      ("into", Jstar_obs.Json.Str dir);
+    ];
+  gen

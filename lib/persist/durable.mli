@@ -65,8 +65,28 @@ val session : t -> Jstar_core.Engine.session
 (** The underlying engine session (for gamma inspection in tests). *)
 
 val generation : t -> int
+
+val dir : t -> string
+(** The session's durable directory. *)
+
 val wal_path : t -> string
 (** Current log file — exposed for the fault-injection harness. *)
+
+val wal_records : t -> int
+(** Complete records (feeds + watermarks) written to the current
+    generation's log — 0 right after a checkpoint or fork. *)
+
+val fork : t -> dir:string -> int
+(** Branch this session's durable state into [dir] without copying
+    segments: checkpoint first if the log has diverged from the
+    snapshot (always at generation 0), then hard-link the snapshot
+    generation's files into [dir], give the branch a fresh empty WAL,
+    and flip its [CURRENT].  The branch is opened like any other
+    durable directory with {!open_}, whose recovery re-verifies the
+    linked snapshot's fingerprint.  Returns the shared generation.
+    Requires quiescence, like {!checkpoint}.
+    @raise Invalid_argument when tuples are pending or [dir] already
+    holds a session. *)
 
 val output_lanes : t -> int * int
 (** Running output-stream digest lanes (matches the last watermark). *)
@@ -75,5 +95,13 @@ val wal_lag : t -> Wal.lag
 (** Current WAL durability exposure (records not yet fsynced, seconds
     since the last fsync) — the heartbeat's [wal] block. *)
 
+val wal_fsyncs : t -> int
+(** fsync calls across all generations of this session's log. *)
+
+val wal_coalesced_syncs : t -> int
+(** Commits whose records rode a later group-commit sync instead of
+    paying their own fsync — exported as [wal.coalesced_syncs]. *)
+
 val fsync_policy_name : t -> string
-(** ["always"], ["every-<n>"] or ["never"] — for monitoring output. *)
+(** ["always"], ["every-<n>"], ["every-ms-<n>"] or ["never"] — for
+    monitoring output. *)

@@ -10,7 +10,7 @@ let magic = "JSTARWAL"
 let version = 1
 let header_len = String.length magic + 4 + 4 (* magic, version, schema hash *)
 
-type fsync_policy = Always | Every of int | Never
+type fsync_policy = Always | Every of int | Every_ms of int | Never
 
 type watermark = {
   wm_step_no : int;
@@ -55,6 +55,8 @@ type writer = {
   mutable unsynced : int;  (* records committed but not yet fsynced *)
   mutable pending : int;  (* records sitting in [buf] *)
   mutable last_sync_ns : int;  (* when the file was last fsynced *)
+  mutable fsyncs : int;  (* fsync calls since open *)
+  mutable coalesced : int;  (* commits that left records unsynced *)
 }
 
 type lag = { lag_records : int; lag_seconds : float }
@@ -89,6 +91,8 @@ let create path ~schema_hash ~policy =
     unsynced = 0;
     pending = 0;
     last_sync_ns = Jstar_obs.Monotonic.now_ns ();
+    fsyncs = 0;
+    coalesced = 0;
   }
 
 let reopen path ~valid_to ~policy =
@@ -104,6 +108,8 @@ let reopen path ~valid_to ~policy =
     unsynced = 0;
     pending = 0;
     last_sync_ns = Jstar_obs.Monotonic.now_ns ();
+    fsyncs = 0;
+    coalesced = 0;
   }
 
 let frame w kind payload =
@@ -146,20 +152,33 @@ let commit w =
   let fsync_now () =
     Unix.fsync w.fd;
     w.unsynced <- 0;
+    w.fsyncs <- w.fsyncs + 1;
     w.last_sync_ns <- Jstar_obs.Monotonic.now_ns ()
-  in
+  and skip () = if w.unsynced > 0 then w.coalesced <- w.coalesced + 1 in
   match w.policy with
   | Always -> if w.unsynced > 0 then fsync_now ()
-  | Every n -> if w.unsynced >= n then fsync_now ()
+  | Every n -> if w.unsynced >= n then fsync_now () else skip ()
+  | Every_ms n ->
+      (* Group-commit window: at most one fsync per [n] ms, however many
+         sessions or records land inside the window. *)
+      if
+        w.unsynced > 0
+        && Jstar_obs.Monotonic.now_ns () - w.last_sync_ns >= n * 1_000_000
+      then fsync_now ()
+      else skip ()
   | Never -> ()
 
 let sync w =
   commit w;
   if w.unsynced > 0 then begin
     Unix.fsync w.fd;
-    w.unsynced <- 0
+    w.unsynced <- 0;
+    w.fsyncs <- w.fsyncs + 1
   end;
   w.last_sync_ns <- Jstar_obs.Monotonic.now_ns ()
+
+let fsyncs w = w.fsyncs
+let coalesced_syncs w = w.coalesced
 
 let close w =
   sync w;

@@ -1,0 +1,100 @@
+(* Blocking client for the jstar-serve protocol: connect + handshake,
+   then one call per frame exchange.  Flow frames are handled
+   transparently — [feed] counts the pause and keeps going once the
+   server resumes it — so callers see backpressure only as latency and
+   a counter, exactly the contract the server's admission control
+   promises. *)
+
+open Jstar_core
+module P = Protocol
+
+exception Server_error of int * string
+(* An Err frame where a reply was expected: (code, message). *)
+
+type t = {
+  fd : Unix.file_descr;
+  reader : P.reader;
+  mutable pauses : int;  (* Flow pause frames absorbed so far *)
+}
+
+let pauses t = t.pauses
+
+let recv t =
+  match P.read_frame t.reader with
+  | None -> raise (P.Frame_error "server closed the connection")
+  | Some (kind, payload) -> P.decode_server kind payload
+
+(* Receive the next non-Flow frame, counting pauses on the way. *)
+let rec recv_reply t =
+  match recv t with
+  | P.Flow { pause; _ } ->
+      if pause then t.pauses <- t.pauses + 1;
+      recv_reply t
+  | f -> f
+
+let fail_on_err = function
+  | P.Err { code; msg } -> raise (Server_error (code, msg))
+  | f -> f
+
+let connect ?(addr = "127.0.0.1") ~port frozen =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t = { fd; reader = P.reader fd; pauses = 0 } in
+  P.send_client fd
+    (P.Hello
+       {
+         version = P.version;
+         schema_hash = Jstar_persist.Codec.schema_hash frozen.Program.tables;
+       });
+  match fail_on_err (recv_reply t) with
+  | P.Welcome _ -> t
+  | _ -> raise (P.Frame_error "expected Welcome")
+
+let okay t =
+  match fail_on_err (recv_reply t) with
+  | P.Okay info -> info
+  | _ -> raise (P.Frame_error "expected Okay")
+
+let open_session t name =
+  P.send_client t.fd (P.Open name);
+  okay t
+
+let feed t tuples =
+  P.send_client t.fd (P.Feed tuples);
+  match fail_on_err (recv_reply t) with
+  | P.Fed { backlog; _ } -> backlog
+  | _ -> raise (P.Frame_error "expected Fed")
+
+let drain t =
+  P.send_client t.fd P.Drain;
+  match fail_on_err (recv_reply t) with
+  | P.Drained { lines; mark } -> (lines, mark)
+  | _ -> raise (P.Frame_error "expected Drained")
+
+let digest t =
+  P.send_client t.fd P.Digest;
+  match fail_on_err (recv_reply t) with
+  | P.Digests d -> d
+  | _ -> raise (P.Frame_error "expected Digests")
+
+let checkpoint t =
+  P.send_client t.fd P.Checkpoint;
+  ignore (okay t)
+
+let branch t name =
+  P.send_client t.fd (P.Branch name);
+  okay t
+
+let merge t ~from =
+  P.send_client t.fd (P.Merge from);
+  okay t
+
+let close t =
+  (try
+     P.send_client t.fd P.Bye;
+     ignore (okay t)
+   with _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,40 @@
+(** Blocking client for the jstar-serve {!Protocol}.  One call per
+    frame exchange; [Flow] backpressure frames are absorbed
+    transparently (counted in {!pauses}), so a throttled feed shows up
+    as latency, never as an error. *)
+
+open Jstar_core
+
+exception Server_error of int * string
+(** An [Err] frame where a reply was expected: (code, message) — codes
+    in {!Protocol}. *)
+
+type t
+
+val connect : ?addr:string -> port:int -> Program.frozen -> t
+(** Connect and handshake ([Hello]/[Welcome]), verifying protocol
+    version and program schema hash.
+    @raise Server_error when the server refuses the handshake. *)
+
+val open_session : t -> string -> string
+(** Open-or-recover the named session; returns the server's status line
+    (["fresh ..."], ["restored ..."] or ["attached ..."]). *)
+
+val feed : t -> Tuple.t list -> int
+(** Feed a batch; returns the session backlog after acceptance.  Blocks
+    through any [Flow] pause. *)
+
+val drain : t -> string list * Protocol.watermark
+val digest : t -> Protocol.digest_info
+val checkpoint : t -> unit
+
+val branch : t -> string -> string
+(** Fork the open session's durable state under a new name. *)
+
+val merge : t -> from:string -> string
+(** Replay [from]'s divergence into the open session. *)
+
+val pauses : t -> int
+(** [Flow] pause frames absorbed so far on this connection. *)
+
+val close : t -> unit

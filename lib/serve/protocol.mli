@@ -1,0 +1,101 @@
+(** The jstar-serve wire protocol: length-prefixed binary frames in the
+    WAL's framing style, carrying tuples through the persist codec.
+
+    {v [u8 kind][u32 len][payload: len bytes][u32 crc32] v}
+
+    with the CRC covering kind, len and payload.  Kinds 1–15 are
+    client→server, 16 and up server→client.  A connection opens with
+    [Hello]/[Welcome] (protocol version + schema hash — a client built
+    against a different program shape is refused before it can feed a
+    single tuple), then addresses one session at a time by branch-style
+    name ([Open "proj/main"]). *)
+
+open Jstar_core
+
+exception Frame_error of string
+(** Torn, oversized or CRC-corrupt framing, or an undecodable payload.
+    Once raised the stream has no trustworthy resync point: the server
+    answers [Err] and closes. *)
+
+val version : int
+
+val max_payload : int
+(** Frames advertising a longer payload are rejected before any
+    allocation — the oversized-frame guard. *)
+
+type client_frame =
+  | Hello of { version : int; schema_hash : int }
+  | Open of string  (** open-or-create the named session *)
+  | Feed of Tuple.t list
+  | Drain
+  | Branch of string  (** fork the open session's state under a new name *)
+  | Merge of string  (** replay the named session's divergence into this one *)
+  | Digest
+  | Checkpoint
+  | Bye
+
+type watermark = {
+  w_steps : int;
+  w_outputs : int;
+  w_seq_lanes : int * int;  (** class-sequence digest lanes *)
+  w_out_lanes : int * int;  (** output-stream digest lanes *)
+}
+
+type digest_info = {
+  d_gamma : string;
+  d_outputs : int;
+  d_seq_lanes : int * int;
+  d_out_lanes : int * int;
+}
+
+type server_frame =
+  | Welcome of { version : int; schema_hash : int; max_payload : int }
+  | Okay of string
+  | Fed of { accepted : int; backlog : int }
+  | Drained of { lines : string list; mark : watermark }
+  | Digests of digest_info
+  | Flow of { pause : bool; backlog : int }
+      (** backpressure: the session's mailbox crossed (pause) or fell
+          back under (resume) its feed quota *)
+  | Err of { code : int; msg : string }
+
+(** {2 Error codes} *)
+
+val err_bad_frame : int
+val err_no_session : int
+val err_capacity : int
+val err_shutting_down : int
+val err_bad_name : int
+val err_merge : int
+val err_conflict : int
+val err_handshake : int
+
+(** {2 Encoding / decoding} *)
+
+val write_client : Buffer.t -> client_frame -> unit
+val write_server : Buffer.t -> server_frame -> unit
+
+val read_frame_bytes : Bytes.t -> int ref -> [ `Frame of int * Bytes.t | `Incomplete ]
+(** Pull one wire frame ((kind, payload)) out of a byte buffer,
+    advancing the position past it.  [`Incomplete] means the bytes are
+    a valid prefix — read more.  @raise Frame_error on oversize or CRC
+    mismatch. *)
+
+val decode_client :
+  tables:Schema.t array -> int -> Bytes.t -> client_frame
+(** @raise Frame_error on an unknown kind or undecodable payload. *)
+
+val decode_server : int -> Bytes.t -> server_frame
+
+(** {2 Blocking socket transport} *)
+
+type reader
+
+val reader : Unix.file_descr -> reader
+
+val read_frame : reader -> (int * Bytes.t) option
+(** One frame, blocking; [None] on clean EOF between frames.
+    @raise Frame_error when the stream dies mid-frame. *)
+
+val send_client : Unix.file_descr -> client_frame -> unit
+val send_server : Unix.file_descr -> server_frame -> unit

@@ -1,0 +1,326 @@
+(* One served session = one durable engine session owned by exactly one
+   worker thread — PR 8's single-owner shard discipline lifted to whole
+   sessions.  Connection threads never touch the engine; they enqueue
+   commands into a lock-free MPSC mailbox (lib/cds Ms_queue) and block
+   on a one-shot reply box when they need an answer.
+
+   Backpressure is accounted here: [enqueue_feed] bumps an atomic
+   tuple-backlog counter that the worker decrements after applying the
+   batch; connection threads consult it against the session quota and
+   park on [wait_below] until the worker catches up.  The mailbox is
+   therefore bounded by quota + one batch per attached connection —
+   never unbounded memory, whatever the client does. *)
+
+open Jstar_core
+module Durable = Jstar_persist.Durable
+module Wal = Jstar_persist.Wal
+
+type 'a box = {
+  bm : Mutex.t;
+  bc : Condition.t;
+  mutable bv : 'a option;
+}
+
+let box () = { bm = Mutex.create (); bc = Condition.create (); bv = None }
+
+let box_put b v =
+  Mutex.lock b.bm;
+  b.bv <- Some v;
+  Condition.signal b.bc;
+  Mutex.unlock b.bm
+
+let box_take b =
+  Mutex.lock b.bm;
+  while b.bv = None do
+    Condition.wait b.bc b.bm
+  done;
+  let v = Option.get b.bv in
+  Mutex.unlock b.bm;
+  v
+
+type cmd =
+  | C_feed of Tuple.t list
+  | C_drain of (string list * Protocol.watermark, string) result box
+  | C_digest of (Protocol.digest_info, string) result box
+  | C_checkpoint of (unit, string) result box
+  | C_fork of string * (int, string) result box
+  | C_harvest of (Wal.record list, string) result box
+  | C_replay of Wal.record list * (int * int, string) result box
+  | C_stop of (unit, string) result box
+
+type t = {
+  name : string;
+  dir : string;
+  tables : Schema.t array;
+  schema_hash : int;
+  durable : Durable.t;
+  mailbox : cmd Jstar_cds.Ms_queue.t;
+  quota : int;
+  backlog : int Atomic.t;  (* tuples enqueued, not yet applied *)
+  peak_backlog : int Atomic.t;
+  tuples_in : int Atomic.t;
+  feeds : int Atomic.t;
+  drains : int Atomic.t;
+  wake_m : Mutex.t;
+  wake_c : Condition.t;
+  flow_m : Mutex.t;
+  flow_c : Condition.t;
+  mutable stopped : bool;  (* worker exited; guarded by wake_m *)
+  mutable attached : int;  (* connections bound here; server's registry lock *)
+  mutable last_active_ns : int;
+  mutable thread : Thread.t option;
+}
+
+let name t = t.name
+let dir t = t.dir
+let tables t = t.tables
+let quota t = t.quota
+let backlog t = Atomic.get t.backlog
+let peak_backlog t = Atomic.get t.peak_backlog
+let tuples_in t = Atomic.get t.tuples_in
+let feeds t = Atomic.get t.feeds
+let drains t = Atomic.get t.drains
+let durable t = t.durable
+let attached t = t.attached
+let set_attached t n = t.attached <- n
+let touch t = t.last_active_ns <- Jstar_obs.Monotonic.now_ns ()
+
+let idle_seconds t =
+  float_of_int (Jstar_obs.Monotonic.now_ns () - t.last_active_ns) *. 1e-9
+
+(* -- the worker -------------------------------------------------------- *)
+
+let watermark_of t =
+  let st =
+    Engine.session_state ~with_outputs:false (Durable.session t.durable)
+  in
+  {
+    Protocol.w_steps = st.Engine.ss_steps;
+    w_outputs = st.Engine.ss_outputs_count;
+    w_seq_lanes = st.Engine.ss_seq_lanes;
+    w_out_lanes = Durable.output_lanes t.durable;
+  }
+
+let digest_of t =
+  let session = Durable.session t.durable in
+  let st = Engine.session_state ~with_outputs:false session in
+  {
+    Protocol.d_gamma = Engine.gamma_digest session;
+    d_outputs = st.Engine.ss_outputs_count;
+    d_seq_lanes = st.Engine.ss_seq_lanes;
+    d_out_lanes = Durable.output_lanes t.durable;
+  }
+
+let guard f = try Ok (f ()) with e -> Error (Printexc.to_string e)
+
+let apply_feed t tuples =
+  let n = List.length tuples in
+  Durable.feed t.durable tuples;
+  Atomic.incr t.feeds;
+  ignore (Atomic.fetch_and_add t.tuples_in n);
+  ignore (Atomic.fetch_and_add t.backlog (-n));
+  Mutex.lock t.flow_m;
+  Condition.broadcast t.flow_c;
+  Mutex.unlock t.flow_m
+
+(* Harvest this session's divergence for a merge: its current WAL, which
+   holds exactly the feeds and drain watermarks since the last
+   checkpoint (= since the fork, for a branch that has not checkpointed).
+   The log is re-read and CRC-checked from disk, and the final
+   watermark must reproduce the live session's digest lanes — a merge
+   never trusts bytes the digests cannot vouch for. *)
+let harvest t =
+  let pending = Engine.session_pending (Durable.session t.durable) in
+  if pending <> 0 then
+    failwith
+      (Printf.sprintf "%d tuples fed but not drained (drain before merging)"
+         pending);
+  let records, tail =
+    Wal.read (Durable.wal_path t.durable) ~tables:t.tables
+      ~expect_hash:t.schema_hash
+  in
+  (match tail with
+  | Wal.Clean -> ()
+  | Wal.Torn _ | Wal.Corrupt _ -> failwith "source WAL tail is not clean");
+  let records = List.map fst records in
+  (match
+     List.fold_left
+       (fun acc r -> match r with Wal.Watermark wm -> Some wm | _ -> acc)
+       None records
+   with
+  | None -> ()
+  | Some wm ->
+      if wm.Wal.wm_out_lanes <> Durable.output_lanes t.durable then
+        failwith "source WAL does not reproduce the live output digest");
+  records
+
+(* Replay a harvested divergence into this session, preserving the
+   source's feed/drain rhythm so the merged step sequence equals the
+   single-session oracle's. *)
+let replay t records =
+  List.fold_left
+    (fun (tuples, drains) r ->
+      match r with
+      | Wal.Feed ts ->
+          Durable.feed t.durable ts;
+          Atomic.incr t.feeds;
+          ignore (Atomic.fetch_and_add t.tuples_in (List.length ts));
+          (tuples + List.length ts, drains)
+      | Wal.Watermark _ ->
+          ignore (Durable.drain t.durable);
+          Atomic.incr t.drains;
+          (tuples, drains + 1))
+    (0, 0) records
+
+let exec t cmd =
+  touch t;
+  match cmd with
+  | C_feed tuples -> apply_feed t tuples
+  | C_drain b ->
+      box_put b
+        (guard (fun () ->
+             let fresh = Durable.drain t.durable in
+             Atomic.incr t.drains;
+             (fresh, watermark_of t)))
+  | C_digest b -> box_put b (guard (fun () -> digest_of t))
+  | C_checkpoint b -> box_put b (guard (fun () -> Durable.checkpoint t.durable))
+  | C_fork (dir, b) -> box_put b (guard (fun () -> Durable.fork t.durable ~dir))
+  | C_harvest b -> box_put b (guard (fun () -> harvest t))
+  | C_replay (records, b) -> box_put b (guard (fun () -> replay t records))
+  | C_stop _ -> assert false (* handled by the loop *)
+
+let worker t () =
+  let running = ref true in
+  while !running do
+    match Jstar_cds.Ms_queue.pop t.mailbox with
+    | Some (C_stop b) ->
+        running := false;
+        (* Declare the mailbox closed, then flush it: anything racing in
+           behind the stop gets an error reply, not silence. *)
+        Mutex.lock t.wake_m;
+        t.stopped <- true;
+        Mutex.unlock t.wake_m;
+        Jstar_cds.Ms_queue.drain t.mailbox (fun cmd ->
+            let reject : type a. (a, string) result box -> unit =
+             fun rb -> box_put rb (Error "session stopped")
+            in
+            match cmd with
+            | C_feed tuples ->
+                (* apply it — the client was told it was accepted *)
+                apply_feed t tuples
+            | C_drain rb -> reject rb
+            | C_digest rb -> reject rb
+            | C_checkpoint rb -> reject rb
+            | C_fork (_, rb) -> reject rb
+            | C_harvest rb -> reject rb
+            | C_replay (_, rb) -> reject rb
+            | C_stop rb -> reject rb);
+        (* Graceful close: quiesce, checkpoint, release the engine. *)
+        box_put b
+          (guard (fun () ->
+               if Engine.session_pending (Durable.session t.durable) > 0 then begin
+                 ignore (Durable.drain t.durable);
+                 Atomic.incr t.drains
+               end;
+               Durable.checkpoint t.durable;
+               ignore (Durable.finish t.durable)));
+        (* Unpark any flow-control waiters for good. *)
+        Mutex.lock t.flow_m;
+        Condition.broadcast t.flow_c;
+        Mutex.unlock t.flow_m
+    | Some cmd -> exec t cmd
+    | None ->
+        Mutex.lock t.wake_m;
+        while Jstar_cds.Ms_queue.is_empty t.mailbox && not t.stopped do
+          Condition.wait t.wake_c t.wake_m
+        done;
+        Mutex.unlock t.wake_m
+  done
+
+(* -- lifecycle --------------------------------------------------------- *)
+
+let start ~name ~dir ~quota ?checkpoint_every ?fsync frozen config =
+  let durable, status = Durable.open_ ?checkpoint_every ?fsync ~dir frozen config in
+  let t =
+    {
+      name;
+      dir;
+      tables = frozen.Program.tables;
+      schema_hash = Jstar_persist.Codec.schema_hash frozen.Program.tables;
+      durable;
+      mailbox = Jstar_cds.Ms_queue.create ();
+      quota;
+      backlog = Atomic.make 0;
+      peak_backlog = Atomic.make 0;
+      tuples_in = Atomic.make 0;
+      feeds = Atomic.make 0;
+      drains = Atomic.make 0;
+      wake_m = Mutex.create ();
+      wake_c = Condition.create ();
+      flow_m = Mutex.create ();
+      flow_c = Condition.create ();
+      stopped = false;
+      attached = 0;
+      last_active_ns = Jstar_obs.Monotonic.now_ns ();
+      thread = None;
+    }
+  in
+  t.thread <- Some (Thread.create (worker t) ());
+  (t, status)
+
+let post t cmd =
+  Mutex.lock t.wake_m;
+  if t.stopped then begin
+    Mutex.unlock t.wake_m;
+    Error "session stopped"
+  end
+  else begin
+    Jstar_cds.Ms_queue.push t.mailbox cmd;
+    Condition.signal t.wake_c;
+    Mutex.unlock t.wake_m;
+    Ok ()
+  end
+
+let roundtrip t make =
+  let b = box () in
+  match post t (make b) with
+  | Error _ as e -> e
+  | Ok () -> box_take b
+
+(* -- operations (called from connection / server threads) -------------- *)
+
+let enqueue_feed t tuples =
+  let n = List.length tuples in
+  let now = Atomic.fetch_and_add t.backlog n + n in
+  let rec bump_peak () =
+    let p = Atomic.get t.peak_backlog in
+    if now > p && not (Atomic.compare_and_set t.peak_backlog p now) then
+      bump_peak ()
+  in
+  bump_peak ();
+  match post t (C_feed tuples) with
+  | Ok () -> Ok now
+  | Error _ as e ->
+      ignore (Atomic.fetch_and_add t.backlog (-n));
+      e
+
+(* Block until the backlog falls below [limit] (or the session stops).
+   Used by connection threads after sending a Flow pause. *)
+let wait_below t limit =
+  Mutex.lock t.flow_m;
+  while Atomic.get t.backlog >= limit && not t.stopped do
+    Condition.wait t.flow_c t.flow_m
+  done;
+  Mutex.unlock t.flow_m
+
+let drain t = roundtrip t (fun b -> C_drain b)
+let digest t = roundtrip t (fun b -> C_digest b)
+let checkpoint t = roundtrip t (fun b -> C_checkpoint b)
+let fork t ~dir = roundtrip t (fun b -> C_fork (dir, b))
+let harvest t = roundtrip t (fun b -> C_harvest b)
+let replay t records = roundtrip t (fun b -> C_replay (records, b))
+
+let stop t =
+  let r = roundtrip t (fun b -> C_stop b) in
+  (match t.thread with Some th -> Thread.join th | None -> ());
+  r

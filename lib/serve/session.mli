@@ -1,0 +1,86 @@
+(** One served session: a durable engine session owned by a single
+    worker thread, commanded through a lock-free MPSC mailbox — the
+    shard ownership discipline of DESIGN.md §13 lifted to sessions.
+    Connection threads call the operations below; every engine touch
+    happens on the worker.
+
+    Backpressure contract: {!enqueue_feed} accounts the batch against
+    an atomic tuple backlog before the worker sees it; callers compare
+    the result to {!quota} and park on {!wait_below} when over — so
+    queued-but-unapplied tuples are bounded by quota + one in-flight
+    batch per connection, and a slow session slows its clients instead
+    of growing the heap. *)
+
+open Jstar_core
+
+type t
+
+val start :
+  name:string ->
+  dir:string ->
+  quota:int ->
+  ?checkpoint_every:int ->
+  ?fsync:Jstar_persist.Wal.fsync_policy ->
+  Program.frozen ->
+  Config.t ->
+  t * Jstar_persist.Durable.status
+(** Open (or recover) the durable session under [dir] and spawn its
+    worker.  @raise Jstar_persist.Durable.Recovery_error when existing
+    state fails validation. *)
+
+val stop : t -> (unit, string) result
+(** Drain-then-checkpoint shutdown: the worker applies every queued
+    command, quiesces, checkpoints, closes the engine and exits; the
+    mailbox rejects everything afterwards.  Joins the worker. *)
+
+(** {2 Operations} *)
+
+val enqueue_feed : t -> Tuple.t list -> (int, string) result
+(** Queue a feed batch; returns the tuple backlog {e including} this
+    batch.  Completion is asynchronous — durability is confirmed by the
+    next {!drain} watermark. *)
+
+val wait_below : t -> int -> unit
+(** Block until the backlog is below [limit] or the session stops. *)
+
+val drain : t -> (string list * Protocol.watermark, string) result
+val digest : t -> (Protocol.digest_info, string) result
+val checkpoint : t -> (unit, string) result
+
+val fork : t -> dir:string -> (int, string) result
+(** {!Jstar_persist.Durable.fork} on the worker: quiesce, checkpoint if
+    diverged, hard-link the snapshot generation into [dir]. *)
+
+val harvest : t -> (Jstar_persist.Wal.record list, string) result
+(** The session's divergence since its last checkpoint (= since its
+    fork, for a fresh branch): its current WAL, re-read and CRC-checked,
+    with the final watermark verified against the live output digest.
+    Requires quiescence. *)
+
+val replay : t -> Jstar_persist.Wal.record list -> (int * int, string) result
+(** Feed a harvested divergence into this session, preserving the
+    source's feed/drain rhythm.  Returns (tuples, drains) applied. *)
+
+(** {2 Monitoring lanes} *)
+
+val name : t -> string
+val dir : t -> string
+val tables : t -> Schema.t array
+val quota : t -> int
+val backlog : t -> int
+val peak_backlog : t -> int
+val tuples_in : t -> int
+val feeds : t -> int
+val drains : t -> int
+val idle_seconds : t -> float
+val touch : t -> unit
+(** Reset the idle clock (any client activity). *)
+
+val durable : t -> Jstar_persist.Durable.t
+(** Monitoring-lane access (generation, WAL lag, fsync counters); the
+    worker owns all state-changing calls. *)
+
+(** {2 Connection bookkeeping (guarded by the server's registry lock)} *)
+
+val attached : t -> int
+val set_attached : t -> int -> unit

@@ -1,0 +1,251 @@
+(* End-to-end smoke for the jstar-serve *binary* (the @serve-smoke
+   alias): spawns the real server executable as a child process and
+   drives it over real sockets, covering the process-level behaviours
+   the in-process tests cannot — stdout port advertisement, SIGTERM
+   drain-then-checkpoint, and kill -9 crash recovery to the last
+   durable watermark.  Exit 0 = healthy; any failure raises.
+
+   Phases:
+     A. concurrent clients: 3 sessions fed in parallel threads, every
+        digest must equal a standalone in-process oracle
+     B. branch -> feed -> merge reproduces the oracle digest
+     C. SIGTERM: server prints "drained and stopped", exits 0, and a
+        restarted server restores the sessions byte-identically
+     D. kill -9 mid-stream: a restart recovers the drained watermark
+        exactly, and draining the replayed tail lands on the oracle *)
+
+open Jstar_core
+module Serve = Jstar_serve
+
+let fail fmt = Printf.ksprintf failwith fmt
+let note fmt = Printf.ksprintf (fun s -> print_endline ("serve-smoke: " ^ s)) fmt
+
+let bin =
+  if Array.length Sys.argv < 2 then fail "usage: serve_smoke JSTAR_SERVE_BIN"
+  else Sys.argv.(1)
+
+let root = Filename.concat (Filename.get_temp_dir_name ()) "jstar-serve-smoke"
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error _ -> ()
+
+(* -- child-process server ---------------------------------------------- *)
+
+type server = { pid : int; out : in_channel; port : int }
+
+(* The most recently spawned (possibly live) server, so a failing phase
+   never leaks an orphan process past the smoke. *)
+let current = ref None
+
+let start_server () =
+  let out_r, out_w = Unix.pipe () in
+  let pid =
+    Unix.create_process bin
+      [|
+        bin; "serve"; "--root"; root; "--port"; "0"; "--fsync"; "always";
+        "--idle-timeout"; "0";
+      |]
+      Unix.stdin out_w Unix.stderr
+  in
+  Unix.close out_w;
+  let out = Unix.in_channel_of_descr out_r in
+  let line = try input_line out with End_of_file -> fail "server died at boot" in
+  let port =
+    try Scanf.sscanf line "jstar-serve: listening on %s@:%d" (fun _ p -> p)
+    with Scanf.Scan_failure _ | Failure _ ->
+      fail "unexpected boot line: %s" line
+  in
+  let s = { pid; out; port } in
+  current := Some s;
+  s
+
+(* Drain the server's remaining stdout to EOF and reap it. *)
+let finish_server s =
+  let rest = ref [] in
+  (try
+     while true do
+       rest := input_line s.out :: !rest
+     done
+   with End_of_file -> ());
+  close_in_noerr s.out;
+  let _, status = Unix.waitpid [] s.pid in
+  (status, List.rev !rest)
+
+(* -- oracle ------------------------------------------------------------ *)
+
+let frozen = Serve.Demo.sensor_program ()
+let sensors = 8
+let drain_every = 5
+
+type fingerprint = { gamma : string; outputs : int; out_lanes : int * int }
+
+let fp_str f =
+  Printf.sprintf "{gamma=%s outputs=%d lanes=%x:%x}" f.gamma f.outputs
+    (fst f.out_lanes) (snd f.out_lanes)
+
+let fp_of (d : Serve.Protocol.digest_info) =
+  {
+    gamma = d.Serve.Protocol.d_gamma;
+    outputs = d.d_outputs;
+    out_lanes = d.d_out_lanes;
+  }
+
+let check what want got =
+  if want <> got then fail "%s: want %s, got %s" what (fp_str want) (fp_str got)
+
+(* Standalone single-session oracle: [drained] ticks with a drain every
+   [drain_every], then [tail] undrained ticks, then one final drain —
+   the exact rhythm the serve phases use. *)
+let oracle ~drained ~tail =
+  let dir = Filename.concat root "oracle" in
+  rm_rf dir;
+  let d, _ =
+    Jstar_persist.Durable.open_ ~fsync:Jstar_persist.Wal.Never ~dir frozen
+      Config.default
+  in
+  for t = 0 to drained - 1 do
+    Jstar_persist.Durable.feed d (Serve.Demo.batch frozen ~sensors ~t);
+    if (t + 1) mod drain_every = 0 then ignore (Jstar_persist.Durable.drain d)
+  done;
+  for t = drained to drained + tail - 1 do
+    Jstar_persist.Durable.feed d (Serve.Demo.batch frozen ~sensors ~t)
+  done;
+  ignore (Jstar_persist.Durable.drain d);
+  let session = Jstar_persist.Durable.session d in
+  let st = Engine.session_state ~with_outputs:false session in
+  let fp =
+    {
+      gamma = Engine.gamma_digest session;
+      outputs = st.Engine.ss_outputs_count;
+      out_lanes = Jstar_persist.Durable.output_lanes d;
+    }
+  in
+  ignore (Jstar_persist.Durable.finish d);
+  rm_rf dir;
+  fp
+
+let feed_range c ~from ~ticks =
+  for t = from to from + ticks - 1 do
+    ignore (Serve.Client.feed c (Serve.Demo.batch frozen ~sensors ~t));
+    if (t - from + 1) mod drain_every = 0 then ignore (Serve.Client.drain c)
+  done;
+  ignore (Serve.Client.drain c)
+
+let session_fp ~port name =
+  let c = Serve.Client.connect ~port frozen in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close c)
+    (fun () ->
+      ignore (Serve.Client.open_session c name);
+      fp_of (Serve.Client.digest c))
+
+(* -- phases ------------------------------------------------------------ *)
+
+let ticks = 30
+
+let phase_concurrent_clients port want =
+  let results = Array.make 3 None in
+  let threads =
+    List.init 3 (fun i ->
+        Thread.create
+          (fun () ->
+            let c = Serve.Client.connect ~port frozen in
+            ignore (Serve.Client.open_session c (Printf.sprintf "smoke/s%d" i));
+            feed_range c ~from:0 ~ticks;
+            results.(i) <- Some (fp_of (Serve.Client.digest c));
+            Serve.Client.close c)
+          ())
+  in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | None -> fail "client %d never finished" i
+      | Some got -> check (Printf.sprintf "smoke/s%d = oracle" i) want got)
+    results;
+  note "A: 3 concurrent clients, all digests = oracle"
+
+let phase_branch_merge port want =
+  let c = Serve.Client.connect ~port frozen in
+  ignore (Serve.Client.open_session c "bm/main");
+  feed_range c ~from:0 ~ticks:(ticks / 2);
+  ignore (Serve.Client.branch c "bm/side");
+  let c2 = Serve.Client.connect ~port frozen in
+  ignore (Serve.Client.open_session c2 "bm/side");
+  feed_range c2 ~from:(ticks / 2) ~ticks:(ticks - (ticks / 2));
+  Serve.Client.close c2;
+  ignore (Serve.Client.merge c ~from:"bm/side");
+  check "branch+merge = oracle" want (fp_of (Serve.Client.digest c));
+  Serve.Client.close c;
+  note "B: branch -> feed -> merge lands on the oracle digest"
+
+let phase_sigterm_drain s want =
+  Unix.kill s.pid Sys.sigterm;
+  let status, lines = finish_server s in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> fail "SIGTERM: server exited %d" n
+  | _ -> fail "SIGTERM: server killed, not drained");
+  if not (List.exists (fun l -> l = "jstar-serve: drained and stopped") lines)
+  then fail "SIGTERM: no 'drained and stopped' line in %s"
+    (String.concat " | " lines);
+  let s2 = start_server () in
+  check "smoke/s0 after restart" want (session_fp ~port:s2.port "smoke/s0");
+  note "C: SIGTERM drained cleanly; restart restores smoke/s0 exactly";
+  s2
+
+let phase_kill9_recovery s =
+  let drained = 20 and tail = 10 in
+  let mid = oracle ~drained ~tail:0 in
+  let full = oracle ~drained ~tail in
+  let c = Serve.Client.connect ~port:s.port frozen in
+  ignore (Serve.Client.open_session c "crash/x");
+  feed_range c ~from:0 ~ticks:drained;
+  (* a tail the worker applies (WAL-append + enqueue) but never drains *)
+  for t = drained to drained + tail - 1 do
+    ignore (Serve.Client.feed c (Serve.Demo.batch frozen ~sensors ~t))
+  done;
+  check "crash/x before kill" mid (fp_of (Serve.Client.digest c));
+  Unix.kill s.pid Sys.sigkill;
+  ignore (finish_server s);
+  (try Serve.Client.close c with _ -> ());
+  let s2 = start_server () in
+  let c2 = Serve.Client.connect ~port:s2.port frozen in
+  ignore (Serve.Client.open_session c2 "crash/x");
+  (* replay recovers the drained watermark; the fsynced tail is pending *)
+  check "crash/x recovered watermark" mid (fp_of (Serve.Client.digest c2));
+  ignore (Serve.Client.drain c2);
+  check "crash/x tail replayed" full (fp_of (Serve.Client.digest c2));
+  Serve.Client.close c2;
+  note "D: kill -9 recovered to the watermark; tail drains to the oracle";
+  s2
+
+let () =
+  rm_rf root;
+  Unix.mkdir root 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      match !current with
+      | Some s -> ( try Unix.kill s.pid Sys.sigkill with Unix.Unix_error _ -> ())
+      | None -> ())
+    (fun () ->
+      let want = oracle ~drained:ticks ~tail:0 in
+      let s = start_server () in
+      note "server pid %d on port %d" s.pid s.port;
+      phase_concurrent_clients s.port want;
+      phase_branch_merge s.port want;
+      let s2 = phase_sigterm_drain s want in
+      let s3 = phase_kill9_recovery s2 in
+      Unix.kill s3.pid Sys.sigterm;
+      let status, _ = finish_server s3 in
+      (match status with
+      | Unix.WEXITED 0 -> ()
+      | _ -> fail "final shutdown was not clean");
+      current := None);
+  rm_rf root;
+  note "all phases green"

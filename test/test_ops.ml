@@ -138,21 +138,178 @@ let test_url_decode () =
 
 let test_parse_request () =
   (match Jstar_ops.Httpd.parse_request "GET /metrics HTTP/1.1" with
-  | Some ("/metrics", []) -> ()
+  | Some ("GET", "/metrics", [], true) -> ()
   | _ -> Alcotest.fail "plain GET");
   (match
      Jstar_ops.Httpd.parse_request
        "GET /explain?table=Alarm&tuple=1%2C2&k= HTTP/1.0"
    with
-  | Some ("/explain", [ ("table", "Alarm"); ("tuple", "1,2"); ("k", "") ]) ->
+  | Some
+      ( "GET",
+        "/explain",
+        [ ("table", "Alarm"); ("tuple", "1,2"); ("k", "") ],
+        false ) ->
       ()
   | _ -> Alcotest.fail "query decoding");
-  (match Jstar_ops.Httpd.parse_request "POST /metrics HTTP/1.1" with
+  (match Jstar_ops.Httpd.parse_request "POST /control HTTP/1.1" with
+  | Some ("POST", "/control", [], true) -> ()
+  | _ -> Alcotest.fail "POST accepted");
+  (match Jstar_ops.Httpd.parse_request "PUT /metrics HTTP/1.1" with
   | None -> ()
-  | Some _ -> Alcotest.fail "POST rejected");
+  | Some _ -> Alcotest.fail "PUT rejected");
+  (match Jstar_ops.Httpd.parse_request "GET /metrics SPDY/9" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unknown protocol rejected");
   match Jstar_ops.Httpd.parse_request "garbage" with
   | None -> ()
   | Some _ -> Alcotest.fail "garbage rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Httpd end to end: persistent connections, bodies, strict framing *)
+
+(* Read exactly one HTTP response off [fd] (headers + Content-Length
+   body).  [residual] carries bytes of the *next* response that shared
+   a read with this one — pipelined replies arrive back to back, so a
+   single [recv] can straddle the boundary. *)
+let read_response ?(residual = ref "") fd =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf !residual;
+  residual := "";
+  let chunk = Bytes.create 1024 in
+  let header_end () =
+    let s = Buffer.contents buf in
+    let rec find i =
+      if i + 3 >= String.length s then None
+      else if
+        s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+      then Some (i + 4)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let rec read_headers () =
+    match header_end () with
+    | Some e -> e
+    | None -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Alcotest.fail "connection closed before headers"
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            read_headers ())
+  in
+  let body_start = read_headers () in
+  let raw = Buffer.contents buf in
+  let head = String.sub raw 0 body_start in
+  let status =
+    match String.split_on_char ' ' head with
+    | _ :: code :: _ -> int_of_string code
+    | _ -> Alcotest.fail "malformed status line"
+  in
+  let content_length =
+    List.fold_left
+      (fun acc line ->
+        match String.index_opt line ':' with
+        | Some i
+          when String.lowercase_ascii (String.sub line 0 i) = "content-length"
+          ->
+            int_of_string
+              (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+        | _ -> acc)
+      0
+      (String.split_on_char '\n' head)
+  in
+  let rec read_body () =
+    if Buffer.length buf < body_start + content_length then
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Alcotest.fail "connection closed mid-body"
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          read_body ()
+  in
+  read_body ();
+  let all = Buffer.contents buf in
+  let body = String.sub all body_start content_length in
+  residual :=
+    String.sub all
+      (body_start + content_length)
+      (String.length all - body_start - content_length);
+  let keep_alive =
+    not
+      (List.exists
+         (fun line ->
+           String.lowercase_ascii (String.trim line) = "connection: close")
+         (String.split_on_char '\n' (String.map (function '\r' -> '\n' | c -> c) head)))
+  in
+  (status, body, keep_alive)
+
+let with_httpd routes f =
+  let h = Jstar_ops.Httpd.start ~port:0 routes in
+  Fun.protect
+    ~finally:(fun () -> Jstar_ops.Httpd.stop h)
+    (fun () ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_loopback, Jstar_ops.Httpd.port h));
+          f fd))
+
+let send_str fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+
+let echo_routes =
+  [
+    ("/ping", fun _ -> Jstar_ops.Httpd.text "pong");
+    ( "/echo",
+      fun (req : Jstar_ops.Httpd.request) -> Jstar_ops.Httpd.text req.body );
+  ]
+
+let test_httpd_keep_alive () =
+  with_httpd echo_routes (fun fd ->
+      let residual = ref "" in
+      (* two requests, one connection *)
+      send_str fd "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n";
+      let s1, b1, k1 = read_response ~residual fd in
+      Alcotest.(check (pair int string)) "first" (200, "pong") (s1, b1);
+      Alcotest.(check bool) "kept alive" true k1;
+      send_str fd "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n";
+      let s2, b2, _ = read_response ~residual fd in
+      Alcotest.(check (pair int string)) "second, same socket" (200, "pong")
+        (s2, b2);
+      (* pipelined pair: both bytes up front, two responses back *)
+      send_str fd "GET /ping HTTP/1.1\r\n\r\nGET /ping HTTP/1.1\r\n\r\n";
+      let s3, _, _ = read_response ~residual fd in
+      let s4, _, _ = read_response ~residual fd in
+      Alcotest.(check (pair int int)) "pipelined" (200, 200) (s3, s4))
+
+let test_httpd_post_body () =
+  with_httpd echo_routes (fun fd ->
+      send_str fd "POST /echo HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world";
+      let s, b, k = read_response fd in
+      Alcotest.(check (pair int string)) "echoed" (200, "hello world") (s, b);
+      Alcotest.(check bool) "still persistent" true k;
+      send_str fd "GET /ping HTTP/1.1\r\n\r\n";
+      let s2, _, _ = read_response fd in
+      Alcotest.(check int) "connection survives the body" 200 s2)
+
+let test_httpd_strict_framing () =
+  (* a request whose framing cannot be trusted: 400 + Connection: close *)
+  with_httpd echo_routes (fun fd ->
+      send_str fd "POST /echo HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+      let s, _, k = read_response fd in
+      Alcotest.(check int) "bad length is a 400" 400 s;
+      Alcotest.(check bool) "connection closed" false k);
+  with_httpd echo_routes (fun fd ->
+      send_str fd "POST /echo HTTP/1.1\r\n\r\n";
+      let s, _, k = read_response fd in
+      Alcotest.(check int) "POST without length is a 400" 400 s;
+      Alcotest.(check bool) "connection closed" false k);
+  with_httpd echo_routes (fun fd ->
+      send_str fd
+        "POST /echo HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n";
+      let s, _, k = read_response fd in
+      Alcotest.(check int) "chunked is refused with a 400" 400 s;
+      Alcotest.(check bool) "connection closed" false k)
 
 (* ------------------------------------------------------------------ *)
 (* Profiler unit behaviour *)
@@ -295,6 +452,12 @@ let suite =
       [
         Alcotest.test_case "url decoding" `Quick test_url_decode;
         Alcotest.test_case "request-line parsing" `Quick test_parse_request;
+        Alcotest.test_case "keep-alive and pipelining" `Quick
+          test_httpd_keep_alive;
+        Alcotest.test_case "POST bodies on a persistent connection" `Quick
+          test_httpd_post_body;
+        Alcotest.test_case "strict framing: 400 + close" `Quick
+          test_httpd_strict_framing;
       ] );
     ( "ops.profiler",
       [

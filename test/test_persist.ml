@@ -235,6 +235,50 @@ let wal_fixture_write dir fx events =
   Wal.close w;
   (path, tables, hash)
 
+(* Every_ms group commit: commits inside the window ride the page cache
+   (counted as coalesced); one past the window pays the fsync. *)
+let test_wal_every_ms_group_commit () =
+  let dir = fresh_dir () in
+  let fx = closure_fixture () in
+  let tables = Array.of_list (Program.schemas fx.f_program) in
+  let hash = Codec.schema_hash tables in
+  let path = Filename.concat dir "wal-ms.log" in
+  let w = Wal.create path ~schema_hash:hash ~policy:(Wal.Every_ms 200) in
+  Wal.append_feed w [ edge_tuple fx (1, 2) ];
+  Wal.commit w;
+  Wal.append_feed w [ edge_tuple fx (2, 3) ];
+  Wal.commit w;
+  Alcotest.(check int) "inside the window: no fsync" 0 (Wal.fsyncs w);
+  Alcotest.(check int) "both commits coalesced" 2 (Wal.coalesced_syncs w);
+  Unix.sleepf 0.25;
+  Wal.append_feed w [ edge_tuple fx (3, 4) ];
+  Wal.commit w;
+  Alcotest.(check int) "past the window: one fsync" 1 (Wal.fsyncs w);
+  Alcotest.(check int) "lag drained" 0 (Wal.lag w).Wal.lag_records;
+  Wal.close w;
+  (* the records are all readable back regardless of sync timing *)
+  let records, tail = Wal.read path ~tables ~expect_hash:hash in
+  Alcotest.(check int) "all records present" 3 (List.length records);
+  Alcotest.(check bool) "clean tail" true (tail = Wal.Clean)
+
+(* The durable session surfaces the policy and its counters for the
+   ops plane. *)
+let test_durable_every_ms_lanes () =
+  let dir = fresh_dir () in
+  let fx = closure_fixture () in
+  let frozen = Program.freeze fx.f_program in
+  let d, _ =
+    Durable.open_ ~fsync:(Wal.Every_ms 150) ~dir frozen (config_of 1)
+  in
+  Alcotest.(check string)
+    "policy name" "every-ms-150" (Durable.fsync_policy_name d);
+  Durable.feed d [ edge_tuple fx (1, 2) ];
+  ignore (Durable.drain d);
+  Alcotest.(check bool)
+    "commits coalesced inside the window" true
+    (Durable.wal_coalesced_syncs d > 0);
+  ignore (Durable.finish d)
+
 let test_wal_roundtrip () =
   let fx = closure_fixture () in
   let events =
@@ -619,6 +663,10 @@ let suite =
         Alcotest.test_case "wal torn tail" `Quick test_wal_torn_tail;
         Alcotest.test_case "wal bit flip = corrupt" `Quick
           test_wal_bitflip_is_corrupt;
+        Alcotest.test_case "wal every-ms group commit" `Quick
+          test_wal_every_ms_group_commit;
+        Alcotest.test_case "durable every-ms counters" `Quick
+          test_durable_every_ms_lanes;
         Alcotest.test_case "restart replays the log" `Quick
           test_durable_restart_clean;
         Alcotest.test_case "checkpoint + restore" `Quick
