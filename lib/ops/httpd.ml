@@ -11,7 +11,11 @@
    and closes everything.  Requests are served serially on the acceptor
    thread: every endpoint renders from in-memory state in microseconds,
    and serial handling means a scrape can never pile up threads behind
-   a slow client (per-socket timeouts bound even that).
+   a slow client.  Slow clients are bounded twice over: SO_RCVTIMEO
+   caps each read, and a wall-clock deadline caps the whole request —
+   a trickler that defeats the per-read timeout one byte at a time is
+   cut off at [request_deadline_s] and cannot starve /metrics for the
+   other connections.
 
    Keep-alive framing discipline: a request whose framing we cannot
    trust for the *next* request on the same connection (bad request
@@ -53,6 +57,12 @@ type t = {
 let head_cap = 16384
 let body_cap = 1 lsl 20
 let max_conns = 32
+
+(* Total wall-clock budget for reading one request (head + body).
+   SO_RCVTIMEO bounds each *read* to 2 s, but a client trickling one
+   byte per read would reset that clock forever and park the whole
+   single-threaded ops plane behind it — the deadline bounds the sum. *)
+let request_deadline_s = 10.0
 
 let reason = function
   | 200 -> "OK"
@@ -154,16 +164,20 @@ let write_response ~keep_alive fd { status; content_type; body } =
   send body
 
 (* Read from [c] until [pred] says the buffered prefix is complete, or
-   a cap / timeout / EOF intervenes.  Returns the buffered string; the
-   caller re-checks [pred] to distinguish success from truncation. *)
-let read_until c ~cap pred =
+   a cap / per-read timeout / [deadline] / EOF intervenes.  Returns the
+   buffered string; the caller re-checks [pred] to distinguish success
+   from truncation. *)
+let read_until c ~deadline ~cap pred =
   let buf = Buffer.create 256 in
   Buffer.add_string buf c.residual;
   c.residual <- "";
   let chunk = Bytes.create 2048 in
   let rec go () =
-    if pred (Buffer.contents buf) || Buffer.length buf >= cap then
-      Buffer.contents buf
+    if
+      pred (Buffer.contents buf)
+      || Buffer.length buf >= cap
+      || Unix.gettimeofday () > deadline
+    then Buffer.contents buf
     else
       match Unix.read c.fd chunk 0 (Bytes.length chunk) with
       | 0 -> Buffer.contents buf
@@ -196,7 +210,13 @@ let serve_one routes c =
      with Exit | Unix.Unix_error _ -> ());
     `Close
   in
-  let head = read_until c ~cap:head_cap (fun s -> find_terminator s <> None) in
+  (* One budget for the whole request: the clock starts when select
+     said bytes were ready, so an idle keep-alive connection is never
+     charged — only a connection mid-request. *)
+  let deadline = Unix.gettimeofday () +. request_deadline_s in
+  let head =
+    read_until c ~deadline ~cap:head_cap (fun s -> find_terminator s <> None)
+  in
   match find_terminator head with
   | None ->
       if head = "" then `Close (* clean EOF between requests *)
@@ -243,7 +263,8 @@ let serve_one routes c =
                     bad "POST requires Content-Length"
                 | Ok clen -> (
                     let body =
-                      read_until c ~cap:clen (fun s -> String.length s >= clen)
+                      read_until c ~deadline ~cap:clen (fun s ->
+                          String.length s >= clen)
                     in
                     if String.length body < clen then
                       bad "truncated request body"

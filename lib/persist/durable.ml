@@ -27,6 +27,10 @@ type t = {
   policy : Wal.fsync_policy;
   checkpoint_every : int;  (* drains between automatic checkpoints; 0 = off *)
   out_digest : Fingerprint.t;  (* running output-stream digest *)
+  fork_base : int option;
+      (* the generation this session was forked at, if it was created by
+         [fork] — merge provenance: its WAL holds the full post-fork
+         divergence exactly while [gen] still equals this *)
   mutable gen : int;
   mutable wal : Wal.writer;
   mutable drains_since_ckpt : int;
@@ -47,6 +51,7 @@ type status = Fresh | Restored of restore_info
 let wal_name gen = Printf.sprintf "wal-%d.log" gen
 let wal_path_of dir gen = Filename.concat dir (wal_name gen)
 let current_path dir = Filename.concat dir "CURRENT"
+let fork_path dir = Filename.concat dir "FORK"
 
 let write_current dir gen =
   (* temp + rename + dir fsync: the flip is the commit point *)
@@ -78,6 +83,35 @@ let read_current dir =
           | Some g -> Some g
           | None | (exception End_of_file) ->
               fail "%s: malformed CURRENT" dir)
+
+(* The FORK marker pins a branch's provenance: the generation its
+   divergence window starts at.  Written before the CURRENT flip (a
+   visible branch always carries its marker); a stale marker without a
+   CURRENT is deleted by a fresh open. *)
+let write_fork_base dir base =
+  let fd =
+    Unix.openfile (fork_path dir)
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+      0o644
+  in
+  let b = Bytes.unsafe_of_string (Printf.sprintf "base %d\n" base) in
+  let off = ref 0 in
+  while !off < Bytes.length b do
+    off := !off + Unix.write fd b !off (Bytes.length b - !off)
+  done;
+  Unix.fsync fd;
+  Unix.close fd
+
+let read_fork_base dir =
+  match open_in (fork_path dir) with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match Scanf.sscanf_opt (input_line ic) "base %d" (fun g -> g) with
+          | Some g -> Some g
+          | None | (exception End_of_file) -> fail "%s: malformed FORK" dir)
 
 let mkdir_p dir =
   if not (Sys.file_exists dir) then
@@ -193,6 +227,7 @@ let finish t =
 
 let session t = t.session
 let generation t = t.gen
+let fork_base t = t.fork_base
 let dir t = t.dir
 let wal_path t = wal_path_of t.dir t.gen
 let wal_records t = t.wal_records
@@ -230,6 +265,7 @@ let fresh_session ~checkpoint_every ~policy ~dir ~tables ~schema_hash frozen
     schema_hash;
     policy;
     checkpoint_every;
+    fork_base = None;
     out_digest = Fingerprint.create ();
     gen = 0;
     wal;
@@ -316,6 +352,7 @@ let recover ~checkpoint_every ~policy ~dir ~tables ~schema_hash frozen config
       schema_hash;
       policy;
       checkpoint_every;
+      fork_base = read_fork_base dir;
       out_digest;
       gen;
       wal = Wal.reopen path ~valid_to ~policy;
@@ -371,6 +408,9 @@ let open_ ?(checkpoint_every = 0) ?(fsync = Wal.Always) ~dir frozen config =
   let policy = fsync in
   match read_current dir with
   | None ->
+      (* no CURRENT — any FORK marker here is the residue of a fork
+         that crashed before its commit point, not provenance *)
+      (try Unix.unlink (fork_path dir) with Unix.Unix_error _ -> ());
       let t =
         fresh_session ~checkpoint_every ~policy ~dir ~tables ~schema_hash
           frozen config
@@ -446,6 +486,7 @@ let fork t ~dir =
   Wal.close
     (Wal.create (wal_path_of dir gen) ~schema_hash:t.schema_hash
        ~policy:t.policy);
+  write_fork_base dir gen;
   write_current dir gen;
   Jstar_obs.Journal.info
     (Engine.session_journal t.session)

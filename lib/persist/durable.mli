@@ -66,6 +66,14 @@ val session : t -> Jstar_core.Engine.session
 
 val generation : t -> int
 
+val fork_base : t -> int option
+(** [Some g] when this session was created by {!fork} at generation
+    [g] (recorded in an on-disk [FORK] marker).  Its WAL holds the
+    complete post-fork divergence exactly while {!generation} still
+    equals [g]; any checkpoint since the fork empties the log and
+    advances the generation, so a consumer of the divergence window
+    (serve's merge) must refuse once they differ. *)
+
 val dir : t -> string
 (** The session's durable directory. *)
 
@@ -81,9 +89,11 @@ val fork : t -> dir:string -> int
     segments: checkpoint first if the log has diverged from the
     snapshot (always at generation 0), then hard-link the snapshot
     generation's files into [dir], give the branch a fresh empty WAL,
-    and flip its [CURRENT].  The branch is opened like any other
-    durable directory with {!open_}, whose recovery re-verifies the
-    linked snapshot's fingerprint.  Returns the shared generation.
+    record the shared generation in a [FORK] provenance marker (see
+    {!fork_base}), and flip its [CURRENT].  The branch is opened like
+    any other durable directory with {!open_}, whose recovery
+    re-verifies the linked snapshot's fingerprint.  Returns the shared
+    generation.
     Requires quiescence, like {!checkpoint}.
     @raise Invalid_argument when tuples are pending or [dir] already
     holds a session. *)

@@ -339,14 +339,16 @@ let handle_merge t s from_name =
 
 let handle_feed t fd s tuples =
   Session.touch s;
-  let quota = Session.quota s in
-  if Session.backlog s + List.length tuples > quota then begin
-    ignore (Atomic.fetch_and_add t.flow_pauses 1);
-    send fd (P.Flow { pause = true; backlog = Session.backlog s });
-    Session.wait_below s (max 1 (quota / 2));
-    send fd (P.Flow { pause = false; backlog = Session.backlog s })
-  end;
-  match Session.enqueue_feed s tuples with
+  (* Admission lives in Session.enqueue_feed (atomic across connection
+     threads); this layer just translates its park/unpark into Flow
+     frames on the wire. *)
+  match
+    Session.enqueue_feed s tuples
+      ~on_pause:(fun backlog ->
+        ignore (Atomic.fetch_and_add t.flow_pauses 1);
+        send fd (P.Flow { pause = true; backlog }))
+      ~on_resume:(fun backlog -> send fd (P.Flow { pause = false; backlog }))
+  with
   | Ok backlog -> send fd (P.Fed { accepted = List.length tuples; backlog })
   | Error m -> send fd (P.Err { code = P.err_conflict; msg = m })
 
@@ -464,11 +466,15 @@ let conn_main t fd () =
           Session.set_attached s (Session.attached s - 1);
           Session.touch s)
   | None -> ());
-  ignore (Atomic.fetch_and_add t.conn_count (-1));
-  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (* Deregister and close in one conn_m critical section: [wait] issues
+     its shutdowns under the same lock, so an fd it finds in [conns] is
+     guaranteed not yet closed — its number cannot have been recycled
+     for a WAL file or another socket. *)
   Mutex.lock t.conn_m;
   t.conns <- List.filter (fun (cfd, _) -> cfd <> fd) t.conns;
-  Mutex.unlock t.conn_m
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.unlock t.conn_m;
+  ignore (Atomic.fetch_and_add t.conn_count (-1))
 
 (* -- acceptor ---------------------------------------------------------- *)
 
@@ -491,8 +497,12 @@ let accept_one t =
       end
       else begin
         ignore (Atomic.fetch_and_add t.conn_count 1);
-        let th = Thread.create (conn_main t fd) () in
+        (* Register under conn_m around the spawn: conn_main's exit path
+           takes the same lock before deregistering, so even a
+           connection that finishes instantly cannot leave a dead entry
+           (with an already-closed fd) behind in [conns]. *)
         Mutex.lock t.conn_m;
+        let th = Thread.create (conn_main t fd) () in
         t.conns <- (fd, th) :: t.conns;
         Mutex.unlock t.conn_m
       end
@@ -739,14 +749,16 @@ let wait t =
   in
   if run_cleanup then begin
     (* Unblock every connection thread, then join them: their sessions
-       must be detached before the drain below. *)
+       must be detached before the drain below.  The shutdowns happen
+       while holding conn_m — conn_main closes fds under the same lock,
+       so every fd still in the list is live and is ours. *)
     Mutex.lock t.conn_m;
     let conns = t.conns in
-    Mutex.unlock t.conn_m;
     List.iter
       (fun (fd, _) ->
         try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
       conns;
+    Mutex.unlock t.conn_m;
     List.iter (fun (_, th) -> Thread.join th) conns;
     (* Graceful drain: every session applies its queue, quiesces,
        checkpoints, closes. *)

@@ -4,12 +4,13 @@
    commands into a lock-free MPSC mailbox (lib/cds Ms_queue) and block
    on a one-shot reply box when they need an answer.
 
-   Backpressure is accounted here: [enqueue_feed] bumps an atomic
-   tuple-backlog counter that the worker decrements after applying the
-   batch; connection threads consult it against the session quota and
-   park on [wait_below] until the worker catches up.  The mailbox is
-   therefore bounded by quota + one batch per attached connection —
-   never unbounded memory, whatever the client does. *)
+   Backpressure is accounted here: [enqueue_feed] reserves each batch
+   against an atomic tuple-backlog counter with a CAS loop before the
+   worker sees it, parking on the flow condition until the worker
+   (which decrements as it applies) makes room.  Admission is therefore
+   atomic across connection threads: the backlog never exceeds
+   max (quota, largest single batch) — never unbounded memory,
+   whatever the clients do. *)
 
 open Jstar_core
 module Durable = Jstar_persist.Durable
@@ -123,18 +124,37 @@ let apply_feed t tuples =
   Condition.broadcast t.flow_c;
   Mutex.unlock t.flow_m
 
-(* Harvest this session's divergence for a merge: its current WAL, which
-   holds exactly the feeds and drain watermarks since the last
-   checkpoint (= since the fork, for a branch that has not checkpointed).
-   The log is re-read and CRC-checked from disk, and the final
-   watermark must reproduce the live session's digest lanes — a merge
-   never trusts bytes the digests cannot vouch for. *)
+(* Harvest this session's divergence for a merge: its current WAL.
+   That log holds the *complete* divergence only while no checkpoint
+   has intervened — a checkpoint empties the WAL, so harvesting after
+   one would silently drop everything before it.  Provenance makes the
+   check exact: a branch carries its fork generation (Durable.fork_base)
+   and must still sit at it; a root session's whole history is its
+   generation-0 WAL.  Either way the log is re-read and CRC-checked
+   from disk, and the final watermark must reproduce the live session's
+   digest lanes — a merge never trusts bytes the digests cannot vouch
+   for, and never pretends a truncated window is the whole story. *)
 let harvest t =
   let pending = Engine.session_pending (Durable.session t.durable) in
   if pending <> 0 then
     failwith
       (Printf.sprintf "%d tuples fed but not drained (drain before merging)"
          pending);
+  let gen = Durable.generation t.durable in
+  (match Durable.fork_base t.durable with
+  | Some base when gen <> base ->
+      failwith
+        (Printf.sprintf
+           "source checkpointed since its fork (gen %d, forked at %d): its \
+            WAL no longer holds the full divergence"
+           gen base)
+  | None when gen > 0 ->
+      failwith
+        (Printf.sprintf
+           "source checkpointed (gen %d): its WAL no longer holds its full \
+            history"
+           gen)
+  | _ -> ());
   let records, tail =
     Wal.read (Durable.wal_path t.durable) ~tables:t.tables
       ~expect_hash:t.schema_hash
@@ -189,32 +209,41 @@ let exec t cmd =
   | C_replay (records, b) -> box_put b (guard (fun () -> replay t records))
   | C_stop _ -> assert false (* handled by the loop *)
 
+(* Declare the mailbox closed, then flush it: anything racing in
+   behind the close gets an error reply, not silence.  [on_feed]
+   decides what a queued feed batch deserves — applied on a graceful
+   stop (the client was told it was accepted), dropped on a crash. *)
+let close_mailbox t ~err ~on_feed =
+  Mutex.lock t.wake_m;
+  t.stopped <- true;
+  Mutex.unlock t.wake_m;
+  Jstar_cds.Ms_queue.drain t.mailbox (fun cmd ->
+      let reject : type a. (a, string) result box -> unit =
+       fun rb -> box_put rb (Error err)
+      in
+      match cmd with
+      | C_feed tuples -> on_feed tuples
+      | C_drain rb -> reject rb
+      | C_digest rb -> reject rb
+      | C_checkpoint rb -> reject rb
+      | C_fork (_, rb) -> reject rb
+      | C_harvest rb -> reject rb
+      | C_replay (_, rb) -> reject rb
+      | C_stop rb -> reject rb)
+
+(* Unpark any flow-control waiters for good ([stopped] is now set). *)
+let release_flow_waiters t =
+  Mutex.lock t.flow_m;
+  Condition.broadcast t.flow_c;
+  Mutex.unlock t.flow_m
+
 let worker t () =
   let running = ref true in
   while !running do
     match Jstar_cds.Ms_queue.pop t.mailbox with
     | Some (C_stop b) ->
         running := false;
-        (* Declare the mailbox closed, then flush it: anything racing in
-           behind the stop gets an error reply, not silence. *)
-        Mutex.lock t.wake_m;
-        t.stopped <- true;
-        Mutex.unlock t.wake_m;
-        Jstar_cds.Ms_queue.drain t.mailbox (fun cmd ->
-            let reject : type a. (a, string) result box -> unit =
-             fun rb -> box_put rb (Error "session stopped")
-            in
-            match cmd with
-            | C_feed tuples ->
-                (* apply it — the client was told it was accepted *)
-                apply_feed t tuples
-            | C_drain rb -> reject rb
-            | C_digest rb -> reject rb
-            | C_checkpoint rb -> reject rb
-            | C_fork (_, rb) -> reject rb
-            | C_harvest rb -> reject rb
-            | C_replay (_, rb) -> reject rb
-            | C_stop rb -> reject rb);
+        close_mailbox t ~err:"session stopped" ~on_feed:(apply_feed t);
         (* Graceful close: quiesce, checkpoint, release the engine. *)
         box_put b
           (guard (fun () ->
@@ -224,11 +253,41 @@ let worker t () =
                end;
                Durable.checkpoint t.durable;
                ignore (Durable.finish t.durable)));
-        (* Unpark any flow-control waiters for good. *)
-        Mutex.lock t.flow_m;
-        Condition.broadcast t.flow_c;
-        Mutex.unlock t.flow_m
-    | Some cmd -> exec t cmd
+        release_flow_waiters t
+    | Some cmd -> (
+        try exec t cmd
+        with e ->
+          (* Exception barrier.  [guard] already fences every boxed
+             command, so only the fire-and-forget C_feed path can land
+             here — a WAL append/fsync failure (ENOSPC, EIO) out of
+             Durable.feed.  The engine can no longer be trusted, so the
+             session dies *loudly*: declare it stopped, reject whatever
+             is queued and unpark flow waiters — clients get Err frames
+             instead of hanging forever in box_take, and server
+             shutdown can still join this thread.  Backlog accounting
+             stays exact (each reservation released exactly once):
+             dropped batches are released here, the crashed batch's own
+             reservation too (apply_feed decrements only after a
+             successful apply), and a reservation still in flight in
+             enqueue_feed rolls itself back when its post is refused —
+             so the counter drains to 0 and the dead session remains
+             evictable. *)
+          running := false;
+          let drop tuples =
+            ignore (Atomic.fetch_and_add t.backlog (-(List.length tuples)))
+          in
+          (match cmd with C_feed tuples -> drop tuples | _ -> ());
+          let msg = "session worker crashed: " ^ Printexc.to_string e in
+          close_mailbox t ~err:msg ~on_feed:drop;
+          release_flow_waiters t;
+          Jstar_obs.Journal.error
+            (Engine.session_journal (Durable.session t.durable))
+            ~comp:"serve" ~event:"worker-crash"
+            [
+              ("session", Jstar_obs.Json.Str t.name);
+              ("error", Jstar_obs.Json.Str (Printexc.to_string e));
+            ];
+          (try ignore (Durable.finish t.durable) with _ -> ()))
     | None ->
         Mutex.lock t.wake_m;
         while Jstar_cds.Ms_queue.is_empty t.mailbox && not t.stopped do
@@ -289,29 +348,68 @@ let roundtrip t make =
 
 (* -- operations (called from connection / server threads) -------------- *)
 
-let enqueue_feed t tuples =
-  let n = List.length tuples in
-  let now = Atomic.fetch_and_add t.backlog n + n in
-  let rec bump_peak () =
-    let p = Atomic.get t.peak_backlog in
-    if now > p && not (Atomic.compare_and_set t.peak_backlog p now) then
-      bump_peak ()
-  in
-  bump_peak ();
-  match post t (C_feed tuples) with
-  | Ok () -> Ok now
-  | Error _ as e ->
-      ignore (Atomic.fetch_and_add t.backlog (-n));
-      e
-
-(* Block until the backlog falls below [limit] (or the session stops).
-   Used by connection threads after sending a Flow pause. *)
+(* Block until the backlog falls below [limit] (or the session stops). *)
 let wait_below t limit =
   Mutex.lock t.flow_m;
   while Atomic.get t.backlog >= limit && not t.stopped do
     Condition.wait t.flow_c t.flow_m
   done;
   Mutex.unlock t.flow_m
+
+(* Admit and enqueue a feed batch.  Admission is atomic: a CAS loop
+   reserves the whole batch against the backlog counter, so concurrent
+   connections can never jointly drive the backlog past the quota.  A
+   batch that would overflow a non-empty backlog parks — [on_pause]
+   fires once, the reservation retries after [wait_below] — while a
+   batch larger than the whole quota is admitted only into an *empty*
+   backlog (refusing it outright would wedge its client).  Peak backlog
+   is therefore bounded by max (quota, largest single batch); with
+   batches within the quota, by the quota itself. *)
+let enqueue_feed t tuples ~on_pause ~on_resume =
+  let n = List.length tuples in
+  let rec reserve paused =
+    if t.stopped then begin
+      if paused then on_resume (Atomic.get t.backlog);
+      Error "session stopped"
+    end
+    else
+      let cur = Atomic.get t.backlog in
+      if cur > 0 && cur + n > t.quota then begin
+        if not paused then on_pause cur;
+        wait_below t (max 1 (t.quota / 2));
+        reserve true
+      end
+      else
+        (* Admission point: backlog empty, or batch fits.  An oversized
+           batch (n > quota) only ever lands here alone into an empty
+           backlog — it still blew the quota, so the client hears the
+           pause/resume pair: the signal that flow control engaged. *)
+        let paused =
+          if n > t.quota && not paused then begin
+            on_pause cur;
+            true
+          end
+          else paused
+        in
+        if Atomic.compare_and_set t.backlog cur (cur + n) then begin
+          let now = cur + n in
+          if paused then on_resume now;
+          let rec bump_peak () =
+            let p = Atomic.get t.peak_backlog in
+            if now > p && not (Atomic.compare_and_set t.peak_backlog p now)
+            then bump_peak ()
+          in
+          bump_peak ();
+          match post t (C_feed tuples) with
+          | Ok () -> Ok now
+          | Error _ as e ->
+              ignore (Atomic.fetch_and_add t.backlog (-n));
+              release_flow_waiters t;
+              e
+        end
+        else reserve paused
+  in
+  reserve false
 
 let drain t = roundtrip t (fun b -> C_drain b)
 let digest t = roundtrip t (fun b -> C_digest b)

@@ -4,12 +4,13 @@
     Connection threads call the operations below; every engine touch
     happens on the worker.
 
-    Backpressure contract: {!enqueue_feed} accounts the batch against
-    an atomic tuple backlog before the worker sees it; callers compare
-    the result to {!quota} and park on {!wait_below} when over — so
-    queued-but-unapplied tuples are bounded by quota + one in-flight
-    batch per connection, and a slow session slows its clients instead
-    of growing the heap. *)
+    Backpressure contract: {!enqueue_feed} atomically reserves the
+    batch against the tuple backlog before the worker sees it, parking
+    (with flow-control callbacks) until the worker makes room — so
+    queued-but-unapplied tuples are bounded by
+    [max (quota, largest single batch)] however many connections feed
+    concurrently, and a slow session slows its clients instead of
+    growing the heap. *)
 
 open Jstar_core
 
@@ -35,13 +36,19 @@ val stop : t -> (unit, string) result
 
 (** {2 Operations} *)
 
-val enqueue_feed : t -> Tuple.t list -> (int, string) result
-(** Queue a feed batch; returns the tuple backlog {e including} this
-    batch.  Completion is asynchronous — durability is confirmed by the
-    next {!drain} watermark. *)
-
-val wait_below : t -> int -> unit
-(** Block until the backlog is below [limit] or the session stops. *)
+val enqueue_feed :
+  t ->
+  Tuple.t list ->
+  on_pause:(int -> unit) ->
+  on_resume:(int -> unit) ->
+  (int, string) result
+(** Atomically admit a feed batch against the quota and queue it;
+    returns the tuple backlog {e including} this batch.  When the batch
+    would overflow a non-empty backlog the call blocks until the worker
+    catches up, invoking [on_pause] once going to sleep and [on_resume]
+    once admitted (both receive the backlog at that moment) — the
+    caller's Flow frames.  Completion is asynchronous — durability is
+    confirmed by the next {!drain} watermark. *)
 
 val drain : t -> (string list * Protocol.watermark, string) result
 val digest : t -> (Protocol.digest_info, string) result
@@ -52,9 +59,13 @@ val fork : t -> dir:string -> (int, string) result
     diverged, hard-link the snapshot generation into [dir]. *)
 
 val harvest : t -> (Jstar_persist.Wal.record list, string) result
-(** The session's divergence since its last checkpoint (= since its
-    fork, for a fresh branch): its current WAL, re-read and CRC-checked,
+(** The session's complete divergence — since its fork for a branch,
+    since creation otherwise: its current WAL, re-read and CRC-checked,
     with the final watermark verified against the live output digest.
+    Refused ([Error]) when a checkpoint has truncated that window
+    (generation advanced past the {!Jstar_persist.Durable.fork_base},
+    or past 0 for a root session): a checkpoint empties the WAL, and a
+    partial window must never merge as if it were the whole story.
     Requires quiescence. *)
 
 val replay : t -> Jstar_persist.Wal.record list -> (int * int, string) result

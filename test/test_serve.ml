@@ -411,6 +411,27 @@ let branch_merge_vs_oracle threads () =
       Serve.Client.close c3;
       Serve.Client.close c)
 
+(* A checkpoint empties the source's WAL, so its post-fork divergence
+   window is gone: merging afterwards must be refused — never reported
+   as success while silently replaying only the post-checkpoint rump. *)
+let test_merge_refused_after_checkpoint () =
+  with_server (fun server ->
+      let port = Serve.Server.port server in
+      let c = Serve.Client.connect ~port frozen in
+      ignore (Serve.Client.open_session c "ck/main");
+      feed_range c ~from:0 ~ticks:10;
+      ignore (Serve.Client.branch c "ck/side");
+      let c2 = Serve.Client.connect ~port frozen in
+      ignore (Serve.Client.open_session c2 "ck/side");
+      feed_range c2 ~from:10 ~ticks:10;
+      Serve.Client.checkpoint c2;
+      Serve.Client.close c2;
+      (match Serve.Client.merge c ~from:"ck/side" with
+      | exception Serve.Client.Server_error (code, _) ->
+          Alcotest.(check int) "truncated window refused" P.err_merge code
+      | _ -> Alcotest.fail "merged a checkpoint-truncated divergence window");
+      Serve.Client.close c)
+
 let test_merge_conflicts () =
   with_server (fun server ->
       let port = Serve.Server.port server in
@@ -460,5 +481,7 @@ let suite =
           (branch_merge_vs_oracle 4);
         Alcotest.test_case "merge conflicts are refused" `Quick
           test_merge_conflicts;
+        Alcotest.test_case "merge refused after source checkpoint" `Quick
+          test_merge_refused_after_checkpoint;
       ] );
   ]
